@@ -1,0 +1,115 @@
+// Ablation: what does each utility optimization buy on the same query?
+//
+// Runs the Q1-style hourly people count on campus under four
+// configurations and reports the resulting sensitivity, 99% noise band and
+// mean accuracy:
+//   A. no mask, policy rho = unmasked max persistence
+//   B. owner mask, rho = masked max persistence        (§7.1)
+//   C. owner mask + hard-boundary spatial split (§7.2): the owner asserts
+//      the two halves of the quad are never crossed by one person, so any
+//      chunk size is allowed and the analyst declares the smaller
+//      per-region output cap (the Table 2 effect)
+//   D. mask with rho inflated 2x (sensitivity of accuracy to a
+//      conservative policy estimate)
+//
+// This regenerates no single paper figure; it isolates the design choices
+// DESIGN.md calls out (masking vs splitting vs policy slack).
+#include "analyst/executables.hpp"
+#include "bench_util.hpp"
+#include "engine/privid.hpp"
+#include "privacy/laplace.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool use_mask;
+  bool use_regions;
+  double rho;
+  std::size_t max_rows;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation - masking / splitting / policy slack (Q1)");
+
+  auto scenario = sim::make_campus(801, 4.0, 1.0);
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+  // Owner-side estimates.
+  auto unmasked = scene->masked_persistence(nullptr, 1.0);
+  auto masked = scene->masked_persistence(&scenario.recommended_mask, 1.0);
+  double rho_unmasked = unmasked.max_duration * 1.1;
+  double rho_masked = masked.max_duration * 1.1;
+  std::printf("owner estimates: unmasked max %.0f s, masked max %.0f s\n\n",
+              unmasked.max_duration, masked.max_duration);
+
+  const Config configs[] = {
+      {"A no-mask", false, false, rho_unmasked, 3},
+      {"B mask", true, false, rho_masked, 3},
+      {"C mask+split", true, true, rho_masked, 2},
+      {"D mask, 2x rho slack", true, false, rho_masked * 2, 3},
+  };
+
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.8;
+  auto trk = cv::TrackerConfig::sort(20, 2, 0.1);
+
+  std::printf("%-22s %8s %12s %12s %10s\n", "config", "rho(s)", "sensitivity",
+              "ribbon99", "accuracy");
+  bench::print_rule();
+  for (const auto& cfg : configs) {
+    engine::Privid sys(81);
+    engine::CameraRegistration reg;
+    reg.meta = scene->meta();
+    reg.content.scene = scene;
+    reg.content.seed = 81;
+    reg.policy = {cfg.rho, 2};
+    reg.epsilon_budget = 100.0;
+    reg.masks.emplace("owner",
+                      engine::MaskEntry{scenario.recommended_mask,
+                                        {cfg.rho, 2}});
+    // Hard-boundary split: each region sees fewer people per chunk, so the
+    // analyst declares a smaller max_rows (the Table 2 effect).
+    reg.regions.emplace(
+        "halves", RegionScheme("halves", BoundaryKind::kHard,
+                               {{"west", Box{0, 0, 640, 720}},
+                                {"east", Box{640, 0, 640, 720}}}));
+    sys.register_camera(std::move(reg));
+    sys.register_executable(
+        "counter", analyst::make_entering_counter(det, trk,
+                                                  sim::EntityClass::kPerson));
+
+    std::string split =
+        "SPLIT campus BEGIN 21600 END 36000 BY TIME 30 STRIDE 0";
+    if (cfg.use_mask) split += " WITH MASK owner";
+    if (cfg.use_regions) split += " BY REGION halves";
+    split += " INTO c;";
+
+    engine::RunOptions opts;
+    opts.reveal_raw = true;
+    opts.charge_budget = false;
+    auto r = sys.execute(
+        split +
+            "PROCESS c USING counter TIMEOUT 1 PRODUCING " +
+            std::to_string(cfg.max_rows) +
+            " ROWS WITH SCHEMA (entered:NUMBER=0) INTO t;"
+            "SELECT COUNT(*) FROM t;",
+        opts);
+    const auto& rel = r.releases[0];
+    double ribbon =
+        LaplaceMechanism::confidence_halfwidth(rel.sensitivity, 1.0, 0.99);
+    auto acc = bench::noise_accuracy(rel.raw, rel.sensitivity, 1.0, rel.raw);
+    std::printf("%-22s %8.0f %12.1f %12.1f %9.1f%%\n", cfg.label, cfg.rho,
+                rel.sensitivity, ribbon, acc.mean_accuracy * 100);
+  }
+  std::printf(
+      "\nExpected shape: masking (B) cuts sensitivity by roughly the Fig. 4\n"
+      "persistence reduction vs (A); spatial splitting (C) buys a further\n"
+      "~2x (Table 2); doubling rho (D) roughly doubles the noise, showing\n"
+      "the cost of a loose policy estimate is graceful, not catastrophic.\n");
+  return 0;
+}

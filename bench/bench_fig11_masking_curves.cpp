@@ -1,0 +1,72 @@
+// Fig. 11 (Appendix F.1): cumulative effect of masking boxes in the
+// Algorithm 2 order — for each video, the % of max persistence remaining
+// and the % of unique identities retained as a function of the % of grid
+// boxes masked (log-scale x-axis in the paper; we sample the same decades).
+#include "bench_util.hpp"
+#include "maskopt/greedy.hpp"
+#include "maskopt/heatmap.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+void curve(const char* name, const sim::Scene& scene, TimeInterval window) {
+  constexpr int kCols = 32, kRows = 18;
+  constexpr double kTotal = kCols * kRows;
+  auto hm = maskopt::build_heatmap(scene, window, kCols, kRows, 1.0);
+  auto ordering = maskopt::greedy_mask_ordering(hm, 0);
+  double p0 = ordering.steps.front().max_persistence;
+  if (p0 <= 0) return;
+
+  std::printf("%-14s", name);
+  // Sample the curve at the paper's log-spaced fractions of boxes masked.
+  const double fractions[] = {0.0001, 0.001, 0.005, 0.01, 0.02,
+                              0.05,   0.1,   0.2,   0.5,  1.0};
+  for (double f : fractions) {
+    auto idx = static_cast<std::size_t>(f * kTotal);
+    idx = std::min(idx, ordering.steps.size() - 1);
+    std::printf(" %5.2f/%-4.2f", ordering.steps[idx].max_persistence / p0,
+                ordering.steps[idx].identities_retained);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 11 - cumulative masking curves "
+      "(cells: persistence-remaining / identities-retained)");
+  std::printf("%-14s", "% masked:");
+  for (const char* f : {"0.01%", "0.1%", "0.5%", "1%", "2%", "5%", "10%",
+                        "20%", "50%", "100%"}) {
+    std::printf(" %10s", f);
+  }
+  std::printf("\n");
+  bench::print_rule();
+
+  TimeInterval window{6 * 3600.0, 6 * 3600.0 + 2 * 3600.0};
+  {
+    auto s = sim::make_campus(1101, 2.0, 0.5);
+    curve("privid-campus", s.scene, window);
+  }
+  {
+    auto s = sim::make_highway(1102, 2.0, 0.2);
+    curve("privid-highway", s.scene, window);
+  }
+  {
+    auto s = sim::make_urban(1103, 2.0, 0.2);
+    curve("privid-urban", s.scene, window);
+  }
+  std::uint64_t seed = 1110;
+  for (const auto& name : sim::extended_scene_names()) {
+    auto s = sim::make_extended(name, seed++, 2.0, 0.4);
+    curve(name.c_str(), s.scene, window);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 11): persistence collapses within the\n"
+      "first few percent of boxes masked while identity retention stays\n"
+      "near 1.0 until far larger masked fractions.\n");
+  return 0;
+}

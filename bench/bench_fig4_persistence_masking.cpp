@@ -1,0 +1,73 @@
+// Fig. 4: the distribution of object persistence is heavy-tailed; the
+// owner's mask (Fig. 3 bottom row) removes the tail — cutting the maximum
+// duration by a large factor — while retaining most objects.
+//
+// Paper: campus 4.99x reduction (1.4k -> 1.3k people), highway 9.65x
+// (48.7k -> 47.7k cars), urban 1.71x (43.3k -> 40.5k people).
+#include "bench_util.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+void histogram_row(const std::vector<double>& durations, const char* label) {
+  // log2-second bins, 0..12 (the paper's x-axis).
+  constexpr int kBins = 13;
+  std::size_t counts[kBins] = {0};
+  for (double d : durations) {
+    int b = d <= 1 ? 0 : static_cast<int>(std::log2(d));
+    b = std::min(b, kBins - 1);
+    counts[b]++;
+  }
+  std::printf("  %-9s", label);
+  for (int b = 0; b < kBins; ++b) {
+    double f = durations.empty()
+                   ? 0
+                   : static_cast<double>(counts[b]) / durations.size();
+    std::printf(" %5.2f", f);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 4 - persistence distributions, original vs masked "
+      "(relative frequency per log2(s) bin)");
+
+  struct Case {
+    const char* name;
+    sim::Scenario s;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"campus", sim::make_campus(401, 4.0, 0.6)});
+  cases.push_back({"highway", sim::make_highway(402, 4.0, 0.25)});
+  cases.push_back({"urban", sim::make_urban(403, 4.0, 0.25)});
+
+  std::printf("bin (log2 s):      0     1     2     3     4     5     6"
+              "     7     8     9    10    11    12\n");
+  for (auto& c : cases) {
+    auto orig = c.s.scene.masked_persistence(nullptr, 1.0);
+    auto masked = c.s.scene.masked_persistence(&c.s.recommended_mask, 1.0);
+    std::printf("\n%s:\n", c.name);
+    histogram_row(orig.durations, "original");
+    histogram_row(masked.durations, "masked");
+    double reduction = masked.max_duration > 0
+                           ? orig.max_duration / masked.max_duration
+                           : 0.0;
+    std::printf("  max persistence: %.0fs -> %.0fs  (%.2fx reduction)\n",
+                orig.max_duration, masked.max_duration, reduction);
+    std::printf("  objects: %zu -> %zu retained (%.1f%%)\n",
+                orig.entities_total, masked.entities_retained,
+                100.0 * static_cast<double>(masked.entities_retained) /
+                    static_cast<double>(orig.entities_total));
+  }
+  std::printf(
+      "\nPaper: reductions campus 4.99x / highway 9.65x / urban 1.71x with\n"
+      ">90%% objects retained. Expected shape: a heavy right tail in the\n"
+      "original distribution that the mask removes, with small object "
+      "loss.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Fig. 5 (Case 1, Q1-Q3): standing queries counting unique objects per
+// hour over a 12-hour day, on all three videos.
+//
+// Series printed per video:
+//   Original         — the same analyst pipeline WITHOUT Privid
+//                      (no chunking, no noise)
+//   Privid (no noise)— Privid's raw output (chunking effects only)
+//   ribbon99         — half-width of the 99% Laplace noise band
+//
+// Expected shape: the Privid series tracks the diurnal curve of the
+// Original, and the ribbon is small relative to the hourly counts.
+#include <map>
+
+#include "analyst/executables.hpp"
+#include "bench_util.hpp"
+#include "engine/privid.hpp"
+#include "privacy/laplace.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+struct Case {
+  const char* name;
+  sim::Scenario scenario;
+  sim::EntityClass cls;
+  Seconds masked_rho;
+  std::size_t max_rows;
+  cv::DetectorConfig det;
+};
+
+// "Original": identical detector+tracker, run continuously (one instance
+// over the whole window), counting confirmed tracks per start hour.
+std::map<int, double> baseline_hourly(const sim::Scene& scene,
+                                      TimeInterval window, const Mask* mask,
+                                      const cv::DetectorConfig& det,
+                                      const cv::TrackerConfig& trk,
+                                      std::uint64_t seed) {
+  cv::Detector detector(det, seed);
+  cv::Tracker tracker(trk);
+  Seconds dt = 1.0 / scene.meta().fps;
+  for (Seconds t = window.begin; t < window.end; t += dt) {
+    tracker.step(t, detector.detect(scene, t, scene.meta().frame_at(t), mask));
+  }
+  std::map<int, double> hourly;
+  for (const auto& rec : tracker.all_tracks()) {
+    hourly[static_cast<int>(rec.first_seen / 3600.0)] += 1.0;
+  }
+  return hourly;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5 - Case 1 standing queries (Q1-Q3), hourly");
+  const double kHours = 12;
+
+  std::vector<Case> cases;
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.8;
+    cases.push_back({"Q1 campus", sim::make_campus(501, kHours, 1.0),
+                     sim::EntityClass::kPerson, 17.0, 3, d});
+  }
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.92;
+    d.size_exponent = 0.2;
+    cases.push_back({"Q2 highway", sim::make_highway(502, kHours, 0.3),
+                     sim::EntityClass::kCar, 33.0, 4, d});
+  }
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.6;
+    cases.push_back({"Q3 urban", sim::make_urban(503, kHours, 0.3),
+                     sim::EntityClass::kPerson, 20.0, 4, d});
+  }
+
+  for (auto& c : cases) {
+    auto scene = std::make_shared<sim::Scene>(std::move(c.scenario.scene));
+    engine::Privid sys(50);
+    engine::CameraRegistration reg;
+    reg.meta = scene->meta();
+    reg.content.scene = scene;
+    reg.content.seed = 77;
+    reg.policy = {300.0, 2};
+    reg.epsilon_budget = 50.0;
+    reg.masks.emplace("owner",
+                      engine::MaskEntry{c.scenario.recommended_mask,
+                                        {c.masked_rho, 2}});
+    const std::string cam = reg.meta.camera_id;
+    sys.register_camera(std::move(reg));
+    auto trk = cv::TrackerConfig::sort(20, 2, 0.1);
+    sys.register_executable(
+        "counter", analyst::make_entering_counter(c.det, trk, c.cls));
+
+    engine::RunOptions opts;
+    opts.reveal_raw = true;
+    auto result = sys.execute(
+        "SPLIT " + cam + " BEGIN 21600 END " +
+            std::to_string(21600 + static_cast<long>(kHours * 3600)) +
+            " BY TIME 30 STRIDE 0 WITH MASK owner INTO c;"
+            "PROCESS c USING counter TIMEOUT 1 PRODUCING " +
+            std::to_string(c.max_rows) +
+            " ROWS WITH SCHEMA (entered:NUMBER=0) INTO t;"
+            "SELECT COUNT(*) FROM t GROUP BY hour(chunk);",
+        opts);
+
+    auto baseline = baseline_hourly(*scene, {21600, 21600 + kHours * 3600},
+                                    &c.scenario.recommended_mask, c.det, trk,
+                                    77);
+
+    std::printf("\n%s  (chunk 30 s, masked rho %.0f s, eps 1/release)\n",
+                c.name, c.masked_rho);
+    std::printf("  %-6s %10s %14s %10s %10s\n", "hour", "Original",
+                "Privid(raw)", "ribbon99", "accuracy");
+    double ribbon = 0;
+    for (const auto& r : result.releases) {
+      int hour = static_cast<int>(r.group_key[0].as_number());
+      double orig = baseline.count(hour) ? baseline[hour] : 0.0;
+      ribbon = LaplaceMechanism::confidence_halfwidth(r.sensitivity,
+                                                      r.epsilon, 0.99);
+      auto acc = bench::noise_accuracy(r.raw, r.sensitivity, r.epsilon, orig);
+      std::printf("  %02d:00  %10.0f %14.0f %10.1f %9.1f%%\n", hour, orig,
+                  r.raw, ribbon, acc.mean_accuracy * 100);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 5): Privid(raw) follows the diurnal\n"
+      "curve of Original; the 99%% ribbon stays well below the hourly\n"
+      "counts, so the trend survives the noise.\n");
+  return 0;
+}

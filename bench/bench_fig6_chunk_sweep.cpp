@@ -1,0 +1,142 @@
+// Fig. 6: joint impact of chunk size and per-chunk output cap (max_rows,
+// i.e. the output range of the hourly COUNT) on end-to-end RMSE, for the
+// Case-1 queries.
+//
+// For each (chunk, max_rows): run the Privid pipeline once (raw per-hour
+// counts + sensitivity), then fold in 100 Laplace draws per hour and report
+// RMSE against the "Original" (no chunking, no noise) series.
+//
+// Expected shape: larger chunks lower the raw error (more temporal context
+// for the tracker, fewer boundary splits) but raise the noise (an event
+// spans a larger fraction of the table); small max_rows truncates real
+// rows, large max_rows inflates sensitivity — the sweet spot sits at
+// moderate values, and the paper's "X" choice is near it.
+#include <map>
+
+#include "analyst/executables.hpp"
+#include "bench_util.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+std::map<int, double> baseline_hourly(const sim::Scene& scene,
+                                      TimeInterval window, const Mask* mask,
+                                      const cv::DetectorConfig& det,
+                                      const cv::TrackerConfig& trk,
+                                      std::uint64_t seed) {
+  cv::Detector detector(det, seed);
+  cv::Tracker tracker(trk);
+  Seconds dt = 1.0 / scene.meta().fps;
+  for (Seconds t = window.begin; t < window.end; t += dt) {
+    tracker.step(t, detector.detect(scene, t, scene.meta().frame_at(t), mask));
+  }
+  std::map<int, double> hourly;
+  for (const auto& rec : tracker.all_tracks()) {
+    hourly[static_cast<int>(rec.first_seen / 3600.0)] += 1.0;
+  }
+  return hourly;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 6 - RMSE vs chunk size x max per-chunk output (2-hour window)");
+
+  struct Case {
+    const char* name;
+    sim::Scenario scenario;
+    sim::EntityClass cls;
+    Seconds rho;
+    cv::DetectorConfig det;
+  };
+  std::vector<Case> cases;
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.8;
+    cases.push_back({"Q1 campus", sim::make_campus(601, 2.0, 0.5),
+                     sim::EntityClass::kPerson, 17.0, d});
+  }
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.92;
+    d.size_exponent = 0.2;
+    cases.push_back({"Q2 highway", sim::make_highway(602, 2.0, 0.2),
+                     sim::EntityClass::kCar, 33.0, d});
+  }
+  {
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.6;
+    cases.push_back({"Q3 urban", sim::make_urban(603, 2.0, 0.2),
+                     sim::EntityClass::kPerson, 20.0, d});
+  }
+
+  const double chunks[] = {5, 10, 30, 60, 120};
+  const std::size_t caps[] = {2, 5, 10, 25};
+
+  for (auto& c : cases) {
+    auto scene = std::make_shared<sim::Scene>(std::move(c.scenario.scene));
+    auto trk = cv::TrackerConfig::sort(20, 2, 0.1);
+    auto baseline = baseline_hourly(*scene, {21600, 21600 + 7200},
+                                    &c.scenario.recommended_mask, c.det, trk,
+                                    77);
+    std::printf("\n%s (rows: chunk s, cols: max per-chunk output -> RMSE)\n",
+                c.name);
+    std::printf("  %8s", "chunk\\cap");
+    for (std::size_t cap : caps) std::printf(" %8zu", cap);
+    std::printf("\n");
+
+    for (double chunk : chunks) {
+      std::printf("  %8.0f", chunk);
+      for (std::size_t cap : caps) {
+        engine::Privid sys(60);
+        engine::CameraRegistration reg;
+        reg.meta = scene->meta();
+        reg.content.scene = scene;
+        reg.content.seed = 77;
+        reg.policy = {c.rho, 2};
+        reg.epsilon_budget = 1000.0;
+        std::string cam = reg.meta.camera_id;
+        sys.register_camera(std::move(reg));
+        sys.register_executable(
+            "counter", analyst::make_entering_counter(c.det, trk, c.cls));
+        engine::RunOptions opts;
+        opts.reveal_raw = true;
+        opts.charge_budget = false;  // owner-side what-if sweep
+        auto result = sys.execute(
+            "SPLIT " + cam +
+                " BEGIN 21600 END 28800 BY TIME " + std::to_string(chunk) +
+                " STRIDE 0 INTO c;"
+                "PROCESS c USING counter TIMEOUT 1 PRODUCING " +
+                std::to_string(cap) +
+                " ROWS WITH SCHEMA (entered:NUMBER=0) INTO t;"
+                "SELECT COUNT(*) FROM t GROUP BY hour(chunk);",
+            opts);
+        // RMSE over hours and 100 noise draws.
+        Rng rng(7);
+        double se = 0;
+        int n = 0;
+        for (int draw = 0; draw < 100; ++draw) {
+          for (const auto& r : result.releases) {
+            int hour = static_cast<int>(r.group_key[0].as_number());
+            double orig = baseline.count(hour) ? baseline[hour] : 0.0;
+            double noisy =
+                r.raw + rng.laplace(0.0, r.sensitivity / r.epsilon);
+            se += (noisy - orig) * (noisy - orig);
+            ++n;
+          }
+        }
+        std::printf(" %8.1f", std::sqrt(se / std::max(1, n)));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 6): error falls then rises along each\n"
+      "row/column; the best cell sits at moderate chunk sizes and output\n"
+      "caps near the true per-chunk occupancy.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 7: as the query window grows (2 h -> 12 h), the noise needed to
+// hide one individual stays constant in absolute terms, so the *relative*
+// error of the aggregate shrinks. The paper plots "noise added (#objects)"
+// vs window size for Q1-Q3; with a fixed chunk size and per-release
+// epsilon, absolute noise is flat while the count grows with the window —
+// we report both, plus noise relative to the true count, which is the
+// utility story.
+#include "bench_util.hpp"
+#include "privacy/laplace.hpp"
+#include "sensitivity/constraints.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+struct QueryCfg {
+  const char* name;
+  double rho;            // masked policy rho (Fig. 4 values)
+  std::size_t max_rows;  // per 30 s chunk
+  double rate_scale;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 7 - noise vs query window size (Q1-Q3)");
+  const QueryCfg cfgs[] = {{"Q1 campus", 17.0, 6, 0.6},
+                           {"Q2 highway", 33.0, 15, 0.25},
+                           {"Q3 urban", 20.0, 12, 0.25}};
+  const Seconds chunk = 30.0;
+
+  std::printf("%-12s %8s %16s %18s %16s\n", "query", "window", "true count",
+              "noise (objects)", "noise/count");
+  bench::print_rule();
+  for (const auto& cfg : cfgs) {
+    sim::Scenario scenario =
+        std::string(cfg.name).find("campus") != std::string::npos
+            ? sim::make_campus(301, 12.0, cfg.rate_scale)
+        : std::string(cfg.name).find("highway") != std::string::npos
+            ? sim::make_highway(302, 12.0, cfg.rate_scale)
+            : sim::make_urban(303, 12.0, cfg.rate_scale);
+    sim::EntityClass cls = std::string(cfg.name).find("highway") !=
+                                   std::string::npos
+                               ? sim::EntityClass::kCar
+                               : sim::EntityClass::kPerson;
+    for (double hours = 2; hours <= 12; hours += 2) {
+      TimeInterval window{6 * 3600.0, 6 * 3600.0 + hours * 3600.0};
+      double truth = static_cast<double>(
+          scenario.scene.true_entries(cls, window));
+      sensitivity::TableInfo info;
+      info.chunk_seconds = chunk;
+      info.max_rows = cfg.max_rows;
+      info.policy = {cfg.rho, 2};
+      double delta = sensitivity::base_delta(info);
+      // Expected |noise| of Laplace(delta/eps) at eps = 1.
+      double noise = LaplaceMechanism::noise_scale(delta, 1.0);
+      std::printf("%-12s %6.0fhr %16.0f %18.1f %15.3f\n", cfg.name, hours,
+                  truth, noise, truth > 0 ? noise / truth : 0.0);
+    }
+    bench::print_rule();
+  }
+  std::printf(
+      "Expected shape (paper Fig. 7): for a fixed per-release epsilon the\n"
+      "absolute noise is independent of the window, so relative error\n"
+      "(noise/count) falls roughly linearly as the window grows 2->12 h.\n");
+  return 0;
+}

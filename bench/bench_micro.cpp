@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the Privid
+// pipeline — Laplace sampling, budget ledger operations, sensitivity
+// computation, relational operators, detector + tracker steps, chunking.
+#include <benchmark/benchmark.h>
+
+#include "common/interval_map.hpp"
+#include "common/rng.hpp"
+#include "cv/detector.hpp"
+#include "cv/tracker.hpp"
+#include "privacy/budget.hpp"
+#include "privacy/laplace.hpp"
+#include "query/parser.hpp"
+#include "sensitivity/rules.hpp"
+#include "sim/scenarios.hpp"
+#include "table/ops.hpp"
+#include "video/chunker.hpp"
+
+using namespace privid;
+
+static void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LaplaceMechanism::release(100.0, 10.0, 1.0, rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+static void BM_BudgetCharge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BudgetLedger ledger(1e9);
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      ledger.charge({i * 1000, i * 1000 + 500}, 50, 1.0);
+    }
+  }
+}
+BENCHMARK(BM_BudgetCharge);
+
+static void BM_IntervalMapAdd(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    IntervalMap m;
+    for (int i = 0; i < 1000; ++i) {
+      std::int64_t a = rng.uniform_int(0, 1000000);
+      m.add(a, a + rng.uniform_int(1, 10000), 0.5);
+    }
+    benchmark::DoNotOptimize(m.breakpoint_count());
+  }
+}
+BENCHMARK(BM_IntervalMapAdd);
+
+static void BM_SensitivityComputation(benchmark::State& state) {
+  auto q = query::parse_query(
+      "SPLIT cam BEGIN 0 END 500 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING e TIMEOUT 1 PRODUCING 10 ROWS "
+      "WITH SCHEMA (plate:STRING, speed:NUMBER) INTO t;"
+      "SELECT AVG(range(speed, 0, 60)) FROM t;");
+  sensitivity::SensitivityEngine eng([](const std::string&) {
+    sensitivity::TableInfo i;
+    i.chunk_seconds = 5;
+    i.max_rows = 10;
+    i.num_chunks = 100;
+    i.policy = {30, 2};
+    return i;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eng.release_sensitivity(q.selects[0].core.projections[0],
+                                q.selects[0].core));
+  }
+}
+BENCHMARK(BM_SensitivityComputation);
+
+static void BM_QueryParse(benchmark::State& state) {
+  const std::string text =
+      "SPLIT camA BEGIN 0 END 2678400 BY TIME 5 STRIDE 0 INTO chunksA;"
+      "PROCESS chunksA USING model TIMEOUT 1 PRODUCING 10 ROWS "
+      "WITH SCHEMA (plate:STRING=\"\", color:STRING=\"\", speed:NUMBER=0) "
+      "INTO tableA;"
+      "SELECT AVG(range(speed, 30, 60)) FROM tableA;"
+      "SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA) "
+      "GROUP BY color WITH KEYS [\"RED\", \"WHITE\", \"SILVER\"];";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::parse_query(text));
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+static void BM_MakeChunks(benchmark::State& state) {
+  VideoMeta m;
+  m.fps = 30;
+  m.extent = {0, 12 * 3600.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_chunks(m, {0, 12 * 3600.0}, {5, 0}));
+  }
+}
+BENCHMARK(BM_MakeChunks);
+
+static void BM_GroupByKeys(benchmark::State& state) {
+  Schema s({{"color", DType::kString, Value(std::string())},
+            {"v", DType::kNumber, Value(0.0)}});
+  Table t(s);
+  Rng rng(3);
+  const char* colors[] = {"RED", "WHITE", "SILVER", "BLACK"};
+  for (int i = 0; i < 10000; ++i) {
+    t.append({Value(colors[rng.uniform_int(0, 3)]), Value(rng.uniform())});
+  }
+  std::vector<std::vector<Value>> keys{
+      {Value("RED"), Value("WHITE"), Value("SILVER"), Value("BLACK")}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_by_keys(t, {"color"}, keys));
+  }
+}
+BENCHMARK(BM_GroupByKeys);
+
+static void BM_DetectorFrame(benchmark::State& state) {
+  auto scenario = sim::make_campus(9, 1.0, 1.0);
+  cv::Detector det(cv::DetectorConfig{}, 4);
+  double t = 6 * 3600.0 + 1800;
+  FrameIndex f = scenario.scene.meta().frame_at(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.detect(scenario.scene, t, f));
+  }
+}
+BENCHMARK(BM_DetectorFrame);
+
+static void BM_TrackerStep(benchmark::State& state) {
+  auto scenario = sim::make_campus(9, 1.0, 1.0);
+  cv::Detector det(cv::DetectorConfig{}, 4);
+  double t0 = 6 * 3600.0 + 1800;
+  // Pre-compute 100 frames of detections.
+  std::vector<std::vector<cv::Detection>> frames;
+  for (int i = 0; i < 100; ++i) {
+    double t = t0 + i * 0.1;
+    frames.push_back(
+        det.detect(scenario.scene, t, scenario.scene.meta().frame_at(t)));
+  }
+  for (auto _ : state) {
+    cv::Tracker tracker(cv::TrackerConfig::sort(20, 2, 0.1));
+    for (int i = 0; i < 100; ++i) {
+      tracker.step(t0 + i * 0.1, frames[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(tracker.all_tracks());
+  }
+}
+BENCHMARK(BM_TrackerStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Table 1: despite imperfect per-frame detection, detector + tracker
+// produce a conservative estimate of the maximum duration any individual
+// is visible.
+//
+// Paper row format:
+//   Video | Max Duration (Ground Truth) | Max Duration (CV Estimate) |
+//   % Objects CV Missed
+// Paper values: campus 81s/83s/29%, highway 316s/439s/5%, urban
+// 270s/354s/76%.
+#include "bench_util.hpp"
+#include "cv/persistence.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+struct VideoCase {
+  const char* name;
+  sim::Scenario scenario;
+  cv::DetectorConfig detector;   // per-video detector quality (Appendix A)
+  cv::TrackerConfig tracker;
+};
+
+VideoCase make_case(const char* name) {
+  // Detector quality mirrors the paper's per-video miss rates: urban is a
+  // dense far-field scene (76% missed), highway has large easy objects
+  // (5% missed), campus sits between (29%).
+  if (std::string(name) == "campus") {
+    auto s = sim::make_campus(101, 1.0, 0.6);
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.74;
+    return {name, std::move(s), d, cv::TrackerConfig::sort(60, 2, 0.1)};
+  }
+  if (std::string(name) == "highway") {
+    auto s = sim::make_highway(102, 1.0, 0.25);
+    cv::DetectorConfig d;
+    d.base_detect_prob = 0.95;
+    d.size_exponent = 0.2;
+    return {name, std::move(s), d, cv::TrackerConfig::sort(120, 3, 0.1)};
+  }
+  auto s = sim::make_urban(103, 1.0, 0.25);
+  cv::DetectorConfig d;
+  d.base_detect_prob = 0.30;  // dense small objects: most missed per frame
+  d.size_exponent = 0.4;
+  return {name, std::move(s), d, cv::TrackerConfig::sort(120, 2, 0.05)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1 - CV duration estimation vs ground truth (10-min segments)");
+  std::printf("%-10s %18s %18s %14s %12s\n", "Video", "GT max dur (s)",
+              "CV estimate (s)", "% obj missed", "conservative");
+  bench::print_rule();
+
+  for (const char* name : {"campus", "highway", "urban"}) {
+    VideoCase vc = make_case(name);
+    TimeInterval window{6 * 3600.0, 6 * 3600.0 + 600};
+    // For highway the paper excludes cars parked for the entire segment;
+    // our masked GT excludes the parking strip the same way.
+    const Mask* gt_mask =
+        std::string(name) == "highway" ? &vc.scenario.recommended_mask
+                                       : nullptr;
+    auto gt = cv::ground_truth_durations(vc.scenario.scene, window, gt_mask);
+    auto est =
+        cv::estimate_persistence(vc.scenario.scene, window, vc.detector,
+                                 vc.tracker, 7, gt_mask, /*fps=*/5.0);
+    bool conservative = est.max_duration >= gt.max_duration * 0.95;
+    std::printf("%-10s %18.0f %18.0f %13.0f%% %12s\n", name, gt.max_duration,
+                est.max_duration, est.frame_miss_rate * 100,
+                conservative ? "yes" : "NO");
+  }
+  std::printf(
+      "\nPaper: campus 81/83/29%%, highway 316/439/5%%, urban 270/354/76%%.\n"
+      "Expected shape: CV estimate >= ground truth despite per-frame "
+      "misses\n(tracker stitches across gaps and max_age pads track ends).\n");
+  return 0;
+}

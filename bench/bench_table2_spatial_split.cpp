@@ -1,0 +1,78 @@
+// Table 2: spatial splitting (§7.2) reduces the per-chunk output range.
+//
+// Paper row format: Video | Max(frame) | Max(region) | Reduction
+// Paper values: campus 3/6(sic, printed transposed: 6 frame vs 3 region ->
+// 2.00x), highway 40/23 (1.74x), urban 37/16 (2.25x).
+//
+// We measure, per video: the maximum number of objects present in any one
+// chunk over the whole frame, vs the maximum over any (chunk, region) cell
+// of the owner's region scheme. Noise is proportional to this range, so
+// the ratio is the noise reduction splitting buys.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+// Max unique entities visible during any chunk, optionally per region.
+std::pair<std::size_t, std::size_t> chunk_maxima(const sim::Scene& scene,
+                                                 const RegionScheme& regions,
+                                                 TimeInterval window,
+                                                 Seconds chunk) {
+  std::size_t max_frame = 0, max_region = 0;
+  for (Seconds t0 = window.begin; t0 < window.end; t0 += chunk) {
+    std::map<int, std::size_t> per_region;
+    std::size_t total = 0;
+    // Entities visible at any sample of the chunk.
+    std::set<std::size_t> seen;
+    std::map<int, std::set<std::size_t>> seen_region;
+    for (Seconds t = t0; t < std::min(t0 + chunk, window.end); t += 1.0) {
+      for (std::size_t i : scene.visible_at(t)) {
+        seen.insert(i);
+        auto b = scene.entities()[i].box_at(t);
+        if (b) seen_region[regions.region_of(*b)].insert(i);
+      }
+    }
+    total = seen.size();
+    max_frame = std::max(max_frame, total);
+    for (const auto& [r, s] : seen_region) {
+      if (r >= 0) max_region = std::max(max_region, s.size());
+    }
+  }
+  return {max_frame, max_region};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 2 - spatial splitting range reduction");
+  std::printf("%-10s %12s %12s %12s\n", "Video", "Max(frame)", "Max(region)",
+              "Reduction");
+  bench::print_rule();
+
+  struct Case {
+    const char* name;
+    sim::Scenario s;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"campus", sim::make_campus(201, 2.0, 1.0)});
+  cases.push_back({"highway", sim::make_highway(202, 2.0, 0.5)});
+  cases.push_back({"urban", sim::make_urban(203, 2.0, 0.5)});
+
+  for (auto& c : cases) {
+    TimeInterval window{6 * 3600.0, 8 * 3600.0};
+    auto [mf, mr] = chunk_maxima(c.s.scene, c.s.regions, window, 30.0);
+    double reduction = mr > 0 ? static_cast<double>(mf) / mr : 0.0;
+    std::printf("%-10s %12zu %12zu %11.2fx\n", c.name, mf, mr, reduction);
+  }
+  std::printf(
+      "\nPaper: campus 2.00x, highway 1.74x, urban 2.25x.\n"
+      "Expected shape: splitting by crosswalk/direction cuts the per-chunk\n"
+      "range (and hence the required noise) by roughly 2x.\n");
+  return 0;
+}

@@ -1,0 +1,298 @@
+// Table 3: the Q4-Q13 query case studies.
+//
+//   Case 2 (Q4-Q6)   — multi-camera aggregation over the Porto synth
+//                      (UNION / JOIN / ARGMAX), 60-day window, 60 s chunks
+//   Case 3 (Q7-Q9)   — fraction of trees bloomed, 12 h window, 1-frame
+//                      chunks (non-private objects, long window)
+//   Case 4 (Q10-Q12) — red-light duration with everything but the light
+//                      masked: rho = 0, exact release
+//   Case 5 (Q13)     — stateful trajectory query, 10-minute chunks
+//
+// Accuracy is the §8.1 metric vs the same pipeline without Privid,
+// mean ± 1 stddev over 1000 noise draws.
+#include <map>
+
+#include "analyst/executables.hpp"
+#include "bench_util.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+void print_row(const char* q, const char* desc, const char* video,
+               double rho, double truth, double privid_raw,
+               const bench::AccuracyStats& acc) {
+  std::printf("%-4s %-38s %-10s %8.1f %10.2f %10.2f  %5.1f%% +/- %.1f%%\n",
+              q, desc, video, rho, truth, privid_raw,
+              acc.mean_accuracy * 100, acc.stddev_accuracy * 100);
+}
+
+// ------------------------------------------------------------ Case 2
+
+void run_porto(double* rows_printed) {
+  (void)rows_printed;
+  sim::PortoConfig cfg;
+  cfg.n_days = 365;
+  cfg.n_taxis = 150;
+  cfg.n_cameras = 40;
+  auto porto = std::make_shared<sim::PortoSynth>(cfg);
+  const std::string window = std::to_string(cfg.n_days * 86400);
+  // Q6 ranks cameras over a 60-day slice (the ranking is stable and the
+  // 40-camera UNION over a full year would dominate bench runtime).
+  const std::string q6_window = std::to_string(60 * 86400);
+
+  engine::Privid sys(71);
+  for (int cam = 0; cam < cfg.n_cameras; ++cam) {
+    engine::CameraRegistration reg;
+    reg.meta.camera_id = "porto" + std::to_string(cam);
+    reg.meta.fps = 1;
+    reg.meta.extent = {0, cfg.n_days * 86400.0};
+    reg.content.porto = porto;
+    reg.content.porto_camera = cam;
+    reg.content.seed = 7000 + static_cast<std::uint64_t>(cam);
+    reg.policy = {porto->camera_rho(cam), 4};
+    reg.epsilon_budget = 50.0;
+    sys.register_camera(std::move(reg));
+  }
+  sys.register_executable("taxis", analyst::make_taxi_reporter());
+
+  std::string keys;
+  for (int t = 0; t < cfg.n_taxis; ++t) {
+    if (t) keys += ", ";
+    keys += "\"" + sim::PortoSynth::plate_of(t) + "\"";
+  }
+  auto split_process = [&](const std::string& cam, const std::string& suffix,
+                           const std::string& end) {
+    return "SPLIT " + cam + " BEGIN 0 END " + end +
+           " BY TIME 60 STRIDE 0 INTO c" + suffix + ";"
+           "PROCESS c" + suffix +
+           " USING taxis TIMEOUT 1 PRODUCING 3 ROWS "
+           "WITH SCHEMA (plate:STRING=\"\", hod:NUMBER=0) INTO t" + suffix +
+           ";";
+  };
+  engine::RunOptions opts;
+  opts.reveal_raw = true;
+
+  // Q4: average working hours via UNION of two cameras.
+  {
+    auto r = sys.execute(
+        split_process("porto10", "A", window) +
+            split_process("porto27", "B", window) +
+            "SELECT AVG(hours) RANGE 0 16 FROM "
+            "(SELECT plate, day(chunk) AS day, SPAN(hod) RANGE 0 16 AS hours "
+            " FROM tA UNION tB GROUP BY plate WITH KEYS [" + keys +
+            "], day(chunk));",
+        opts);
+    double truth = porto->true_avg_working_hours(10, 27);
+    auto acc = bench::noise_accuracy(r.releases[0].raw,
+                                     r.releases[0].sensitivity, 1.0, truth);
+    print_row("Q4", "avg taxi working hours (union x2)", "porto",
+              porto->camera_rho(10), truth, r.releases[0].raw, acc);
+  }
+  // Q5: taxis seen at both cameras the same day (JOIN), per-day average.
+  {
+    auto r = sys.execute(
+        split_process("porto10", "A", window) +
+            split_process("porto27", "B", window) +
+            "SELECT COUNT(*) FROM "
+            "(SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM tA "
+            " GROUP BY plate WITH KEYS [" + keys + "], day(chunk)) JOIN "
+            "(SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM tB "
+            " GROUP BY plate WITH KEYS [" + keys + "], day(chunk)) "
+            "ON plate, day;",
+        opts);
+    double truth_daily = porto->true_avg_taxis_both(10, 27);
+    double days = cfg.n_days;
+    auto acc = bench::noise_accuracy(r.releases[0].raw / days,
+                                     r.releases[0].sensitivity / days, 1.0,
+                                     truth_daily);
+    print_row("Q5", "avg taxis at 2 locations same day", "porto",
+              porto->camera_rho(27), truth_daily, r.releases[0].raw / days,
+              acc);
+  }
+  // Q6: camera with the highest traffic (ARGMAX across all cameras).
+  {
+    std::string q;
+    std::string union_expr;
+    for (int cam = 0; cam < cfg.n_cameras; ++cam) {
+      std::string s = std::to_string(cam);
+      q += split_process("porto" + s, s, q6_window);
+      union_expr += (cam ? " UNION t" : "t") + s;
+    }
+    q += "SELECT ARGMAX(COUNT(*)) FROM " + union_expr + " GROUP BY camera;";
+    auto r = sys.execute(q, opts);
+    int truth_cam = porto->true_busiest_camera();
+    bool correct =
+        r.releases[0].argmax_key == "porto" + std::to_string(truth_cam);
+    bench::AccuracyStats acc{correct ? 1.0 : 0.0, 0.0, 0.0};
+    print_row("Q6", "busiest camera (argmax, all cams)", "porto", 0, truth_cam,
+              correct ? truth_cam : -1, acc);
+  }
+}
+
+// ------------------------------------------------------------ Case 3
+
+void run_trees(const char* qname, const char* video, sim::Scenario scenario,
+               double rho) {
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+  engine::Privid sys(72);
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 72;
+  reg.policy = {300.0, 2};
+  reg.epsilon_budget = 50.0;
+  reg.masks.emplace("owner", engine::MaskEntry{scenario.recommended_mask,
+                                               {rho, 2}});
+  std::string cam = reg.meta.camera_id;
+  sys.register_camera(std::move(reg));
+  sys.register_executable("trees", analyst::make_tree_observer(0.02));
+
+  engine::RunOptions opts;
+  opts.reveal_raw = true;
+  auto r = sys.execute(
+      "SPLIT " + cam +
+          " BEGIN 21600 END 64800 BY TIME 0.1 STRIDE 0 WITH MASK owner "
+          "INTO c;"
+          "PROCESS c USING trees TIMEOUT 1 PRODUCING 1 ROWS "
+          "WITH SCHEMA (percent:NUMBER=0) INTO t;"
+          "SELECT AVG(range(percent, 0, 100)) FROM t;",
+      opts);
+  double truth = sim::bloomed_percent(scene->trees());
+  auto acc = bench::noise_accuracy(r.releases[0].raw,
+                                   r.releases[0].sensitivity, 1.0, truth);
+  print_row(qname, "fraction of trees with leaves (%)", video, rho, truth,
+            r.releases[0].raw, acc);
+}
+
+// ------------------------------------------------------------ Case 4
+
+void run_red_light(const char* qname, const char* video,
+                   sim::Scenario scenario) {
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+  const auto& light = scene->lights().at(0);
+  Mask all_but_light(scene->meta().width, scene->meta().height, 64, 36);
+  all_but_light.mask_box(scene->meta().frame_box());
+  for (int cy = 0; cy < 36; ++cy) {
+    for (int cx = 0; cx < 64; ++cx) {
+      if (all_but_light.cell_box(cx, cy).overlaps(light.box())) {
+        all_but_light.set_cell(cx, cy, false);
+      }
+    }
+  }
+  engine::Privid sys(73);
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 73;
+  reg.policy = {300.0, 2};
+  reg.epsilon_budget = 50.0;
+  reg.masks.emplace("light_only", engine::MaskEntry{all_but_light, {0.0, 1}});
+  std::string cam = reg.meta.camera_id;
+  sys.register_camera(std::move(reg));
+  sys.register_executable("red_timer", analyst::make_red_light_timer(0, 1.0));
+
+  engine::RunOptions opts;
+  opts.reveal_raw = true;
+  auto r = sys.execute(
+      "SPLIT " + cam +
+          " BEGIN 21600 END 64800 BY TIME 600 STRIDE 0 WITH MASK light_only "
+          "INTO c;"
+          "PROCESS c USING red_timer TIMEOUT 2 PRODUCING 1 ROWS "
+          "WITH SCHEMA (red_sec:NUMBER=0) INTO t;"
+          "SELECT AVG(range(red_sec, 0, 300)) FROM t;",
+      opts);
+  double truth = light.red_duration();
+  auto acc = bench::noise_accuracy(r.releases[0].raw,
+                                   r.releases[0].sensitivity, 1.0, truth);
+  print_row(qname, "duration of red light (s)", video, 0, truth,
+            r.releases[0].raw, acc);
+}
+
+// ------------------------------------------------------------ Case 5
+
+void run_q13() {
+  auto scenario = sim::make_campus(713, 12.0, 1.0);
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.8;
+  auto trk = cv::TrackerConfig::sort(20, 2, 0.1);
+
+  engine::Privid sys(74);
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 74;
+  reg.policy = {300.0, 2};
+  reg.epsilon_budget = 50.0;
+  reg.masks.emplace("owner", engine::MaskEntry{scenario.recommended_mask,
+                                               {49.0, 2}});
+  sys.register_camera(std::move(reg));
+  sys.register_executable("s2n", analyst::make_trajectory_filter(det, trk));
+
+  engine::RunOptions opts;
+  opts.reveal_raw = true;
+  auto r = sys.execute(
+      "SPLIT campus BEGIN 21600 END 64800 BY TIME 600 STRIDE 0 "
+      "WITH MASK owner INTO c;"
+      "PROCESS c USING s2n TIMEOUT 5 PRODUCING 8 ROWS "
+      "WITH SCHEMA (matched:NUMBER=1) INTO t;"
+      "SELECT SUM(range(matched, 0, 1)) FROM t;",
+      opts);
+
+  // "Original": the same logic, one continuous pass (no chunk boundaries).
+  cv::Detector detector(det, 74);
+  cv::Tracker tracker(trk);
+  std::map<int, std::pair<Box, Box>> extent;
+  const Mask* mask = &scenario.recommended_mask;
+  for (Seconds t = 21600; t < 64800; t += 1.0 / scene->meta().fps) {
+    tracker.step(t,
+                 detector.detect(*scene, t, scene->meta().frame_at(t), mask));
+    for (const auto& rec : tracker.active()) {
+      auto [it, inserted] =
+          extent.try_emplace(rec.track_id, rec.last_box, rec.last_box);
+      if (!inserted) it->second.second = rec.last_box;
+    }
+  }
+  double truth = 0;
+  double h = scene->meta().height;
+  for (const auto& rec : tracker.all_tracks()) {
+    auto it = extent.find(rec.track_id);
+    if (it == extent.end()) continue;
+    if (it->second.first.cy() > 2 * h / 3 && it->second.second.cy() < h / 3) {
+      truth += 1;
+    }
+  }
+  auto acc = bench::noise_accuracy(r.releases[0].raw,
+                                   r.releases[0].sensitivity, 1.0, truth);
+  print_row("Q13", "# people south->north (stateful)", "campus", 49, truth,
+            r.releases[0].raw, acc);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 3 - query case studies Q4-Q13");
+  std::printf("%-4s %-38s %-10s %8s %10s %10s  %s\n", "Q#", "description",
+              "video", "rho(s)", "Original", "Privid", "accuracy");
+  bench::print_rule();
+
+  double dummy = 0;
+  run_porto(&dummy);
+  run_trees("Q7", "campus", sim::make_campus(707, 12.0, 0.4), 48.9);
+  run_trees("Q8", "highway", sim::make_highway(708, 12.0, 0.15), 372.0);
+  run_trees("Q9", "urban", sim::make_urban(709, 12.0, 0.15), 200.0);
+  run_red_light("Q10", "campus", sim::make_campus(710, 12.0, 0.05));
+  run_red_light("Q11", "highway", sim::make_highway(711, 12.0, 0.05));
+  run_red_light("Q12", "urban", sim::make_urban(712, 12.0, 0.05));
+  run_q13();
+
+  std::printf(
+      "\nPaper accuracies: Q4 94.1%%, Q5 99.8%%, Q6 100%%, Q7-9 98-99.9%%,\n"
+      "Q10-12 100%% (rho=0 exact), Q13 79.1%%. Expected shape: long windows\n"
+      "and rho=0 masks give near-exact results; the stateful Q13 with a\n"
+      "large range and short window is the least accurate.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 6 / Fig. 11 (Appendix F.1): masking effectiveness across the
+// extended dataset — our three videos plus analogues of the BlazeIt and
+// MIRIS videos. For each scene, run Algorithm 2 and report the mask that
+// reduces max persistence by >= ~4x: % of grid boxes masked, persistence
+// before/after, and % identities retained.
+#include "bench_util.hpp"
+#include "maskopt/greedy.hpp"
+#include "maskopt/heatmap.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+void report(const char* dataset, const char* name,
+            const sim::Scene& scene, TimeInterval window) {
+  constexpr int kCols = 32, kRows = 18;
+  auto hm = maskopt::build_heatmap(scene, window, kCols, kRows, 1.0);
+  auto ordering = maskopt::greedy_mask_ordering(hm, 0);
+  double before = ordering.steps.front().max_persistence;
+  // Pick the prefix achieving at least 4x reduction (or the best
+  // available), mirroring the paper's "at least an order of magnitude in
+  // frames" row selection.
+  std::size_t chosen = ordering.prefix_for_target(before / 4.0);
+  const auto& step = ordering.steps[chosen];
+  double pct_masked =
+      100.0 * static_cast<double>(chosen) / (kCols * kRows);
+  double reduction =
+      step.max_persistence > 0 ? before / step.max_persistence : 999.0;
+  std::printf("%-8s %-14s %10.1f%% %12.0f %12.0f %9.2fx %12.1f%%\n", dataset,
+              name, pct_masked, before, step.max_persistence, reduction,
+              step.identities_retained * 100);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 6 - masking effectiveness on the extended dataset");
+  std::printf("%-8s %-14s %11s %12s %12s %10s %13s\n", "Dataset", "Video",
+              "% masked", "max before", "max after", "change",
+              "% identities");
+  bench::print_rule();
+
+  TimeInterval window{6 * 3600.0, 6 * 3600.0 + 2 * 3600.0};
+  {
+    auto s = sim::make_campus(601, 2.0, 0.5);
+    report("Privid", "campus", s.scene, window);
+  }
+  {
+    auto s = sim::make_highway(602, 2.0, 0.2);
+    report("Privid", "highway", s.scene, window);
+  }
+  {
+    auto s = sim::make_urban(603, 2.0, 0.2);
+    report("Privid", "urban", s.scene, window);
+  }
+  std::uint64_t seed = 610;
+  for (const auto& name : sim::extended_scene_names()) {
+    auto s = sim::make_extended(name, seed++, 2.0, 0.4);
+    const char* dataset =
+        (name == "grand-canal" || name == "venice-rialto" || name == "taipei")
+            ? "BlazeIt"
+            : "Miris";
+    report(dataset, name.c_str(), s.scene, window);
+  }
+  std::printf(
+      "\nPaper: every video admits a mask cutting max persistence 4.3x-48x\n"
+      "while retaining 75-99%% of identities (Table 6). Expected shape:\n"
+      "small masked fractions, large persistence reductions, high "
+      "retention.\n");
+  return 0;
+}

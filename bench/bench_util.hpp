@@ -1,0 +1,55 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper's evaluation.
+// Scenes are scaled-down synthetic analogues (see DESIGN.md §1); absolute
+// numbers differ from the paper but the shape — who wins, roughly by what
+// factor, where crossovers fall — is what each bench reports.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace privid::bench {
+
+// The §8.1 accuracy metric: run the query once (raw + sensitivity), then
+// sample the Laplace noise `samples` times and report mean accuracy ± 1
+// standard deviation relative to `reference` (the no-Privid baseline).
+struct AccuracyStats {
+  double mean_accuracy = 0;
+  double stddev_accuracy = 0;
+  double mean_abs_noise = 0;
+};
+
+inline AccuracyStats noise_accuracy(double raw, double sensitivity,
+                                    double epsilon, double reference,
+                                    int samples = 1000,
+                                    std::uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<double> accs;
+  double abs_noise = 0;
+  double b = epsilon > 0 ? sensitivity / epsilon : 0.0;
+  for (int i = 0; i < samples; ++i) {
+    double noisy = raw + rng.laplace(0.0, b);
+    accs.push_back(relative_accuracy(noisy, reference));
+    abs_noise += std::abs(noisy - raw);
+  }
+  return {mean(accs), stddev(accs),
+          abs_noise / static_cast<double>(samples)};
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace privid::bench

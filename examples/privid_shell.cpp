@@ -1,0 +1,138 @@
+// privid_shell: an interactive analyst console against a demo deployment.
+//
+// Boots a Privid instance with the three evaluation cameras (campus,
+// highway, urban), their owner masks and region schemes, and the standard
+// analyst executables, then reads queries from stdin (terminated by ';' on
+// a line of its own is not needed — statements end with ';' inline; enter
+// an empty line to execute the buffer, or ".help" for commands).
+//
+// Run:  ./examples/privid_shell
+//   privid> SPLIT campus BEGIN 6hr END 7hr BY TIME 30 STRIDE 0 INTO c;
+//   privid> PROCESS c USING count_people TIMEOUT 1 PRODUCING 4 ROWS
+//           WITH SCHEMA (entered:NUMBER=0) INTO t;
+//   privid> SELECT COUNT(*) FROM t;
+//   privid> <empty line>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analyst/executables.hpp"
+#include "common/error.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+namespace {
+
+void register_scenario(engine::Privid& sys, sim::Scenario scenario,
+                       double masked_rho, std::uint64_t seed) {
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = seed;
+  reg.policy = {300.0, 2};
+  reg.epsilon_budget = 10.0;
+  reg.masks.emplace("owner", engine::MaskEntry{scenario.recommended_mask,
+                                               {masked_rho, 2}});
+  reg.regions.emplace(scenario.regions.name(), scenario.regions);
+  sys.register_camera(std::move(reg));
+}
+
+void print_help() {
+  std::printf(
+      ".help              this text\n"
+      ".budget <camera>   remaining per-frame budget at 12:00\n"
+      ".cameras           list registered cameras\n"
+      ".quit              exit\n"
+      "Anything else is buffered as query text; an empty line executes it.\n"
+      "Cameras: campus, highway, urban (recordings 6am-6pm, owner mask\n"
+      "'owner', region schemes 'crosswalks'/'directions').\n"
+      "Executables: count_people, count_cars, car_report, trees,\n"
+      "red_timer, south_to_north.\n");
+}
+
+}  // namespace
+
+int main() {
+  engine::Privid sys(2024);
+  register_scenario(sys, sim::make_campus(42, 12.0, 0.5), 20.0, 42);
+  register_scenario(sys, sim::make_highway(43, 12.0, 0.2), 35.0, 43);
+  register_scenario(sys, sim::make_urban(44, 12.0, 0.2), 22.0, 44);
+
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.8;
+  auto trk = cv::TrackerConfig::sort(20, 2, 0.1);
+  sys.register_executable("count_people",
+                          analyst::make_entering_counter(
+                              det, trk, sim::EntityClass::kPerson));
+  sys.register_executable("count_cars",
+                          analyst::make_entering_counter(
+                              det, trk, sim::EntityClass::kCar));
+  sys.register_executable("car_report", analyst::make_car_reporter(det, trk));
+  sys.register_executable("trees", analyst::make_tree_observer(0.02));
+  sys.register_executable("red_timer", analyst::make_red_light_timer(0, 1.0));
+  sys.register_executable("south_to_north",
+                          analyst::make_trajectory_filter(det, trk));
+
+  std::printf("privid shell - 3 cameras registered, eps_C = 10/frame.\n"
+              "Type .help for commands.\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "privid> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == ".quit") break;
+    if (line == ".help") {
+      print_help();
+      continue;
+    }
+    if (line == ".cameras") {
+      for (const char* c : {"campus", "highway", "urban"}) {
+        std::printf("  %-8s fps=%g, 6am-6pm\n", c, sys.camera_meta(c).fps);
+      }
+      continue;
+    }
+    if (line.rfind(".budget", 0) == 0) {
+      std::istringstream is(line.substr(7));
+      std::string cam;
+      is >> cam;
+      try {
+        double rem = sys.min_remaining_budget(
+            cam, {12 * 3600.0, 12 * 3600.0 + 60});
+        std::printf("  %s: %.3f of 10.0 remaining at noon\n", cam.c_str(),
+                    rem);
+      } catch (const Error& e) {
+        std::printf("  error: %s\n", e.what());
+      }
+      continue;
+    }
+    if (!line.empty()) {
+      buffer += line + "\n";
+      continue;
+    }
+    if (buffer.empty()) continue;
+    try {
+      auto result = sys.execute(buffer);
+      for (const auto& r : result.releases) {
+        if (r.is_argmax) {
+          std::printf("  %-24s -> %s\n", r.label.c_str(),
+                      r.argmax_key.c_str());
+        } else {
+          std::printf("  %-24s -> %.2f   (eps %.2f)\n", r.label.c_str(),
+                      r.value, r.epsilon);
+        }
+      }
+      for (const auto& [table, rows] : result.table_rows) {
+        std::printf("  [table %s: %zu rows]\n", table.c_str(), rows);
+      }
+    } catch (const Error& e) {
+      std::printf("  error: %s\n", e.what());
+    }
+    buffer.clear();
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Retail analytics under a relaxed policy (§5.2).
+//
+// A store camera sees two very different populations: employees (on the
+// floor all day — and publicly known to work there) and customers (visits
+// under ~30 minutes). The owner sets (ρ = 30 min, K = 2), bounding only
+// the customers; the employees fall outside the bound and receive the
+// graceful Appendix C degradation instead of absolute protection.
+//
+// The example plans and runs a daily customer-traffic query and then
+// prints what the policy actually promises each population.
+//
+// Run:  ./examples/retail_insights
+#include <cmath>
+#include <cstdio>
+
+#include "analyst/executables.hpp"
+#include "engine/privid.hpp"
+#include "privacy/degradation.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+int main() {
+  auto scenario = sim::make_retail(/*seed=*/77, /*hours=*/8, /*scale=*/1.0);
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+
+  engine::Privid system(23);
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 77;
+  // The relaxed policy: protect anything visible < 30 min per appearance,
+  // up to 2 appearances — i.e. every customer, but not the employees.
+  reg.policy = {1800.0, 2};
+  reg.epsilon_budget = 10.0;
+  reg.masks.emplace("counter",
+                    engine::MaskEntry{scenario.recommended_mask, {1800.0, 2}});
+  system.register_camera(std::move(reg));
+
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.85;
+  system.register_executable(
+      "count_visitors",
+      analyst::make_entering_counter(det, cv::TrackerConfig::sort(20, 2, 0.1),
+                                     sim::EntityClass::kPerson));
+
+  // Protecting 30-minute visits is expensive at fine granularity: an event
+  // can straddle 1 + ceil(rho/c) chunks, so the analyst uses 10-minute
+  // chunks and a whole-day total rather than an hourly series. The dry-run
+  // planner shows the cost before spending any budget.
+  const char* query = R"(
+    SPLIT store BEGIN 6hr END 14hr BY TIME 600sec STRIDE 0sec
+      WITH MASK counter INTO chunks;
+    PROCESS chunks USING count_visitors TIMEOUT 2sec PRODUCING 15 ROWS
+      WITH SCHEMA (entered:NUMBER=0) INTO visitors;
+    SELECT COUNT(*) FROM visitors;
+  )";
+  auto plan = system.plan(query);
+  std::printf("Planner: sensitivity %.0f, Laplace scale %.0f, %s\n",
+              plan.selects[0].releases[0].sensitivity,
+              plan.selects[0].releases[0].noise_scale,
+              plan.admissible ? "admissible" : "DENIED");
+
+  auto result = system.execute(query);
+  std::printf("Visitors over the day (noisy, eps = 1): %.0f  (+/- %.0f at "
+              "99%%)\n",
+              result.releases[0].value,
+              plan.selects[0].releases[0].noise_scale * std::log(100.0));
+
+  // What the (rho = 30 min, K = 3) policy means for each population
+  // (Appendix C): detection probability for an adversary at 1% false
+  // positives, after this 0.5-epsilon query.
+  std::printf("\nPolicy guarantee at alpha = 1%% false positives:\n");
+  std::printf("  %-28s %14s %18s\n", "individual", "visible for",
+              "max P(detected)");
+  struct Row {
+    const char* who;
+    double seconds;
+  };
+  const Row rows[] = {{"customer, quick stop", 300},
+                      {"customer, long browse", 1700},
+                      {"employee, full shift", 8 * 3600.0}};
+  for (const auto& row : rows) {
+    double eff = effective_epsilon_for_rho(0.5, 1800.0, row.seconds, 600.0);
+    std::printf("  %-28s %11.0f s %17.1f%%\n", row.who, row.seconds,
+                max_detection_probability(eff, 0.01) * 100);
+  }
+  std::printf(
+      "\nCustomers stay near the 1%% random-guessing floor; the employees'\n"
+      "shift-long presence is detectable — by design, since the fact that\n"
+      "they work there is already public (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Traffic analysis on a highway camera — the Listing-1 workload.
+//
+// Demonstrates:
+//   - masking (the owner's parking-strip mask buys a much smaller ρ)
+//   - hard-boundary spatial splitting (§7.2: one region per direction)
+//   - multiple SELECTs over one PROCESS table (S1: average speed,
+//     S2: per-colour counts with explicit GROUP BY keys)
+//
+// Run:  ./examples/traffic_analysis
+#include <cstdio>
+
+#include "analyst/executables.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace privid;
+
+int main() {
+  auto scenario = sim::make_highway(/*seed=*/9, /*hours=*/2, /*scale=*/0.25);
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario.scene));
+
+  engine::Privid system(11);
+  engine::CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 9;
+  reg.policy = {320.0, 2};  // unmasked: parked cars linger for minutes+
+  reg.epsilon_budget = 8.0;
+  // The published parking mask lowers rho to ~30 s (Fig. 3b / Fig. 4b).
+  reg.masks.emplace("parking", engine::MaskEntry{scenario.recommended_mask,
+                                                 {30.0, 2}});
+  reg.regions.emplace("directions", scenario.regions);
+  system.register_camera(std::move(reg));
+
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.9;
+  system.register_executable(
+      "car_report",
+      analyst::make_car_reporter(det, cv::TrackerConfig::sort(20, 2, 0.1)));
+
+  auto result = system.execute(R"(
+    SPLIT highway BEGIN 6hr END 8hr BY TIME 30sec STRIDE 0sec
+      WITH MASK parking INTO chunks;
+    PROCESS chunks USING car_report TIMEOUT 1sec PRODUCING 20 ROWS
+      WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0)
+      INTO cars;
+    /* S1: average car speed (px/s), range-constrained */
+    SELECT AVG(range(speed, 0, 400)) FROM cars;
+    /* S2: cars of each colour */
+    SELECT color, COUNT(plate) FROM (SELECT plate, color FROM cars)
+      GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"] CONSUMING 0.5;
+  )");
+
+  std::printf("S1 average speed (noisy):      %.1f px/s\n",
+              result.releases[0].value);
+  std::printf("S2 per-colour car counts (noisy, eps=0.5 each):\n");
+  for (std::size_t i = 1; i < result.releases.size(); ++i) {
+    std::printf("  %-8s %8.1f\n",
+                result.releases[i].group_key[0].as_string().c_str(),
+                result.releases[i].value);
+  }
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "analyst/executables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace privid::analyst {
+
+using engine::ChunkView;
+using engine::ExecOutput;
+using engine::Executable;
+
+namespace {
+
+// Runs detector + tracker over every frame of the chunk; returns confirmed
+// tracks (finished and still-active).
+std::vector<cv::TrackRecord> track_chunk(const ChunkView& view,
+                                         const cv::DetectorConfig& det,
+                                         const cv::TrackerConfig& trk) {
+  cv::Tracker tracker(trk);
+  view.for_each_frame([&](Seconds t) {
+    tracker.step(t, view.detect(det, t));
+  });
+  return tracker.all_tracks();
+}
+
+// The §6.2 entering convention: a track "enters during the chunk" if its
+// first sighting is after the chunk's opening second (objects already in
+// view at chunk start are carry-overs owned by an earlier chunk). The
+// one-second grace absorbs detector misses on the opening frames — with a
+// per-frame hit rate p the chance a carry-over survives the grace window
+// undetected is (1-p)^fps, negligible even for weak detectors.
+bool entered_during(const cv::TrackRecord& rec, const ChunkView& view) {
+  Seconds grace = std::min(1.0, view.time().duration() / 4);
+  return rec.first_seen > view.time().begin + grace;
+}
+
+}  // namespace
+
+Executable make_entering_counter(cv::DetectorConfig det, cv::TrackerConfig trk,
+                                 sim::EntityClass cls) {
+  (void)cls;  // the detector reports class per detection; tracker is
+              // class-agnostic in this build
+  return [det, trk](const ChunkView& view) {
+    ExecOutput out;
+    for (const auto& rec : track_chunk(view, det, trk)) {
+      if (!entered_during(rec, view)) continue;
+      out.rows.push_back({Value(1.0)});
+    }
+    out.simulated_runtime = 0.5;
+    return out;
+  };
+}
+
+Executable make_car_reporter(cv::DetectorConfig det, cv::TrackerConfig trk) {
+  return [det, trk](const ChunkView& view) {
+    ExecOutput out;
+    // Track, then read plate/colour/speed off the last matched detections.
+    cv::Tracker tracker(trk);
+    struct Attrs {
+      std::string plate, color;
+    };
+    std::map<int, Attrs> attrs;
+    view.for_each_frame([&](Seconds t) {
+      auto dets = view.detect(det, t);
+      tracker.step(t, dets);
+      // Associate attributes by box proximity to active tracks.
+      for (const auto& rec : tracker.active()) {
+        for (const auto& d : dets) {
+          if (!d.plate.empty() && iou(rec.last_box, d.box) > 0.5) {
+            attrs[rec.track_id] = {d.plate, d.color};
+          }
+        }
+      }
+    });
+    for (const auto& rec : tracker.all_tracks()) {
+      if (!entered_during(rec, view)) continue;
+      auto it = attrs.find(rec.track_id);
+      std::string plate = it != attrs.end() ? it->second.plate : "";
+      std::string color = it != attrs.end() ? it->second.color : "";
+      // Mean speed across the track: displacement over time.
+      double speed = 0;
+      if (rec.duration() > 0.1) {
+        speed = std::hypot(rec.last_box.cx(), rec.last_box.cy()) /
+                rec.duration();
+      }
+      out.rows.push_back({Value(plate), Value(color), Value(speed)});
+    }
+    out.simulated_runtime = 0.5;
+    return out;
+  };
+}
+
+Executable make_tree_observer(double flip_prob) {
+  return [flip_prob](const ChunkView& view) {
+    ExecOutput out;
+    auto trees = view.observe_trees(view.time().begin, flip_prob);
+    if (!trees.empty()) {
+      std::size_t bloomed = 0;
+      for (const auto& [box, b] : trees) {
+        if (b) ++bloomed;
+      }
+      double pct = 100.0 * static_cast<double>(bloomed) /
+                   static_cast<double>(trees.size());
+      out.rows.push_back({Value(pct)});
+    }
+    out.simulated_runtime = 0.1;
+    return out;
+  };
+}
+
+Executable make_red_light_timer(std::size_t light_index, double sample_fps) {
+  return [light_index, sample_fps](const ChunkView& view) {
+    ExecOutput out;
+    out.simulated_runtime = 0.2;
+    Seconds dt = 1.0 / sample_fps;
+    std::vector<double> red_phases;
+    bool in_red = false;
+    bool phase_started_in_chunk = false;  // discard a phase already red at
+                                          // chunk start (it is truncated)
+    bool first_sample = true;
+    Seconds red_start = 0;
+    for (Seconds t = view.time().begin; t < view.time().end; t += dt) {
+      auto state = view.light_state(light_index, t);
+      if (!state) return out;  // light masked out: nothing observable
+      bool red = *state == sim::LightState::kRed;
+      if (red && !in_red) {
+        in_red = true;
+        red_start = t;
+        phase_started_in_chunk = !first_sample;
+      } else if (!red && in_red) {
+        in_red = false;
+        if (phase_started_in_chunk) red_phases.push_back(t - red_start);
+      }
+      first_sample = false;
+    }
+    if (!red_phases.empty()) {
+      double mean = 0;
+      for (double r : red_phases) mean += r;
+      mean /= static_cast<double>(red_phases.size());
+      out.rows.push_back({Value(mean)});
+    }
+    return out;
+  };
+}
+
+Executable make_trajectory_filter(cv::DetectorConfig det,
+                                  cv::TrackerConfig trk) {
+  return [det, trk](const ChunkView& view) {
+    ExecOutput out;
+    // Record each track's first and last box to classify the trajectory.
+    cv::Tracker tracker(trk);
+    std::map<int, std::pair<Box, Box>> extent;  // track -> (first, last)
+    view.for_each_frame([&](Seconds t) {
+      tracker.step(t, view.detect(det, t));
+      for (const auto& rec : tracker.active()) {
+        auto [it, inserted] =
+            extent.try_emplace(rec.track_id, rec.last_box, rec.last_box);
+        if (!inserted) it->second.second = rec.last_box;
+      }
+    });
+    double h = view.video().height;
+    for (const auto& rec : tracker.all_tracks()) {
+      auto it = extent.find(rec.track_id);
+      if (it == extent.end()) continue;
+      bool from_south = it->second.first.cy() > 2.0 * h / 3.0;
+      bool to_north = it->second.second.cy() < h / 3.0;
+      if (from_south && to_north) out.rows.push_back({Value(1.0)});
+    }
+    out.simulated_runtime = 0.8;
+    return out;
+  };
+}
+
+Executable make_taxi_reporter() {
+  return [](const ChunkView& view) {
+    ExecOutput out;
+    for (const auto& v : view.taxi_visits()) {
+      double hod = std::fmod(v.start, 86400.0) / 3600.0;
+      out.rows.push_back({Value(sim::PortoSynth::plate_of(v.taxi_id)),
+                          Value(hod)});
+    }
+    out.simulated_runtime = 0.1;
+    return out;
+  };
+}
+
+}  // namespace privid::analyst

@@ -1,0 +1,54 @@
+// Analyst-side PROCESS executables used by the paper's evaluation.
+//
+// These are the "bring your own model" components: each is an ordinary
+// function of a ChunkView, built on the analyst's own detector/tracker
+// configuration. Privid does not trust any of them — the sandbox clamps
+// their output to the declared schema and max_rows.
+//
+// Uniqueness convention (§6.2): executables that count objects without
+// globally unique identifiers emit one row per object that *enters the
+// scene during the chunk* (a track that starts after the chunk's first
+// frames), so one appearance maps to one row across chunk boundaries.
+#pragma once
+
+#include "cv/detector.hpp"
+#include "cv/tracker.hpp"
+#include "engine/sandbox.hpp"
+
+namespace privid::analyst {
+
+// Rows: (entered:NUMBER=1) — one row per `cls` object entering during the
+// chunk. Backing query: Q1/Q3 unique-people counting.
+engine::Executable make_entering_counter(cv::DetectorConfig det,
+                                         cv::TrackerConfig trk,
+                                         sim::EntityClass cls);
+
+// Rows: (plate:STRING, color:STRING, speed:NUMBER) — one row per car
+// entering during the chunk, with its plate, colour label and mean tracked
+// speed in px/s. Backing queries: Q2, Listing 1's S1/S2.
+engine::Executable make_car_reporter(cv::DetectorConfig det,
+                                     cv::TrackerConfig trk);
+
+// Rows: (percent:NUMBER) — percentage of visible trees observed bloomed in
+// this chunk (single-frame chunks; Q7-Q9). `flip_prob` is the per-tree
+// observation error.
+engine::Executable make_tree_observer(double flip_prob = 0.02);
+
+// Rows: (red_sec:NUMBER) — mean duration of *completed* red phases of
+// traffic light `light_index` observed within the chunk (Q10-Q12). Emits
+// no row when the light is masked out or no full phase completes.
+engine::Executable make_red_light_timer(std::size_t light_index = 0,
+                                        double sample_fps = 1.0);
+
+// Rows: (matched:NUMBER=1) — one row per person whose within-chunk
+// trajectory starts in the bottom (south) third and ends in the top
+// (north) third of the frame (Q13, the stateful query).
+engine::Executable make_trajectory_filter(cv::DetectorConfig det,
+                                          cv::TrackerConfig trk);
+
+// Rows: (plate:STRING, hod:NUMBER) — one row per taxi visit *starting* in
+// the chunk: taxi plate and the hour-of-day of the sighting (0-24).
+// Backing queries: Q4-Q6 (Porto multi-camera).
+engine::Executable make_taxi_reporter();
+
+}  // namespace privid::analyst

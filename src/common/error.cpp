@@ -1,0 +1,4 @@
+#include "common/error.hpp"
+
+// Out-of-line anchor so the vtables live in one translation unit.
+namespace privid {}

@@ -1,0 +1,119 @@
+#include "common/interval_map.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+IntervalMap::IntervalMap(double default_value) : default_(default_value) {}
+
+namespace {
+constexpr std::int64_t kMinKey = std::numeric_limits<std::int64_t>::min();
+}  // namespace
+
+// Ensures a breakpoint exists exactly at `key`, carrying the value that was
+// previously in effect there, and returns the iterator to it.
+static std::map<std::int64_t, double>::iterator ensure_breakpoint(
+    std::map<std::int64_t, double>& points, std::int64_t key, double dflt) {
+  auto it = points.lower_bound(key);
+  if (it != points.end() && it->first == key) return it;
+  double prev_value = dflt;
+  if (it != points.begin()) prev_value = std::prev(it)->second;
+  return points.emplace_hint(it, key, prev_value);
+}
+
+void IntervalMap::add(std::int64_t lo, std::int64_t hi, double delta) {
+  if (hi <= lo) return;
+  if (delta == 0.0) return;
+  auto hi_it = ensure_breakpoint(points_, hi, default_);
+  auto lo_it = ensure_breakpoint(points_, lo, default_);
+  for (auto it = lo_it; it != hi_it; ++it) it->second += delta;
+  coalesce(lo, hi);
+}
+
+void IntervalMap::assign(std::int64_t lo, std::int64_t hi, double value) {
+  if (hi <= lo) return;
+  auto hi_it = ensure_breakpoint(points_, hi, default_);
+  auto lo_it = ensure_breakpoint(points_, lo, default_);
+  // Erase interior breakpoints, then set [lo, hi) to value.
+  lo_it->second = value;
+  points_.erase(std::next(lo_it), hi_it);
+  coalesce(lo, hi);
+}
+
+void IntervalMap::coalesce(std::int64_t lo, std::int64_t hi) {
+  // Merge equal-valued neighbours in a window slightly wider than [lo, hi).
+  auto it = points_.lower_bound(lo);
+  if (it != points_.begin()) --it;
+  while (it != points_.end() && it->first <= hi) {
+    double prev_value =
+        (it == points_.begin()) ? default_ : std::prev(it)->second;
+    if (it->second == prev_value) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double IntervalMap::value_at(std::int64_t key) const {
+  auto it = points_.upper_bound(key);
+  if (it == points_.begin()) return default_;
+  return std::prev(it)->second;
+}
+
+double IntervalMap::min_over(std::int64_t lo, std::int64_t hi) const {
+  if (hi <= lo) throw ArgumentError("min_over: empty interval");
+  double m = value_at(lo);
+  for (auto it = points_.upper_bound(lo); it != points_.end() && it->first < hi;
+       ++it) {
+    m = std::min(m, it->second);
+  }
+  return m;
+}
+
+double IntervalMap::max_over(std::int64_t lo, std::int64_t hi) const {
+  if (hi <= lo) throw ArgumentError("max_over: empty interval");
+  double m = value_at(lo);
+  for (auto it = points_.upper_bound(lo); it != points_.end() && it->first < hi;
+       ++it) {
+    m = std::max(m, it->second);
+  }
+  return m;
+}
+
+double IntervalMap::sum_over(std::int64_t lo, std::int64_t hi) const {
+  if (hi <= lo) return 0.0;
+  double total = 0.0;
+  std::int64_t cursor = lo;
+  double value = value_at(lo);
+  for (auto it = points_.upper_bound(lo); it != points_.end() && it->first < hi;
+       ++it) {
+    total += value * static_cast<double>(it->first - cursor);
+    cursor = it->first;
+    value = it->second;
+  }
+  total += value * static_cast<double>(hi - cursor);
+  return total;
+}
+
+std::vector<IntervalMap::Segment> IntervalMap::segments() const {
+  std::vector<Segment> out;
+  std::int64_t run_start = kMinKey;
+  double run_value = default_;
+  for (const auto& [key, value] : points_) {
+    if (run_value != default_) {
+      out.push_back({run_start, key, run_value});
+    }
+    run_start = key;
+    run_value = value;
+  }
+  // A canonical map never ends on a non-default run (coalesce trims it), but
+  // guard anyway: a trailing non-default run would be unbounded, which only
+  // happens transiently and is not exposed.
+  return out;
+}
+
+}  // namespace privid

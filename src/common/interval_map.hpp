@@ -1,0 +1,63 @@
+// IntervalMap: a piecewise-constant map from int64 keys to double values.
+//
+// This is the substrate for Privid's per-frame privacy-budget ledger (§6.4):
+// a 12-hour video at 30 fps has ~1.3M frames, but queries only ever touch
+// O(#queries) distinct intervals, so we store breakpoints instead of a dense
+// array. The map conceptually assigns a value to every integer key; keys not
+// covered by an explicit segment carry `default_value`.
+//
+// Operations:
+//   - add(lo, hi, delta): add delta to every key in [lo, hi)
+//   - min_over(lo, hi) / max_over(lo, hi): extrema over [lo, hi)
+//   - value_at(k): point lookup
+//   - segments(): the explicit breakpoint representation, for inspection
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace privid {
+
+class IntervalMap {
+ public:
+  explicit IntervalMap(double default_value = 0.0);
+
+  // Adds `delta` over the half-open key range [lo, hi).
+  void add(std::int64_t lo, std::int64_t hi, double delta);
+
+  // Sets the value over [lo, hi) to `value`, replacing whatever was there.
+  void assign(std::int64_t lo, std::int64_t hi, double value);
+
+  double value_at(std::int64_t key) const;
+  double min_over(std::int64_t lo, std::int64_t hi) const;
+  double max_over(std::int64_t lo, std::int64_t hi) const;
+
+  // Sum of values over [lo, hi) (each integer key contributes its value).
+  double sum_over(std::int64_t lo, std::int64_t hi) const;
+
+  double default_value() const { return default_; }
+
+  struct Segment {
+    std::int64_t lo;  // inclusive
+    std::int64_t hi;  // exclusive
+    double value;
+    bool operator==(const Segment&) const = default;
+  };
+  // The maximal runs of equal value that differ from default, ordered by lo.
+  std::vector<Segment> segments() const;
+
+  // Number of internal breakpoints (diagnostics / complexity tests).
+  std::size_t breakpoint_count() const { return points_.size(); }
+
+ private:
+  // points_[k] = value of the map on [k, next_breakpoint). The map is kept
+  // canonical: adjacent equal values are merged and default-valued runs at
+  // the extremes are trimmed.
+  void coalesce(std::int64_t lo, std::int64_t hi);
+
+  double default_;
+  std::map<std::int64_t, double> points_;
+};
+
+}  // namespace privid

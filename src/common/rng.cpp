@@ -1,0 +1,64 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (hi < lo) throw ArgumentError("uniform: hi < lo");
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw ArgumentError("uniform_int: hi < lo");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0) throw ArgumentError("exponential: rate must be positive");
+  return std::exponential_distribution<double>(rate)(gen_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean < 0) throw ArgumentError("poisson: mean must be non-negative");
+  if (mean == 0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(gen_);
+}
+
+double Rng::laplace(double mu, double b) {
+  if (b < 0) throw ArgumentError("laplace: scale must be non-negative");
+  if (b == 0) return mu;
+  // Inverse CDF: draw u in (-1/2, 1/2), return mu - b*sgn(u)*ln(1-2|u|).
+  double u = uniform() - 0.5;
+  double sgn = (u >= 0) ? 1.0 : -1.0;
+  return mu - b * sgn * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+Rng Rng::fork() {
+  // Mix two draws so sibling forks are decorrelated.
+  std::uint64_t a = gen_();
+  std::uint64_t b = gen_();
+  return Rng(a ^ (b * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull));
+}
+
+}  // namespace privid

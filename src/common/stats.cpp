@@ -1,0 +1,112 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) throw ArgumentError("median of empty vector");
+  std::sort(xs.begin(), xs.end());
+  std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw ArgumentError("percentile of empty vector");
+  if (p < 0 || p > 100) throw ArgumentError("percentile p out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& reference) {
+  if (predicted.size() != reference.size()) {
+    throw ArgumentError("rmse: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    double d = predicted[i] - reference[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double relative_accuracy(double measured, double truth) {
+  if (truth == 0.0) return measured == 0.0 ? 1.0 : 0.0;
+  double acc = 1.0 - std::abs(measured - truth) / std::abs(truth);
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw ArgumentError("Histogram: bins must be positive");
+  if (hi <= lo) throw ArgumentError("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)]++;
+  total_++;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::frequency(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double histogram_distance(const std::vector<double>& a,
+                          const std::vector<double>& b, std::size_t bins) {
+  if (a.empty() || b.empty()) return 1.0;
+  double lo = std::min(*std::min_element(a.begin(), a.end()),
+                       *std::min_element(b.begin(), b.end()));
+  double hi = std::max(*std::max_element(a.begin(), a.end()),
+                       *std::max_element(b.begin(), b.end()));
+  if (hi <= lo) hi = lo + 1.0;
+  Histogram ha(lo, hi, bins), hb(lo, hi, bins);
+  for (double x : a) ha.add(x);
+  for (double x : b) hb.add(x);
+  double tv = 0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    tv += std::abs(ha.frequency(i) - hb.frequency(i));
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace privid

@@ -1,0 +1,48 @@
+// Small statistics helpers used by the evaluation harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace privid {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double percentile(std::vector<double> xs, double p);  // p in [0, 100]
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& reference);
+
+// Accuracy metric used throughout §8: 1 - |measured - truth| / truth,
+// clamped to [0, 1]; returns 1 when both are zero.
+double relative_accuracy(double measured, double truth);
+
+// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+// into the terminal bins. Used for the persistence distributions of Fig. 4.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  // Fraction of mass in `bin`; 0 if empty histogram.
+  double frequency(std::size_t bin) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Two-sample distribution distance used by the tracker tuning harness
+// (Appendix A compares duration distributions): symmetric total-variation
+// distance over a common binning.
+double histogram_distance(const std::vector<double>& a,
+                          const std::vector<double>& b, std::size_t bins);
+
+}  // namespace privid

@@ -1,0 +1,62 @@
+#include "common/timeutil.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+FrameIndex to_frames_exact(Seconds duration, double fps) {
+  if (fps <= 0) throw ArgumentError("to_frames_exact: fps must be positive");
+  double frames = duration * fps;
+  double rounded = std::round(frames);
+  if (std::abs(frames - rounded) > 1e-6) {
+    throw ArgumentError("duration " + std::to_string(duration) +
+                        "s is not an integer number of frames at " +
+                        std::to_string(fps) + " fps");
+  }
+  return static_cast<FrameIndex>(rounded);
+}
+
+FrameIndex to_frames_round(Seconds duration, double fps) {
+  if (fps <= 0) throw ArgumentError("to_frames_round: fps must be positive");
+  return static_cast<FrameIndex>(std::llround(duration * fps));
+}
+
+Seconds to_seconds(FrameIndex frames, double fps) {
+  if (fps <= 0) throw ArgumentError("to_seconds: fps must be positive");
+  return static_cast<Seconds>(frames) / fps;
+}
+
+TimeInterval TimeInterval::intersect(const TimeInterval& o) const {
+  TimeInterval r{std::max(begin, o.begin), std::min(end, o.end)};
+  if (r.end < r.begin) r.end = r.begin;
+  return r;
+}
+
+std::string format_clock(Seconds t) {
+  long total = static_cast<long>(std::floor(t));
+  total %= 24 * 3600;
+  if (total < 0) total += 24 * 3600;
+  int h = static_cast<int>(total / 3600);
+  int m = static_cast<int>((total % 3600) / 60);
+  int s = static_cast<int>(total % 60);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", h, m, s);
+  return buf;
+}
+
+std::string format_duration(Seconds d) {
+  char buf[32];
+  if (d < 60) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", d);
+  } else if (d < 3600) {
+    std::snprintf(buf, sizeof(buf), "%.3gmin", d / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3ghr", d / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace privid

@@ -1,0 +1,66 @@
+// Time and frame arithmetic shared across the library.
+//
+// Video time is measured in seconds (double) from an arbitrary epoch chosen
+// by the video owner (the simulator uses 0 = midnight of day 0). Frames are
+// indexed by int64 at a per-video frame rate. The paper's SPLIT semantics
+// require chunk durations and strides to be an integer number of frames
+// (Appendix D); to_frames() enforces that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace privid {
+
+using Seconds = double;
+using FrameIndex = std::int64_t;
+
+// Converts a duration in seconds to a whole number of frames at `fps`.
+// Throws ArgumentError if the duration is not frame-aligned (within 1e-9),
+// mirroring Appendix D's "integer number of frames" rule.
+FrameIndex to_frames_exact(Seconds duration, double fps);
+
+// Converts seconds to frames, rounding to nearest (for quantities that need
+// not be frame-aligned, e.g. policy rho).
+FrameIndex to_frames_round(Seconds duration, double fps);
+
+// Frames back to seconds.
+Seconds to_seconds(FrameIndex frames, double fps);
+
+// A half-open frame interval [begin, end).
+struct FrameInterval {
+  FrameIndex begin = 0;
+  FrameIndex end = 0;
+
+  FrameIndex length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool contains(FrameIndex f) const { return f >= begin && f < end; }
+  bool overlaps(const FrameInterval& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  bool operator==(const FrameInterval& o) const = default;
+};
+
+// A half-open interval in seconds [begin, end).
+struct TimeInterval {
+  Seconds begin = 0;
+  Seconds end = 0;
+
+  Seconds duration() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool contains(Seconds t) const { return t >= begin && t < end; }
+  bool overlaps(const TimeInterval& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  // Intersection; empty interval if disjoint.
+  TimeInterval intersect(const TimeInterval& o) const;
+  bool operator==(const TimeInterval& o) const = default;
+};
+
+// Formats seconds-from-midnight as "HH:MM:SS" (wraps at 24h) for reports.
+std::string format_clock(Seconds t);
+
+// Formats a duration as e.g. "5s", "2.5min", "3.1hr".
+std::string format_duration(Seconds d);
+
+}  // namespace privid

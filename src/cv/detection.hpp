@@ -1,0 +1,27 @@
+// A single detection: what an object detector emits for one frame.
+//
+// `truth_id` is ground-truth provenance used only by the evaluation harness
+// (to score trackers); analyst code must not rely on it, mirroring how a
+// real detector has no access to identity.
+#pragma once
+
+#include <vector>
+
+#include "sim/entity.hpp"
+#include "video/video.hpp"
+
+namespace privid::cv {
+
+struct Detection {
+  Box box;
+  sim::EntityClass cls = sim::EntityClass::kPerson;
+  double confidence = 1.0;
+  std::vector<double> feature;   // appearance embedding (noisy)
+  // Analyst-observable attributes read "from pixels" (plate OCR, colour
+  // classification); empty when not applicable or unreadable.
+  std::string plate;
+  std::string color;
+  sim::EntityId truth_id = -1;   // -1 for false positives
+};
+
+}  // namespace privid::cv

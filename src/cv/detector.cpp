@@ -1,0 +1,115 @@
+#include "cv/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace privid::cv {
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+Detector::Detector(DetectorConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  if (cfg.base_detect_prob < 0 || cfg.base_detect_prob > 1) {
+    throw ArgumentError("base_detect_prob out of [0,1]");
+  }
+  if (cfg.size_ref_area <= 0) throw ArgumentError("size_ref_area must be > 0");
+}
+
+double Detector::detect_probability(double area,
+                                    double visible_fraction) const {
+  if (area <= 0 || visible_fraction < cfg_.visibility_threshold) return 0.0;
+  double size_factor = std::pow(area / cfg_.size_ref_area, cfg_.size_exponent);
+  double p = cfg_.base_detect_prob * size_factor * visible_fraction;
+  return std::clamp(p, cfg_.min_detect_prob, cfg_.max_detect_prob);
+}
+
+std::vector<Detection> Detector::detect(const sim::Scene& scene, Seconds t,
+                                        FrameIndex frame,
+                                        const Mask* mask) const {
+  std::vector<Detection> out;
+  const auto& entities = scene.entities();
+  for (std::size_t i : scene.candidates_at(t)) {
+    const auto& e = entities[i];
+    auto b = e.box_at(t);
+    if (!b) continue;
+    double visible = mask ? mask->visible_fraction(*b) : 1.0;
+    double p = detect_probability(b->area(), visible);
+    if (p <= 0) continue;
+
+    // Deterministic draw per (seed, entity, frame).
+    Rng draw(mix(seed_, mix(static_cast<std::uint64_t>(e.id),
+                            static_cast<std::uint64_t>(frame))));
+    if (!draw.bernoulli(p)) continue;
+
+    Detection d;
+    d.box = *b;
+    d.box.x += draw.normal(0, cfg_.box_jitter_px);
+    d.box.y += draw.normal(0, cfg_.box_jitter_px);
+    d.box.w = std::max(1.0, d.box.w + draw.normal(0, cfg_.box_jitter_px));
+    d.box.h = std::max(1.0, d.box.h + draw.normal(0, cfg_.box_jitter_px));
+    d.cls = e.cls;
+    d.confidence = std::clamp(p + draw.normal(0, 0.05), 0.05, 1.0);
+    d.plate = e.plate;   // plate OCR; assumed readable when detected
+    d.color = e.color;
+    d.truth_id = e.id;
+    d.feature = e.appearance_feature;
+    for (auto& f : d.feature) f += draw.normal(0, cfg_.feature_noise);
+    out.push_back(std::move(d));
+  }
+
+  // Non-maximum suppression: keep the higher-confidence of any pair of
+  // heavily overlapping detections (mutual occlusion loses, like a real
+  // detector head).
+  if (cfg_.nms_iou <= 1.0 && out.size() > 1) {
+    std::sort(out.begin(), out.end(),
+              [](const Detection& a, const Detection& b) {
+                return a.confidence > b.confidence;
+              });
+    std::vector<Detection> kept;
+    for (auto& d : out) {
+      bool suppressed = false;
+      for (const auto& k : kept) {
+        if (iou(d.box, k.box) > cfg_.nms_iou) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(d));
+    }
+    out = std::move(kept);
+  }
+
+  // False positives: a small deterministic Poisson count per frame.
+  Rng fp_rng(mix(seed_, mix(0xF05EFull, static_cast<std::uint64_t>(frame))));
+  std::int64_t n_fp = fp_rng.poisson(cfg_.false_positives_per_frame);
+  Box fb = scene.meta().frame_box();
+  for (std::int64_t k = 0; k < n_fp; ++k) {
+    Detection d;
+    double w = fp_rng.uniform(15, 60);
+    double h = fp_rng.uniform(25, 90);
+    d.box = Box{fp_rng.uniform(0, fb.w - w), fp_rng.uniform(0, fb.h - h), w, h};
+    if (mask && !mask->visible(d.box, cfg_.visibility_threshold)) continue;
+    d.cls = sim::EntityClass::kOther;
+    d.confidence = fp_rng.uniform(0.05, 0.5);
+    d.truth_id = -1;
+    d.feature.assign(8, 0.0);
+    for (auto& f : d.feature) f = fp_rng.normal(0, 0.5);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace privid::cv

@@ -1,0 +1,109 @@
+#include "cv/persistence.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace privid::cv {
+
+GroundTruthDurations ground_truth_durations(const sim::Scene& scene,
+                                            TimeInterval window,
+                                            const Mask* mask) {
+  GroundTruthDurations out;
+  std::set<sim::EntityId> counted;
+  for (const auto& e : scene.entities()) {
+    bool any = false;
+    for (const auto& app : e.appearances) {
+      TimeInterval span{app.start(), app.end()};
+      TimeInterval within = span.intersect(window);
+      if (within.empty()) continue;
+      double dur;
+      if (mask) {
+        // Longest observable run through the mask, clipped to the window.
+        Seconds dt = 0.5;
+        double run = 0, best = 0;
+        for (Seconds t = within.begin; t <= within.end; t += dt) {
+          auto b = app.sample(t);
+          if (b && mask->visible(*b)) {
+            run += dt;
+            best = std::max(best, run);
+          } else {
+            run = 0;
+          }
+        }
+        dur = best;
+      } else {
+        dur = within.duration();
+      }
+      if (dur > 0) {
+        out.durations.push_back(dur);
+        out.max_duration = std::max(out.max_duration, dur);
+        any = true;
+      }
+    }
+    if (any && counted.insert(e.id).second) ++out.entity_count;
+  }
+  return out;
+}
+
+PersistenceEstimate estimate_persistence(const sim::Scene& scene,
+                                         TimeInterval window,
+                                         const DetectorConfig& det_cfg,
+                                         const TrackerConfig& trk_cfg,
+                                         std::uint64_t seed, const Mask* mask,
+                                         double sample_fps) {
+  double fps = sample_fps > 0 ? sample_fps : scene.meta().fps;
+  if (fps <= 0) throw ArgumentError("sample fps must be positive");
+  Detector detector(det_cfg, seed);
+  Tracker tracker(trk_cfg);
+
+  PersistenceEstimate out;
+  std::size_t visible_object_frames = 0;
+  std::size_t detected_object_frames = 0;
+  std::set<sim::EntityId> gt_ids;
+
+  Seconds dt = 1.0 / fps;
+  for (Seconds t = window.begin; t < window.end; t += dt) {
+    FrameIndex frame = scene.meta().frame_at(t);
+    auto dets = detector.detect(scene, t, frame, mask);
+
+    auto visible = scene.visible_at(t, mask);
+    visible_object_frames += visible.size();
+    for (std::size_t i : visible) gt_ids.insert(scene.entities()[i].id);
+    std::set<sim::EntityId> hit;
+    for (const auto& d : dets) {
+      if (d.truth_id >= 0) hit.insert(d.truth_id);
+    }
+    for (std::size_t i : visible) {
+      if (hit.count(scene.entities()[i].id)) ++detected_object_frames;
+    }
+
+    tracker.step(t, dets);
+  }
+
+  std::set<sim::EntityId> tracked_ids;
+  for (const auto& rec : tracker.all_tracks()) {
+    out.track_durations.push_back(rec.duration());
+    out.max_duration = std::max(out.max_duration, rec.duration());
+    if (rec.dominant_truth >= 0) tracked_ids.insert(rec.dominant_truth);
+  }
+  out.gt_entities = gt_ids.size();
+  out.tracked_entities = tracked_ids.size();
+  out.frame_miss_rate =
+      visible_object_frames == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(detected_object_frames) /
+                      static_cast<double>(visible_object_frames);
+  return out;
+}
+
+PolicySuggestion suggest_policy(const PersistenceEstimate& est,
+                                double safety_factor, int k) {
+  if (safety_factor < 1.0) {
+    throw ArgumentError("safety_factor must be >= 1");
+  }
+  return PolicySuggestion{est.max_duration * safety_factor, std::max(1, k)};
+}
+
+}  // namespace privid::cv

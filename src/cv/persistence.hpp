@@ -1,0 +1,57 @@
+// Persistence (duration) estimation — the owner-side workflow of §5.2 and
+// Appendix A: run detector + tracker over historical video and estimate the
+// distribution of appearance durations, in particular the maximum, which
+// parameterizes the (ρ, K) policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cv/detector.hpp"
+#include "cv/tracker.hpp"
+#include "sim/scene.hpp"
+#include "video/mask.hpp"
+
+namespace privid::cv {
+
+struct PersistenceEstimate {
+  std::vector<double> track_durations;  // seconds, confirmed tracks
+  double max_duration = 0;              // the CV ρ estimate
+  // Detector quality diagnostics (Table 1's "% Objects CV Missed").
+  double frame_miss_rate = 0;       // fraction of visible object-frames missed
+  std::size_t gt_entities = 0;      // entities visible in the window
+  std::size_t tracked_entities = 0; // entities covered by >= 1 confirmed track
+};
+
+struct GroundTruthDurations {
+  std::vector<double> durations;  // per appearance
+  double max_duration = 0;
+  std::size_t entity_count = 0;
+};
+
+// Ground-truth appearance durations within a window (optionally through a
+// mask, for the Fig. 4 masked distributions).
+GroundTruthDurations ground_truth_durations(const sim::Scene& scene,
+                                            TimeInterval window,
+                                            const Mask* mask = nullptr);
+
+// Runs the detector + tracker pipeline over `window` at the scene's frame
+// rate (or `sample_fps` if positive) and reports the estimated durations.
+PersistenceEstimate estimate_persistence(const sim::Scene& scene,
+                                         TimeInterval window,
+                                         const DetectorConfig& det_cfg,
+                                         const TrackerConfig& trk_cfg,
+                                         std::uint64_t seed,
+                                         const Mask* mask = nullptr,
+                                         double sample_fps = 0);
+
+// Suggested policy from an estimate: ρ = safety_factor * max estimated
+// duration, K = max observed appearances per entity (>= 1).
+struct PolicySuggestion {
+  Seconds rho = 0;
+  int k = 1;
+};
+PolicySuggestion suggest_policy(const PersistenceEstimate& est,
+                                double safety_factor = 1.2, int k = 2);
+
+}  // namespace privid::cv

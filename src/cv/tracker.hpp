@@ -1,0 +1,95 @@
+// Multi-object tracker: SORT / DeepSORT stand-in.
+//
+// Greedy gated data association over a Kalman-predicted state, with an
+// optional appearance term (cosine distance over embeddings) — weight 0
+// gives SORT (IoU only; Appendix A, Table 5), weight > 0 gives the
+// DeepSORT-style tracker (Table 4). Hyper-parameters mirror the paper's
+// tuning tables:
+//   max_age  — frames a track survives without a match
+//   n_init   — consecutive hits before a track is confirmed (min_hits)
+//   iou_gate — minimum IoU to allow an association
+//   cos_gate — maximum cosine distance to allow an association
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cv/detection.hpp"
+#include "cv/kalman.hpp"
+
+namespace privid::cv {
+
+struct TrackerConfig {
+  int max_age = 32;
+  int n_init = 3;
+  double iou_gate = 0.1;
+  double cos_gate = 0.5;
+  double appearance_weight = 0.5;  // 0 = pure SORT
+  // Fallback gate: a detection whose IoU with the prediction is below
+  // iou_gate may still associate if its centre lies within
+  // `center_gate_diag` box diagonals of the predicted centre. Covers fast
+  // objects at low frame rates, where one missed frame zeroes the IoU.
+  double center_gate_diag = 1.5;
+
+  static TrackerConfig sort(int max_age = 240, int min_hits = 5,
+                            double iou_dist = 0.3);
+  static TrackerConfig deepsort(double cos = 0.5, double iou = 0.3,
+                                int age = 64, int n_init = 3);
+};
+
+// A finished (or in-progress) track as the analyst sees it.
+struct TrackRecord {
+  int track_id = 0;
+  Seconds first_seen = 0;
+  Seconds last_seen = 0;
+  int hits = 0;
+  bool confirmed = false;
+  sim::EntityId dominant_truth = -1;  // evaluation only
+  Box last_box;
+  std::vector<double> mean_feature;
+
+  Seconds duration() const { return last_seen - first_seen; }
+};
+
+class Tracker {
+ public:
+  explicit Tracker(TrackerConfig cfg);
+
+  // Processes the detections of one frame at time t. Frames must be fed in
+  // increasing time order.
+  void step(Seconds t, const std::vector<Detection>& detections);
+
+  // Tracks that have been confirmed and have since died.
+  const std::vector<TrackRecord>& finished() const { return finished_; }
+  // Confirmed tracks still alive; call after the last frame to collect the
+  // remainder.
+  std::vector<TrackRecord> active() const;
+  // finished() + active(): every confirmed track.
+  std::vector<TrackRecord> all_tracks() const;
+
+  const TrackerConfig& config() const { return cfg_; }
+
+ private:
+  struct Track {
+    int id;
+    KalmanBox kf;
+    TrackRecord rec;
+    int misses = 0;
+    int consecutive_hits = 0;
+    std::vector<std::pair<sim::EntityId, int>> truth_votes;
+    std::vector<double> feature;  // EWMA appearance
+  };
+
+  static double cosine_distance(const std::vector<double>& a,
+                                const std::vector<double>& b);
+  void vote_truth(Track& tr, sim::EntityId id);
+  void finalize(Track& tr);
+
+  TrackerConfig cfg_;
+  std::vector<Track> tracks_;
+  std::vector<TrackRecord> finished_;
+  int next_id_ = 1;
+  Seconds last_t_ = -1e300;
+};
+
+}  // namespace privid::cv

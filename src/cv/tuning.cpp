@@ -1,0 +1,85 @@
+#include "cv/tuning.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace privid::cv {
+
+namespace {
+
+TuningResult evaluate(const sim::Scene& scene, TimeInterval window,
+                      const DetectorConfig& det, const TrackerConfig& trk,
+                      const std::vector<double>& gt_durations,
+                      std::uint64_t seed, double sample_fps,
+                      std::string label) {
+  auto est = estimate_persistence(scene, window, det, trk, seed, nullptr,
+                                  sample_fps);
+  TuningResult r;
+  r.config = trk;
+  r.max_duration = est.max_duration;
+  r.distance = histogram_distance(est.track_durations, gt_durations, 24);
+  r.label = std::move(label);
+  return r;
+}
+
+}  // namespace
+
+std::vector<TuningResult> tune_deepsort(const sim::Scene& scene,
+                                        TimeInterval window,
+                                        const DetectorConfig& det,
+                                        const DeepSortGrid& grid,
+                                        std::uint64_t seed,
+                                        double sample_fps) {
+  auto gt = ground_truth_durations(scene, window);
+  std::vector<TuningResult> out;
+  char label[96];
+  for (double cos : grid.cos) {
+    for (double iou : grid.iou) {
+      for (int age : grid.age) {
+        for (int ni : grid.n_init) {
+          std::snprintf(label, sizeof(label),
+                        "cos=%.1f iou=%.1f age=%d n_init=%d", cos, iou, age,
+                        ni);
+          out.push_back(evaluate(scene, window, det,
+                                 TrackerConfig::deepsort(cos, iou, age, ni),
+                                 gt.durations, seed, sample_fps, label));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TuningResult& a, const TuningResult& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+std::vector<TuningResult> tune_sort(const sim::Scene& scene,
+                                    TimeInterval window,
+                                    const DetectorConfig& det,
+                                    const SortGrid& grid, std::uint64_t seed,
+                                    double sample_fps) {
+  auto gt = ground_truth_durations(scene, window);
+  std::vector<TuningResult> out;
+  char label[96];
+  for (int age : grid.max_age) {
+    for (int mh : grid.min_hits) {
+      for (double iou : grid.iou_dist) {
+        std::snprintf(label, sizeof(label),
+                      "max_age=%d min_hits=%d iou_dist=%.1f", age, mh, iou);
+        out.push_back(evaluate(scene, window, det,
+                               TrackerConfig::sort(age, mh, iou),
+                               gt.durations, seed, sample_fps, label));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TuningResult& a, const TuningResult& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+}  // namespace privid::cv

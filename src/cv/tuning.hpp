@@ -1,0 +1,52 @@
+// Tracker hyper-parameter tuning (Appendix A, Tables 4-5).
+//
+// The owner tunes the tracker per camera by sweeping hyper-parameter grids
+// and keeping the configuration whose duration distribution most closely
+// matches a manually annotated ground truth (here: the simulator's truth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cv/persistence.hpp"
+
+namespace privid::cv {
+
+struct TuningResult {
+  TrackerConfig config;
+  double distance = 0;      // distribution distance to ground truth
+  double max_duration = 0;  // resulting CV rho estimate
+  std::string label;        // human-readable parameter setting
+};
+
+// DeepSORT-style grid (Table 4): cosine gates, IoU gates, max ages, n_init.
+struct DeepSortGrid {
+  std::vector<double> cos = {0.1, 0.3, 0.5, 0.7, 0.9};
+  std::vector<double> iou = {0.1, 0.3, 0.5, 0.7, 0.9};
+  std::vector<int> age = {16, 32, 64, 96};
+  std::vector<int> n_init = {2, 3, 5};
+};
+
+// SORT-style grid (Table 5): max ages, min hits, IoU distances.
+struct SortGrid {
+  std::vector<int> max_age = {60, 240, 480};
+  std::vector<int> min_hits = {3, 5, 7, 9};
+  std::vector<double> iou_dist = {0.1, 0.3, 0.5, 0.7};
+};
+
+// Sweeps the grid; results are sorted by distance ascending (best first).
+std::vector<TuningResult> tune_deepsort(const sim::Scene& scene,
+                                        TimeInterval window,
+                                        const DetectorConfig& det,
+                                        const DeepSortGrid& grid,
+                                        std::uint64_t seed,
+                                        double sample_fps = 0);
+
+std::vector<TuningResult> tune_sort(const sim::Scene& scene,
+                                    TimeInterval window,
+                                    const DetectorConfig& det,
+                                    const SortGrid& grid, std::uint64_t seed,
+                                    double sample_fps = 0);
+
+}  // namespace privid::cv

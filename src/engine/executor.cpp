@@ -1,0 +1,415 @@
+#include "engine/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+#include "engine/relexec.hpp"
+#include "privacy/gaussian.hpp"
+#include "privacy/laplace.hpp"
+#include "query/validator.hpp"
+#include "sensitivity/rules.hpp"
+#include "table/aggregate.hpp"
+#include "video/chunker.hpp"
+
+namespace privid::engine {
+
+using query::ParsedQuery;
+using query::ProcessStmt;
+using query::Projection;
+using query::SelectStmt;
+using query::SplitStmt;
+using sensitivity::SensitivityEngine;
+using sensitivity::TableInfo;
+
+Executor::Executor(std::map<std::string, CameraState>* cameras,
+                   const ExecutableRegistry* registry, Rng* noise_rng)
+    : cameras_(cameras), registry_(registry), noise_rng_(noise_rng) {
+  if (!cameras || !registry || !noise_rng) {
+    throw ArgumentError("Executor requires cameras, registry and rng");
+  }
+}
+
+Executor::ResolvedSplit Executor::resolve_split(const SplitStmt& s) const {
+  auto cam_it = cameras_->find(s.camera);
+  if (cam_it == cameras_->end()) {
+    throw LookupError("unknown camera '" + s.camera + "'");
+  }
+  ResolvedSplit rs;
+  rs.cam = &cam_it->second;
+  rs.policy = rs.cam->policy;
+
+  if (s.mask_id) {
+    auto m = rs.cam->masks.find(*s.mask_id);
+    if (m == rs.cam->masks.end()) {
+      throw LookupError("camera '" + s.camera + "' has no mask '" +
+                        *s.mask_id + "'");
+    }
+    rs.mask = &m->second.mask;
+    rs.policy = m->second.policy;
+  }
+  if (s.region_scheme) {
+    auto r = rs.cam->regions.find(*s.region_scheme);
+    if (r == rs.cam->regions.end()) {
+      throw LookupError("camera '" + s.camera + "' has no region scheme '" +
+                        *s.region_scheme + "'");
+    }
+    rs.scheme = &r->second;
+    // §7.2: soft boundaries require single-frame chunks — except grid
+    // schemes, whose declared size/speed bounds substitute for the
+    // restriction (the influenced-cells bound grows with chunk duration).
+    if (rs.scheme->requires_single_frame_chunks() && !rs.scheme->is_grid() &&
+        to_frames_exact(s.chunk, rs.cam->meta.fps) != 1) {
+      throw ValidationError(
+          "region scheme '" + rs.scheme->name() +
+          "' has soft boundaries: SPLIT must use a chunk of exactly 1 frame");
+    }
+  }
+  rs.window = TimeInterval{s.begin, s.end}.intersect(rs.cam->meta.extent);
+  if (rs.window.empty()) {
+    throw ValidationError("SPLIT window does not intersect the recording of '" +
+                          s.camera + "'");
+  }
+  rs.frames = FrameInterval{rs.cam->meta.frame_at(rs.window.begin),
+                            rs.cam->meta.frame_at(rs.window.end)};
+  return rs;
+}
+
+sensitivity::TableInfo Executor::table_info(const ProcessStmt& p,
+                                            const SplitStmt& s,
+                                            const ResolvedSplit& rs) const {
+  sensitivity::TableInfo info;
+  info.chunk_seconds = s.chunk;
+  info.max_rows = p.max_rows;
+  info.regions_per_event =
+      rs.scheme && rs.scheme->is_grid() ? rs.scheme->occupied_cells_bound()
+                                        : 1;
+  info.num_chunks =
+      count_chunks(rs.cam->meta, rs.window, ChunkSpec{s.chunk, s.stride});
+  info.num_regions = rs.scheme ? rs.scheme->region_count() : 1;
+  info.policy = rs.policy;
+  return info;
+}
+
+Executor::BoundTable Executor::run_process(const ProcessStmt& p,
+                                           const SplitStmt& s,
+                                           const RunOptions& opts) {
+  (void)opts;
+  ResolvedSplit rs = resolve_split(s);
+  CameraState& cam = *rs.cam;
+  const Executable& exe = registry_->get(p.executable);
+  auto chunks = make_chunks(cam.meta, rs.window, ChunkSpec{s.chunk, s.stride});
+
+  // Analyst schema + trusted columns.
+  std::vector<Column> cols;
+  for (const auto& c : p.schema) cols.push_back({c.name, c.type, c.default_value});
+  Schema analyst_schema(cols);
+  cols.push_back({kChunkColumn, DType::kNumber, Value(0.0)});
+  if (rs.scheme) {
+    cols.push_back({kRegionColumn, DType::kString, Value(std::string())});
+  }
+  cols.push_back({"camera", DType::kString, Value(std::string())});
+
+  BoundTable bound;
+  bound.camera = s.camera;
+  bound.frames = rs.frames;
+  bound.info = table_info(p, s, rs);
+  bound.data = Table(Schema(cols),
+                     TableProvenance{s.chunk, p.max_rows,
+                                     bound.info.regions_per_event});
+
+  SandboxPolicy sandbox{p.timeout, p.max_rows, analyst_schema};
+  std::size_t n_regions = rs.scheme ? rs.scheme->region_count() : 1;
+  for (const auto& chunk : chunks) {
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      const Region* region = rs.scheme ? &rs.scheme->region(r) : nullptr;
+      ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
+                     chunk.frames, rs.mask, region);
+      auto rows = run_sandboxed(exe, view, sandbox);
+      for (auto& row : rows) {
+        row.emplace_back(chunk.time.begin);               // chunk
+        if (rs.scheme) row.emplace_back(region->name);    // region
+        row.emplace_back(s.camera);                       // camera
+        bound.data.append(std::move(row));
+      }
+    }
+  }
+  return bound;
+}
+
+void Executor::collect_table_refs(const query::Relation& rel,
+                                  std::vector<std::string>* out) {
+  switch (rel.kind) {
+    case query::Relation::Kind::kTableRef:
+      out->push_back(rel.table);
+      return;
+    case query::Relation::Kind::kSelect:
+      collect_table_refs(*rel.select->from, out);
+      return;
+    case query::Relation::Kind::kJoin:
+    case query::Relation::Kind::kUnion:
+      collect_table_refs(*rel.left, out);
+      collect_table_refs(*rel.right, out);
+      return;
+  }
+}
+
+void Executor::run_select(const SelectStmt& s,
+                          const std::map<std::string, BoundTable>& tables,
+                          const RunOptions& opts, QueryResult* out) {
+  // Sensitivity over the AST.
+  SensitivityEngine sens([&](const std::string& name) -> TableInfo {
+    auto it = tables.find(name);
+    if (it == tables.end()) throw LookupError("unknown table '" + name + "'");
+    return it->second.info;
+  });
+
+  double eps = s.consuming > 0 ? s.consuming : opts.default_epsilon;
+
+  // Number of same-frame releases: aggregate projections x declared keys.
+  std::size_t n_aggs = 0;
+  for (const auto& p : s.core.projections) {
+    if (p.agg) ++n_aggs;
+  }
+  double key_product = 1;
+  for (const auto& g : s.core.group_by) {
+    if (!g.keys.empty()) key_product *= static_cast<double>(g.keys.size());
+  }
+  double charge = eps * static_cast<double>(n_aggs) * key_product;
+
+  // Budget check + charge, per involved camera (Alg. 1 lines 1-5).
+  std::vector<std::string> refs;
+  collect_table_refs(*s.core.from, &refs);
+  std::set<std::string> seen_cameras;
+  if (opts.charge_budget) {
+    struct Charge {
+      BudgetLedger* ledger;
+      FrameInterval frames;
+      FrameIndex margin;
+    };
+    std::vector<Charge> charges;
+    for (const auto& ref : refs) {
+      const BoundTable& bt = tables.at(ref);
+      if (!seen_cameras.insert(bt.camera).second) continue;
+      CameraState& cam = cameras_->at(bt.camera);
+      FrameIndex margin = to_frames_round(bt.info.policy.rho, cam.meta.fps);
+      if (!cam.ledger->can_charge(bt.frames, margin, charge)) {
+        throw BudgetError("query denied: camera '" + bt.camera +
+                          "' lacks budget for epsilon " +
+                          std::to_string(charge));
+      }
+      charges.push_back({cam.ledger.get(), bt.frames, margin});
+    }
+    for (auto& c : charges) c.ledger->charge(c.frames, c.margin, charge);
+  }
+
+  // Evaluate the outer input table (FROM + WHERE + LIMIT).
+  TableMap tmap;
+  for (const auto& [name, bt] : tables) tmap[name] = &bt.data;
+  Table input = eval_relation(*s.core.from, tmap);
+  if (s.core.where) {
+    const auto& schema = input.schema();
+    const auto* where = s.core.where.get();
+    input = select_rows(
+        input, [&, where](const Row& r) { return eval_predicate(*where, r, schema); });
+  }
+  if (s.core.limit) input = limit_rows(input, *s.core.limit);
+
+  // Build releases.
+  auto emit = [&](const Projection& p, const std::vector<std::size_t>& rows,
+                  const std::vector<Value>& group_key, std::string label) {
+    double sensitivity = sens.release_sensitivity(p, s.core);
+    // Raw aggregate with range clamping of the input values.
+    std::vector<Value> vals;
+    if (*p.agg != AggFunc::kCount) {
+      bool is_col = p.expr->kind == query::Expr::Kind::kColumn;
+      std::size_t idx = is_col ? input.schema().index_of(p.expr->name) : 0;
+      vals.reserve(rows.size());
+      for (std::size_t r : rows) {
+        Value v = is_col ? input.row(r)[idx]
+                         : eval_expr(*p.expr, input.row(r), input.schema());
+        if (p.range && v.is_number()) {
+          v = Value(std::clamp(v.as_number(), p.range->first, p.range->second));
+        }
+        vals.push_back(std::move(v));
+      }
+    }
+    double raw = (*p.agg == AggFunc::kCount)
+                     ? static_cast<double>(rows.size())
+                     : aggregate_column(*p.agg, vals);
+    Release rel;
+    rel.label = std::move(label);
+    rel.group_key = group_key;
+    rel.epsilon = eps;
+    rel.value = opts.delta > 0
+                    ? GaussianMechanism::release(raw, sensitivity, eps,
+                                                 opts.delta, *noise_rng_)
+                    : LaplaceMechanism::release(raw, sensitivity, eps,
+                                                *noise_rng_);
+    if (opts.reveal_raw) {
+      rel.raw = raw;
+      rel.sensitivity = sensitivity;
+    }
+    out->releases.push_back(std::move(rel));
+  };
+
+  std::vector<std::size_t> all_rows(input.row_count());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+
+  if (s.core.group_by.empty()) {
+    for (const auto& p : s.core.projections) {
+      if (!p.agg) continue;
+      emit(p, all_rows, {}, p.output_name());
+    }
+    return;
+  }
+
+  auto groups = compute_groups(input, s.core.group_by);
+  for (const auto& p : s.core.projections) {
+    if (!p.agg) continue;
+    if (*p.agg == AggFunc::kArgmax) {
+      // Report-noisy-max: noise every group's inner aggregate, release only
+      // the winning key.
+      Projection inner;
+      inner.agg = p.argmax_inner;
+      inner.expr = p.expr->clone();
+      inner.range = p.range;
+      double sensitivity = sens.release_sensitivity(inner, s.core);
+      double best = -std::numeric_limits<double>::infinity();
+      std::size_t best_g = 0;
+      double best_raw = 0;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        double raw = 0;
+        if (*p.argmax_inner == AggFunc::kCount) {
+          raw = static_cast<double>(groups[g].rows.size());
+        } else {
+          raw = aggregate_rows(*p.argmax_inner, input, p.expr->name,
+                               groups[g].rows);
+        }
+        double noisy =
+            LaplaceMechanism::release(raw, sensitivity, eps, *noise_rng_);
+        if (noisy > best) {
+          best = noisy;
+          best_g = g;
+          best_raw = raw;
+        }
+      }
+      Release rel;
+      rel.label = p.output_name();
+      rel.is_argmax = true;
+      rel.group_key = groups.empty() ? std::vector<Value>{} : groups[best_g].key;
+      for (std::size_t i = 0; i < rel.group_key.size(); ++i) {
+        if (i) rel.argmax_key += ",";
+        rel.argmax_key += rel.group_key[i].to_string();
+      }
+      rel.epsilon = eps;
+      rel.value = best;
+      if (opts.reveal_raw) {
+        rel.raw = best_raw;
+        rel.sensitivity = sensitivity;
+      }
+      out->releases.push_back(std::move(rel));
+      continue;
+    }
+    for (const auto& g : groups) {
+      std::string label = p.output_name() + "[";
+      for (std::size_t i = 0; i < g.key.size(); ++i) {
+        if (i) label += ",";
+        label += g.key[i].to_string();
+      }
+      label += "]";
+      emit(p, g.rows, g.key, std::move(label));
+    }
+  }
+}
+
+QueryPlan Executor::plan(const ParsedQuery& q, const RunOptions& opts) const {
+  query::validate(q);
+  std::map<std::string, const SplitStmt*> splits;
+  for (const auto& s : q.splits) splits[s.into] = &s;
+
+  // Table facts from split arithmetic only.
+  struct PlannedTable {
+    sensitivity::TableInfo info;
+    std::string camera;
+    FrameInterval frames;
+    sensitivity::Policy policy;
+  };
+  std::map<std::string, PlannedTable> tables;
+  for (const auto& p : q.processes) {
+    const SplitStmt* s = splits.at(p.chunk_set);
+    ResolvedSplit rs = resolve_split(*s);
+    tables.emplace(p.into, PlannedTable{table_info(p, *s, rs), s->camera,
+                                        rs.frames, rs.policy});
+  }
+
+  SensitivityEngine sens([&](const std::string& name) -> TableInfo {
+    auto it = tables.find(name);
+    if (it == tables.end()) throw LookupError("unknown table '" + name + "'");
+    return it->second.info;
+  });
+
+  QueryPlan out;
+  for (const auto& sel : q.selects) {
+    SelectPlan sp;
+    double eps = sel.consuming > 0 ? sel.consuming : opts.default_epsilon;
+    std::size_t n_aggs = 0;
+    for (const auto& p : sel.core.projections) {
+      if (!p.agg) continue;
+      ++n_aggs;
+      ReleasePlan rp;
+      rp.label = p.output_name();
+      rp.epsilon = eps;
+      rp.sensitivity = sens.release_sensitivity(p, sel.core);
+      rp.noise_scale = eps > 0 ? rp.sensitivity / eps : 0.0;
+      sp.releases.push_back(std::move(rp));
+    }
+    double key_product = 1;
+    for (const auto& g : sel.core.group_by) {
+      if (!g.keys.empty()) key_product *= static_cast<double>(g.keys.size());
+    }
+    sp.same_frame_releases = static_cast<double>(n_aggs) * key_product;
+    sp.charge_per_frame = eps * sp.same_frame_releases;
+
+    std::vector<std::string> refs;
+    collect_table_refs(*sel.core.from, &refs);
+    std::set<std::string> seen;
+    for (const auto& ref : refs) {
+      const PlannedTable& pt = tables.at(ref);
+      if (!seen.insert(pt.camera).second) continue;
+      sp.cameras.push_back(pt.camera);
+      const CameraState& cam = cameras_->at(pt.camera);
+      FrameIndex margin = to_frames_round(pt.policy.rho, cam.meta.fps);
+      if (!cam.ledger->can_charge(pt.frames, margin, sp.charge_per_frame)) {
+        sp.admissible = false;
+      }
+    }
+    out.admissible = out.admissible && sp.admissible;
+    out.selects.push_back(std::move(sp));
+  }
+  return out;
+}
+
+QueryResult Executor::run(const ParsedQuery& q, const RunOptions& opts) {
+  query::validate(q);
+
+  // Bind SPLITs by chunk-set name.
+  std::map<std::string, const SplitStmt*> splits;
+  for (const auto& s : q.splits) splits[s.into] = &s;
+
+  QueryResult result;
+  std::map<std::string, BoundTable> tables;
+  for (const auto& p : q.processes) {
+    const SplitStmt* s = splits.at(p.chunk_set);
+    tables.emplace(p.into, run_process(p, *s, opts));
+    result.table_rows[p.into] = tables.at(p.into).data.row_count();
+  }
+  for (const auto& s : q.selects) {
+    run_select(s, tables, opts, &result);
+  }
+  return result;
+}
+
+}  // namespace privid::engine

@@ -1,0 +1,154 @@
+// Query execution (Algorithm 1).
+//
+// The executor runs one parsed query end to end:
+//   1. SPLIT  — resolve the camera, clip to the recording, enumerate chunks
+//   2. PROCESS — run the analyst executable over every chunk (x region) in
+//      the sandbox, assembling the untrusted intermediate table with the
+//      trusted `chunk` (and `region`, `camera`) columns appended
+//   3. SELECT — validate, compute per-release sensitivity on the AST
+//      (Fig. 10), check & charge the per-frame budget ledger
+//      (lines 1-5), evaluate the raw aggregate, add Laplace noise
+//      (line 13), and emit the releases
+//
+// Budget accounting: a SELECT's charge per frame is
+//     ε_release x (#aggregate projections) x Π|WITH KEYS|
+// Releases grouped over *trusted* chunk bins partition the window in time,
+// so they share one charge (the Theorem E.2 cross-bin argument); releases
+// keyed by analyst columns all cover the same frames and therefore add.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/registry.hpp"
+#include "engine/sandbox.hpp"
+#include "privacy/budget.hpp"
+#include "query/ast.hpp"
+#include "sensitivity/constraints.hpp"
+#include "video/region.hpp"
+
+namespace privid::engine {
+
+struct MaskEntry {
+  Mask mask;
+  sensitivity::Policy policy;  // the (ρ, K) this mask buys (§7.1)
+};
+
+// Everything the owner registers for one camera.
+struct CameraState {
+  VideoMeta meta;
+  CameraContent content;
+  sensitivity::Policy policy;    // unmasked (ρ, K)
+  double epsilon_budget = 10.0;  // per-frame allocation ε_C
+  std::map<std::string, MaskEntry> masks;
+  std::map<std::string, RegionScheme> regions;
+  std::unique_ptr<BudgetLedger> ledger;  // created at registration
+};
+
+struct RunOptions {
+  double default_epsilon = 1.0;  // per release when CONSUMING is absent
+  // (ε, δ)-DP variant (paper footnote 5): when delta > 0, releases use the
+  // Gaussian mechanism (requires per-release ε <= 1) instead of Laplace.
+  double delta = 0.0;
+  // Include raw (pre-noise) values and sensitivities in releases. This is
+  // an owner-side evaluation hook (the analyst never sees them); every
+  // bench uses it to compute the paper's accuracy metrics.
+  bool reveal_raw = false;
+  // Skip the budget ledger (owner-side what-if runs, e.g. parameter
+  // sweeps). Analyst-facing deployments keep this true.
+  bool charge_budget = true;
+};
+
+struct Release {
+  std::string label;               // "AVG(speed)" / "COUNT(plate)[RED]"
+  std::vector<Value> group_key;    // empty when not grouped
+  double value = 0;                // noisy released value
+  bool is_argmax = false;
+  std::string argmax_key;          // released key when is_argmax
+  double epsilon = 0;
+  // Populated only when RunOptions::reveal_raw:
+  double raw = 0;
+  double sensitivity = 0;
+};
+
+struct QueryResult {
+  std::vector<Release> releases;
+  std::map<std::string, std::size_t> table_rows;  // diagnostics
+};
+
+// Dry-run planning: what a query would cost and whether it would be
+// admitted, computed from split arithmetic and the sensitivity rules alone
+// — no chunk is processed and no budget is charged. This is safe to expose
+// to analysts: everything it reveals (sensitivity, noise scale, remaining
+// admissibility) is derived from public parameters.
+struct ReleasePlan {
+  std::string label;        // aggregate label (per-key groups share one row)
+  double sensitivity = 0;
+  double epsilon = 0;
+  double noise_scale = 0;   // Laplace b = sensitivity / epsilon
+};
+
+struct SelectPlan {
+  std::vector<ReleasePlan> releases;   // one per aggregate projection
+  // Releases that consume budget on the same frames: aggregates x declared
+  // keys (trusted time bins add releases but not same-frame charge).
+  double same_frame_releases = 1;
+  double charge_per_frame = 0;
+  std::vector<std::string> cameras;
+  bool admissible = true;              // budget check at plan time
+};
+
+struct QueryPlan {
+  std::vector<SelectPlan> selects;
+  bool admissible = true;
+};
+
+class Executor {
+ public:
+  Executor(std::map<std::string, CameraState>* cameras,
+           const ExecutableRegistry* registry, Rng* noise_rng);
+
+  QueryResult run(const query::ParsedQuery& q, const RunOptions& opts);
+
+  // Validates and costs the query without executing it (see QueryPlan).
+  QueryPlan plan(const query::ParsedQuery& q, const RunOptions& opts) const;
+
+ private:
+  struct BoundTable {
+    Table data;
+    sensitivity::TableInfo info;
+    std::string camera;
+    FrameInterval frames;  // the split window, camera frame space
+  };
+
+  // Everything a SPLIT statement resolves to, shared by run and plan.
+  struct ResolvedSplit {
+    CameraState* cam = nullptr;
+    const Mask* mask = nullptr;
+    const RegionScheme* scheme = nullptr;
+    sensitivity::Policy policy;
+    TimeInterval window;
+    FrameInterval frames;
+  };
+  ResolvedSplit resolve_split(const query::SplitStmt& s) const;
+  sensitivity::TableInfo table_info(const query::ProcessStmt& p,
+                                    const query::SplitStmt& s,
+                                    const ResolvedSplit& rs) const;
+
+  BoundTable run_process(const query::ProcessStmt& p,
+                         const query::SplitStmt& s, const RunOptions& opts);
+  void run_select(const query::SelectStmt& s,
+                  const std::map<std::string, BoundTable>& tables,
+                  const RunOptions& opts, QueryResult* out);
+  static void collect_table_refs(const query::Relation& rel,
+                                 std::vector<std::string>* out);
+
+  std::map<std::string, CameraState>* cameras_;
+  const ExecutableRegistry* registry_;
+  Rng* noise_rng_;
+};
+
+}  // namespace privid::engine

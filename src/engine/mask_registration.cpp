@@ -1,0 +1,17 @@
+#include "engine/mask_registration.hpp"
+
+namespace privid::engine {
+
+std::map<std::string, MaskEntry> mask_entries_from_policy_map(
+    const maskopt::MaskPolicyMap& map) {
+  std::map<std::string, MaskEntry> out;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const auto& e = map.entry(i);
+    out.emplace(e.mask_id,
+                MaskEntry{map.mask_for(i),
+                          sensitivity::Policy{e.rho, e.k}});
+  }
+  return out;
+}
+
+}  // namespace privid::engine

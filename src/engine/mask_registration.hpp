@@ -1,0 +1,23 @@
+// Bridge from the owner-side mask optimization (Appendix F.2) to camera
+// registration: converts a MaskPolicyMap into the published mask set of a
+// CameraRegistration, so the full owner workflow is
+//
+//   heatmap -> greedy ordering -> MaskPolicyMap -> register_camera
+//
+// and analysts pick masks by id ("mask_0", "mask_12", ...) in SPLIT
+// statements.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "engine/executor.hpp"
+#include "maskopt/policy_map.hpp"
+
+namespace privid::engine {
+
+// One MaskEntry per policy-map level, keyed by the entry's mask_id.
+std::map<std::string, MaskEntry> mask_entries_from_policy_map(
+    const maskopt::MaskPolicyMap& map);
+
+}  // namespace privid::engine

@@ -1,0 +1,103 @@
+#include "engine/privid.hpp"
+
+#include "common/error.hpp"
+#include "query/parser.hpp"
+
+namespace privid::engine {
+
+Privid::Privid(std::uint64_t noise_seed) : noise_rng_(noise_seed) {}
+
+void Privid::register_camera(CameraRegistration reg) {
+  const std::string id = reg.meta.camera_id;  // copy: reg.meta is moved below
+  if (id.empty()) throw ArgumentError("camera id must be non-empty");
+  if (cameras_.count(id)) {
+    throw ArgumentError("camera '" + id + "' already registered");
+  }
+  if (reg.policy.rho < 0 || reg.policy.k < 1) {
+    throw ArgumentError("camera policy requires rho >= 0 and K >= 1");
+  }
+  if (!reg.content.scene && !reg.content.porto) {
+    throw ArgumentError("camera '" + id + "' has no content");
+  }
+  CameraState state;
+  state.meta = std::move(reg.meta);
+  state.content = std::move(reg.content);
+  state.policy = reg.policy;
+  state.epsilon_budget = reg.epsilon_budget;
+  state.masks = std::move(reg.masks);
+  state.regions = std::move(reg.regions);
+  state.ledger = std::make_unique<BudgetLedger>(reg.epsilon_budget);
+  cameras_.emplace(id, std::move(state));
+}
+
+void Privid::register_executable(const std::string& name, Executable exe) {
+  registry_.add(name, std::move(exe));
+}
+
+bool Privid::has_camera(const std::string& id) const {
+  return cameras_.count(id) != 0;
+}
+
+QueryResult Privid::execute(const std::string& query_text, RunOptions opts) {
+  return execute(query::parse_query(query_text), opts);
+}
+
+QueryResult Privid::execute(const query::ParsedQuery& q, RunOptions opts) {
+  Executor exec(&cameras_, &registry_, &noise_rng_);
+  return exec.run(q, opts);
+}
+
+QueryPlan Privid::plan(const std::string& query_text, RunOptions opts) const {
+  return plan(query::parse_query(query_text), opts);
+}
+
+QueryPlan Privid::plan(const query::ParsedQuery& q, RunOptions opts) const {
+  // The executor mutates nothing on the plan path; the const_casts bind the
+  // non-owning pointers its constructor expects.
+  Rng scratch(0);
+  Executor exec(const_cast<std::map<std::string, CameraState>*>(&cameras_),
+                &registry_, &scratch);
+  return exec.plan(q, opts);
+}
+
+void Privid::save_budget(const std::string& camera, std::ostream& os) const {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) throw LookupError("unknown camera '" + camera + "'");
+  it->second.ledger->save(os);
+}
+
+void Privid::restore_budget(const std::string& camera, std::istream& is) {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) throw LookupError("unknown camera '" + camera + "'");
+  auto restored = BudgetLedger::load(is);
+  if (restored.epsilon_per_frame() != it->second.epsilon_budget) {
+    throw ArgumentError(
+        "restored ledger's epsilon does not match camera '" + camera + "'");
+  }
+  *it->second.ledger = std::move(restored);
+}
+
+double Privid::remaining_budget(const std::string& camera,
+                                FrameIndex frame) const {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) throw LookupError("unknown camera '" + camera + "'");
+  return it->second.ledger->remaining(frame);
+}
+
+double Privid::min_remaining_budget(const std::string& camera,
+                                    TimeInterval window) const {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) throw LookupError("unknown camera '" + camera + "'");
+  const auto& cam = it->second;
+  FrameInterval fr{cam.meta.frame_at(window.begin),
+                   cam.meta.frame_at(window.end)};
+  return cam.ledger->min_remaining(fr);
+}
+
+const VideoMeta& Privid::camera_meta(const std::string& camera) const {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) throw LookupError("unknown camera '" + camera + "'");
+  return it->second.meta;
+}
+
+}  // namespace privid::engine

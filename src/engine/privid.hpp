@@ -1,0 +1,84 @@
+// Privid facade: the public entry point of the library.
+//
+// A video owner constructs a Privid instance, registers cameras (with their
+// recordings, (ρ, K) policies, per-frame budget, published masks and region
+// schemes) and the analyst-supplied executables, then serves query text.
+//
+//   privid::engine::Privid system;
+//   system.register_camera(...);
+//   system.register_executable("count_people", exe);
+//   auto result = system.execute(R"(
+//     SPLIT camA BEGIN 21600 END 64800 BY TIME 5 STRIDE 0 INTO chunksA;
+//     PROCESS chunksA USING count_people TIMEOUT 1 PRODUCING 10 ROWS
+//       WITH SCHEMA (entered:NUMBER=0) INTO tableA;
+//     SELECT SUM(range(entered, 0, 10)) FROM tableA;
+//   )");
+//
+// Guarantee (Theorems 6.1/6.2): with policy (ρ, K) and per-frame budget ε_C
+// per camera, the sequence of all accepted queries is (ρ, K, ε_C)-private.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/executor.hpp"
+
+namespace privid::engine {
+
+struct CameraRegistration {
+  VideoMeta meta;
+  CameraContent content;
+  sensitivity::Policy policy;     // unmasked (ρ, K)
+  double epsilon_budget = 10.0;   // per-frame ε_C
+  std::map<std::string, MaskEntry> masks;
+  std::map<std::string, RegionScheme> regions;
+};
+
+class Privid {
+ public:
+  explicit Privid(std::uint64_t noise_seed = 0xD1CEull);
+
+  // Owner-side registration. Throws ArgumentError on duplicates / invalid
+  // parameters.
+  void register_camera(CameraRegistration reg);
+  void register_executable(const std::string& name, Executable exe);
+
+  bool has_camera(const std::string& id) const;
+
+  // Parses, validates and executes a query. Throws ParseError /
+  // ValidationError / SensitivityError / BudgetError per failure class.
+  QueryResult execute(const std::string& query_text, RunOptions opts = {});
+  QueryResult execute(const query::ParsedQuery& q, RunOptions opts = {});
+
+  // Dry run: validates the query, computes per-release sensitivity / noise
+  // scale and checks admissibility against the current ledgers — without
+  // processing a single chunk or consuming budget. Each SELECT is checked
+  // against the current state (a multi-SELECT query may still be denied
+  // mid-execution if its own earlier releases deplete the budget).
+  QueryPlan plan(const std::string& query_text, RunOptions opts = {}) const;
+  QueryPlan plan(const query::ParsedQuery& q, RunOptions opts = {}) const;
+
+  // Budget persistence: a restarted deployment that forgets past charges
+  // silently voids the privacy guarantee, so ledgers are serializable.
+  // save_budget writes one camera's ledger; restore_budget replaces it
+  // (the camera must already be registered with the same ε_C).
+  void save_budget(const std::string& camera, std::ostream& os) const;
+  void restore_budget(const std::string& camera, std::istream& is);
+
+  // Remaining per-frame budget (owner-side diagnostics).
+  double remaining_budget(const std::string& camera, FrameIndex frame) const;
+  // Minimum remaining budget over a time window.
+  double min_remaining_budget(const std::string& camera,
+                              TimeInterval window) const;
+
+  const VideoMeta& camera_meta(const std::string& camera) const;
+
+ private:
+  std::map<std::string, CameraState> cameras_;
+  ExecutableRegistry registry_;
+  Rng noise_rng_;
+};
+
+}  // namespace privid::engine

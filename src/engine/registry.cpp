@@ -1,0 +1,24 @@
+#include "engine/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace privid::engine {
+
+void ExecutableRegistry::add(const std::string& name, Executable exe) {
+  if (!exe) throw ArgumentError("null executable '" + name + "'");
+  exes_[name] = std::move(exe);
+}
+
+bool ExecutableRegistry::has(const std::string& name) const {
+  return exes_.count(name) != 0;
+}
+
+const Executable& ExecutableRegistry::get(const std::string& name) const {
+  auto it = exes_.find(name);
+  if (it == exes_.end()) {
+    throw LookupError("no executable named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace privid::engine

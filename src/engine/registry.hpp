@@ -1,0 +1,24 @@
+// Executable registry: the binding between the USING name in a PROCESS
+// statement and the analyst-supplied chunk-processing function.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "engine/sandbox.hpp"
+
+namespace privid::engine {
+
+class ExecutableRegistry {
+ public:
+  // Registers (or replaces) an executable under `name`.
+  void add(const std::string& name, Executable exe);
+  bool has(const std::string& name) const;
+  const Executable& get(const std::string& name) const;  // throws LookupError
+  std::size_t size() const { return exes_.size(); }
+
+ private:
+  std::map<std::string, Executable> exes_;
+};
+
+}  // namespace privid::engine

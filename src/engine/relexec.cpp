@@ -1,0 +1,308 @@
+#include "engine/relexec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "table/aggregate.hpp"
+
+namespace privid::engine {
+
+using query::BinFunc;
+using query::Expr;
+using query::GroupKey;
+using query::Projection;
+using query::Relation;
+using query::SelectCore;
+
+Value bin_value(const Value& v, BinFunc bin) {
+  switch (bin) {
+    case BinFunc::kNone:
+      return v;
+    case BinFunc::kHour:
+      return Value(std::floor(v.as_number() / 3600.0));
+    case BinFunc::kDay:
+      return Value(std::floor(v.as_number() / 86400.0));
+  }
+  return v;
+}
+
+std::string group_key_name(const GroupKey& g) {
+  switch (g.bin) {
+    case BinFunc::kNone:
+      return g.column;
+    case BinFunc::kHour:
+      return "hour";
+    case BinFunc::kDay:
+      return "day";
+  }
+  return g.column;
+}
+
+DType infer_type(const Expr& e, const Schema& schema) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn: {
+      if (e.name == "*") return DType::kNumber;
+      return schema.column(schema.index_of(e.name)).type;
+    }
+    case Expr::Kind::kNumber:
+      return DType::kNumber;
+    case Expr::Kind::kString:
+      return DType::kString;
+    case Expr::Kind::kBinary:
+      return DType::kNumber;
+    case Expr::Kind::kCall:
+      return DType::kNumber;  // range/hour/day all yield numbers
+  }
+  return DType::kNumber;
+}
+
+Value eval_expr(const Expr& e, const Row& row, const Schema& schema) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      return row.at(schema.index_of(e.name));
+    case Expr::Kind::kNumber:
+      return Value(e.number);
+    case Expr::Kind::kString:
+      return Value(e.text);
+    case Expr::Kind::kBinary: {
+      Value l = eval_expr(*e.args[0], row, schema);
+      Value r = eval_expr(*e.args[1], row, schema);
+      const std::string& op = e.name;
+      if (op == "=" || op == "!=") {
+        bool eq = l == r;
+        return Value((op == "=") == eq ? 1.0 : 0.0);
+      }
+      if (op == "AND") {
+        return Value((l.as_number() != 0 && r.as_number() != 0) ? 1.0 : 0.0);
+      }
+      if (op == "OR") {
+        return Value((l.as_number() != 0 || r.as_number() != 0) ? 1.0 : 0.0);
+      }
+      double a = l.as_number();
+      double b = r.as_number();
+      if (op == "+") return Value(a + b);
+      if (op == "-") return Value(a - b);
+      if (op == "*") return Value(a * b);
+      if (op == "/") {
+        if (b == 0) throw ArgumentError("division by zero in expression");
+        return Value(a / b);
+      }
+      if (op == "<") return Value(a < b ? 1.0 : 0.0);
+      if (op == "<=") return Value(a <= b ? 1.0 : 0.0);
+      if (op == ">") return Value(a > b ? 1.0 : 0.0);
+      if (op == ">=") return Value(a >= b ? 1.0 : 0.0);
+      throw ArgumentError("unknown operator '" + op + "'");
+    }
+    case Expr::Kind::kCall: {
+      if (e.name == "range") {
+        if (e.args.size() != 3) throw ArgumentError("range() arity");
+        double v = eval_expr(*e.args[0], row, schema).as_number();
+        double lo = e.args[1]->number;
+        double hi = e.args[2]->number;
+        return Value(std::clamp(v, lo, hi));
+      }
+      if (e.name == "hour") {
+        if (e.args.size() != 1) throw ArgumentError("hour() arity");
+        return Value(std::floor(
+            eval_expr(*e.args[0], row, schema).as_number() / 3600.0));
+      }
+      if (e.name == "day") {
+        if (e.args.size() != 1) throw ArgumentError("day() arity");
+        return Value(std::floor(
+            eval_expr(*e.args[0], row, schema).as_number() / 86400.0));
+      }
+      throw ArgumentError("unknown function '" + e.name + "'");
+    }
+  }
+  throw ArgumentError("unknown expression kind");
+}
+
+bool eval_predicate(const Expr& e, const Row& row, const Schema& schema) {
+  return eval_expr(e, row, schema).as_number() != 0;
+}
+
+std::vector<Group> compute_groups(const Table& t,
+                                  const std::vector<GroupKey>& keys) {
+  if (keys.empty()) throw ArgumentError("compute_groups: no keys");
+  // Per-column domain.
+  std::vector<std::vector<Value>> domains;
+  std::vector<std::size_t> col_idx;
+  for (const auto& g : keys) {
+    col_idx.push_back(t.schema().index_of(g.column));
+    if (!g.keys.empty()) {
+      domains.push_back(g.keys);
+    } else {
+      // Trusted column: observed distinct binned values, sorted.
+      std::set<Value> seen;
+      for (const auto& row : t.rows()) {
+        seen.insert(bin_value(row[col_idx.back()], g.bin));
+      }
+      domains.emplace_back(seen.begin(), seen.end());
+    }
+  }
+  // Cartesian product in declaration order.
+  std::vector<Group> groups;
+  groups.push_back(Group{});
+  for (const auto& d : domains) {
+    if (d.empty()) {
+      // A trusted column over an empty table: no groups at all.
+      return {};
+    }
+    std::vector<Group> next;
+    next.reserve(groups.size() * d.size());
+    for (const auto& g : groups) {
+      for (const auto& k : d) {
+        Group ng;
+        ng.key = g.key;
+        ng.key.push_back(k);
+        next.push_back(std::move(ng));
+      }
+    }
+    groups = std::move(next);
+  }
+  // Route rows.
+  std::map<std::vector<Value>, std::size_t> lookup;
+  for (std::size_t g = 0; g < groups.size(); ++g) lookup[groups[g].key] = g;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      key.push_back(bin_value(t.row(r)[col_idx[i]], keys[i].bin));
+    }
+    auto it = lookup.find(key);
+    if (it != lookup.end()) groups[it->second].rows.push_back(r);
+  }
+  return groups;
+}
+
+namespace {
+
+Table eval_group_core(const SelectCore& core, const Table& in) {
+  auto groups = compute_groups(in, core.group_by);
+
+  // Output schema: key columns, then aggregate projections.
+  std::vector<Column> cols;
+  for (const auto& g : core.group_by) {
+    std::size_t idx = in.schema().index_of(g.column);
+    DType dt = g.bin == BinFunc::kNone ? in.schema().column(idx).type
+                                       : DType::kNumber;
+    Value dflt = dt == DType::kNumber ? Value(0.0) : Value(std::string());
+    cols.push_back({group_key_name(g), dt, dflt});
+  }
+  std::vector<const Projection*> aggs;
+  for (const auto& p : core.projections) {
+    if (!p.agg) continue;  // bare key echoes are implicit in the key columns
+    if (*p.agg == AggFunc::kArgmax) {
+      throw ArgumentError("ARGMAX is only valid in the outermost SELECT");
+    }
+    cols.push_back({p.output_name(), DType::kNumber, Value(0.0)});
+    aggs.push_back(&p);
+  }
+  Table out(Schema(std::move(cols)), in.provenance());
+
+  for (const auto& g : groups) {
+    if (g.rows.empty()) continue;  // inner group-by emits non-empty groups
+    Row row = g.key;
+    for (const Projection* p : aggs) {
+      std::vector<Value> vals;
+      if (p->expr->kind == Expr::Kind::kColumn && p->expr->name != "*") {
+        std::size_t idx = in.schema().index_of(p->expr->name);
+        vals.reserve(g.rows.size());
+        for (std::size_t r : g.rows) vals.push_back(in.row(r)[idx]);
+      } else if (*p->agg != AggFunc::kCount) {
+        for (std::size_t r : g.rows) {
+          vals.push_back(eval_expr(*p->expr, in.row(r), in.schema()));
+        }
+      }
+      double agg = (*p->agg == AggFunc::kCount)
+                       ? static_cast<double>(g.rows.size())
+                       : aggregate_column(*p->agg, vals);
+      if (p->range) agg = std::clamp(agg, p->range->first, p->range->second);
+      row.emplace_back(agg);
+    }
+    out.append(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Table eval_core(const SelectCore& core, const TableMap& tables) {
+  Table in = eval_relation(*core.from, tables);
+  if (core.where) {
+    in = select_rows(in, [&](const Row& r) {
+      return eval_predicate(*core.where, r, in.schema());
+    });
+  }
+  if (core.limit) in = limit_rows(in, *core.limit);
+
+  if (!core.group_by.empty()) return eval_group_core(core, in);
+
+  // Plain projection.
+  std::vector<ProjectionColumn> cols;
+  for (const auto& p : core.projections) {
+    if (p.agg) {
+      throw ArgumentError(
+          "aggregation in a non-grouped inner SELECT is not allowed");
+    }
+    ProjectionColumn pc;
+    pc.name = p.output_name();
+    pc.type = infer_type(*p.expr, in.schema());
+    const Expr* expr = p.expr.get();
+    const Schema& schema = in.schema();
+    if (p.range) {
+      double lo = p.range->first, hi = p.range->second;
+      pc.eval = [expr, &schema, lo, hi](const Row& r) {
+        return Value(
+            std::clamp(eval_expr(*expr, r, schema).as_number(), lo, hi));
+      };
+      pc.type = DType::kNumber;
+    } else {
+      pc.eval = [expr, &schema](const Row& r) {
+        return eval_expr(*expr, r, schema);
+      };
+    }
+    cols.push_back(std::move(pc));
+  }
+  return project(in, cols);
+}
+
+Table eval_relation(const Relation& rel, const TableMap& tables) {
+  switch (rel.kind) {
+    case Relation::Kind::kTableRef: {
+      auto it = tables.find(rel.table);
+      if (it == tables.end() || !it->second) {
+        throw LookupError("unknown table '" + rel.table + "'");
+      }
+      return *it->second;
+    }
+    case Relation::Kind::kSelect:
+      return eval_core(*rel.select, tables);
+    case Relation::Kind::kJoin: {
+      Table l = eval_relation(*rel.left, tables);
+      Table r = eval_relation(*rel.right, tables);
+      // Multi-column join: fold columns one at a time via a composite key
+      // (equijoin on the first column, then filter equality on the rest).
+      Table joined = equijoin(l, r, rel.join_columns[0], rel.join_columns[0]);
+      for (std::size_t i = 1; i < rel.join_columns.size(); ++i) {
+        const std::string& col = rel.join_columns[i];
+        std::size_t li = joined.schema().index_of(col);
+        std::size_t ri = joined.schema().index_of(col + "_r");
+        joined = select_rows(joined, [li, ri](const Row& row) {
+          return row[li] == row[ri];
+        });
+      }
+      return joined;
+    }
+    case Relation::Kind::kUnion: {
+      Table l = eval_relation(*rel.left, tables);
+      Table r = eval_relation(*rel.right, tables);
+      return table_union(l, r);
+    }
+  }
+  throw ArgumentError("unknown relation kind");
+}
+
+}  // namespace privid::engine

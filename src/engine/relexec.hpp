@@ -1,0 +1,47 @@
+// Relational execution: evaluates the query AST over materialized
+// intermediate tables. Sensitivity is computed on the AST (sensitivity
+// module); this file only computes raw values.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/ast.hpp"
+#include "table/ops.hpp"
+#include "table/table.hpp"
+
+namespace privid::engine {
+
+using TableMap = std::map<std::string, const Table*>;
+
+// Scalar expression evaluation against one row.
+Value eval_expr(const query::Expr& e, const Row& row, const Schema& schema);
+// Predicate evaluation (nonzero number = true; strings are invalid).
+bool eval_predicate(const query::Expr& e, const Row& row,
+                    const Schema& schema);
+// Static type of an expression under a schema.
+DType infer_type(const query::Expr& e, const Schema& schema);
+
+// Applies a binning function to a chunk timestamp (hour -> hour-of-epoch
+// index, day -> day index); identity for kNone.
+Value bin_value(const Value& v, query::BinFunc bin);
+// Output column name for a group key ("chunk", "hour", "day", or the
+// column's own name).
+std::string group_key_name(const query::GroupKey& g);
+
+// Group computation shared by inner and outer selects: untrusted key
+// domains come from WITH KEYS declarations; trusted domains (chunk, region,
+// camera) are the observed distinct (binned) values. Rows with undeclared
+// untrusted keys are dropped.
+std::vector<Group> compute_groups(const Table& t,
+                                  const std::vector<query::GroupKey>& keys);
+
+// Evaluates a relation / inner select core to a table. Inner GROUP BY
+// cores emit one row per *non-empty* group: key columns (named per
+// group_key_name) followed by the aggregate projections, clamped to their
+// declared RANGE when present.
+Table eval_relation(const query::Relation& rel, const TableMap& tables);
+Table eval_core(const query::SelectCore& core, const TableMap& tables);
+
+}  // namespace privid::engine

@@ -1,0 +1,153 @@
+#include "engine/sandbox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid::engine {
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+ChunkView::ChunkView(const CameraContent* content, const VideoMeta* meta,
+                     std::size_t chunk_index, TimeInterval time,
+                     FrameInterval frames, const Mask* mask,
+                     const Region* region)
+    : content_(content), meta_(meta), chunk_index_(chunk_index), time_(time),
+      frames_(frames), mask_(mask), region_(region) {
+  if (!content || !meta) throw ArgumentError("ChunkView needs content/meta");
+}
+
+void ChunkView::check_inside(Seconds t) const {
+  // The chunk's last frame time is < time_.end; accept the half-open range.
+  if (t < time_.begin - 1e-9 || t >= time_.end + 1e-9) {
+    throw ArgumentError(
+        "executable attempted to observe outside its chunk (isolation "
+        "violation)");
+  }
+}
+
+std::vector<cv::Detection> ChunkView::detect(const cv::DetectorConfig& model,
+                                             Seconds t) const {
+  check_inside(t);
+  if (!content_->scene) {
+    throw ArgumentError("detect() on a non-visual camera");
+  }
+  cv::Detector detector(model, content_->seed);
+  FrameIndex frame = meta_->frame_at(t);
+  auto dets = detector.detect(*content_->scene, t, frame, mask_);
+  if (region_) {
+    std::erase_if(dets, [&](const cv::Detection& d) {
+      return !region_->extent.contains(d.box.cx(), d.box.cy());
+    });
+  }
+  return dets;
+}
+
+std::size_t ChunkView::light_count() const {
+  return content_->scene ? content_->scene->lights().size() : 0;
+}
+
+std::optional<sim::LightState> ChunkView::light_state(std::size_t idx,
+                                                      Seconds t) const {
+  check_inside(t);
+  if (!content_->scene) return std::nullopt;
+  const auto& lights = content_->scene->lights();
+  if (idx >= lights.size()) return std::nullopt;
+  const auto& light = lights[idx];
+  if (mask_ && !mask_->visible(light.box(), 0.5)) return std::nullopt;
+  if (region_ &&
+      !region_->extent.contains(light.box().cx(), light.box().cy())) {
+    return std::nullopt;
+  }
+  return light.state_at(t);
+}
+
+std::vector<std::pair<Box, bool>> ChunkView::observe_trees(
+    Seconds t, double flip_prob) const {
+  check_inside(t);
+  std::vector<std::pair<Box, bool>> out;
+  if (!content_->scene) return out;
+  FrameIndex frame = meta_->frame_at(t);
+  const auto& trees = content_->scene->trees();
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const auto& tree = trees[i];
+    if (mask_ && !mask_->visible(tree.box, 0.5)) continue;
+    if (region_ && !region_->extent.contains(tree.box.cx(), tree.box.cy())) {
+      continue;
+    }
+    Rng draw(mix(content_->seed,
+                 mix(0x7EE5ull + i, static_cast<std::uint64_t>(frame))));
+    bool observed = tree.bloomed;
+    if (draw.bernoulli(flip_prob)) observed = !observed;
+    out.emplace_back(tree.box, observed);
+  }
+  return out;
+}
+
+std::vector<sim::TaxiVisit> ChunkView::taxi_visits() const {
+  if (!content_->porto) {
+    throw ArgumentError("taxi_visits() on a non-Porto camera");
+  }
+  // Visits *starting* in this chunk — the §6.2 convention so that one
+  // appearance maps to one row even when it spans chunk boundaries is
+  // applied by the executable; the view serves starts for simplicity.
+  return content_->porto->visits(content_->porto_camera, time_);
+}
+
+Rng ChunkView::fork_rng() const {
+  return Rng(mix(content_->seed,
+                 mix(0xC4A9ull, static_cast<std::uint64_t>(chunk_index_))));
+}
+
+std::vector<Row> run_sandboxed(const Executable& exe, const ChunkView& view,
+                               const SandboxPolicy& policy) {
+  ExecOutput out;
+  bool failed = false;
+  try {
+    out = exe(view);
+  } catch (const std::exception&) {
+    failed = true;  // crash -> default row (Appendix B)
+  }
+  if (!failed && out.simulated_runtime > policy.timeout) {
+    failed = true;  // timeout -> default row
+  }
+  if (failed) {
+    return {policy.schema.default_row()};
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(std::min(out.rows.size(), policy.max_rows));
+  for (std::size_t r = 0; r < out.rows.size() && r < policy.max_rows; ++r) {
+    Row coerced = policy.schema.default_row();
+    const Row& src = out.rows[r];
+    for (std::size_t c = 0; c < coerced.size() && c < src.size(); ++c) {
+      if (src[c].type() != policy.schema.column(c).type) {
+        // Mistyped cells keep the default — Privid places no trust in the
+        // executable's output shape.
+        continue;
+      }
+      // Non-finite numbers are rejected too: NaN survives range() clamping
+      // (clamp(NaN) is NaN) and would poison the aggregate, turning the
+      // release itself into a side channel.
+      if (src[c].is_number() && !std::isfinite(src[c].as_number())) {
+        continue;
+      }
+      coerced[c] = src[c];
+    }
+    rows.push_back(std::move(coerced));
+  }
+  return rows;
+}
+
+}  // namespace privid::engine

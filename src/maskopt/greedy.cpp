@@ -1,0 +1,146 @@
+#include "maskopt/greedy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace privid::maskopt {
+
+Mask MaskOrdering::mask_prefix(const VideoMeta& meta, std::size_t n) const {
+  Mask m(meta.width, meta.height, cols, rows);
+  for (std::size_t i = 1; i < steps.size() && i <= n; ++i) {
+    int cell = steps[i].cell;
+    m.set_cell(cell % cols, cell / cols, true);
+  }
+  return m;
+}
+
+std::size_t MaskOrdering::prefix_for_target(double target_persistence) const {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].max_persistence <= target_persistence) return i;
+  }
+  return steps.empty() ? 0 : steps.size() - 1;
+}
+
+namespace {
+
+// Longest run (in samples) with at least one unmasked cell.
+std::size_t longest_run(const std::vector<int>& unmasked_counts) {
+  std::size_t best = 0, run = 0;
+  for (int c : unmasked_counts) {
+    if (c > 0) {
+      best = std::max(best, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MaskOrdering greedy_mask_ordering(const HeatmapData& heatmap,
+                                  std::size_t max_steps) {
+  MaskOrdering out;
+  out.cols = heatmap.cols;
+  out.rows = heatmap.rows;
+  out.sample_dt = heatmap.sample_dt;
+
+  const auto& tracks = heatmap.tracks;
+  std::size_t n_tracks = tracks.size();
+
+  // Per track: per-sample count of still-unmasked occupied cells, current
+  // persistence (in samples).
+  std::vector<std::vector<int>> counts(n_tracks);
+  std::vector<std::size_t> persistence(n_tracks, 0);
+  // cell -> (track, sample) occurrences, for incremental masking.
+  std::unordered_map<int, std::vector<std::pair<std::size_t, std::size_t>>>
+      occurrences;
+  for (std::size_t ti = 0; ti < n_tracks; ++ti) {
+    const auto& t = tracks[ti];
+    counts[ti].assign(t.cells_per_sample.size(), 0);
+    for (std::size_t si = 0; si < t.cells_per_sample.size(); ++si) {
+      counts[ti][si] = static_cast<int>(t.cells_per_sample[si].size());
+      for (int c : t.cells_per_sample[si]) {
+        occurrences[c].emplace_back(ti, si);
+      }
+    }
+    persistence[ti] = longest_run(counts[ti]);
+  }
+
+  std::set<int> masked;
+  auto record = [&](int cell) {
+    MaskOrderingStep step;
+    step.cell = cell;
+    std::size_t max_p = 0, retained = 0;
+    std::set<std::size_t> entities_total, entities_retained;
+    for (std::size_t ti = 0; ti < n_tracks; ++ti) {
+      max_p = std::max(max_p, persistence[ti]);
+      entities_total.insert(tracks[ti].entity_index);
+      if (persistence[ti] > 0) entities_retained.insert(tracks[ti].entity_index);
+    }
+    retained = entities_retained.size();
+    step.max_persistence =
+        static_cast<double>(max_p) * heatmap.sample_dt;
+    step.identities_retained =
+        entities_total.empty()
+            ? 1.0
+            : static_cast<double>(retained) /
+                  static_cast<double>(entities_total.size());
+    out.steps.push_back(step);
+  };
+
+  record(-1);  // baseline, before masking
+
+  std::size_t total_cells = static_cast<std::size_t>(heatmap.cols) *
+                            static_cast<std::size_t>(heatmap.rows);
+  std::size_t limit = max_steps == 0 ? total_cells : max_steps;
+  for (std::size_t step = 0; step < limit; ++step) {
+    // 1. Track with largest remaining persistence.
+    std::size_t worst = 0;
+    std::size_t worst_p = 0;
+    for (std::size_t ti = 0; ti < n_tracks; ++ti) {
+      if (persistence[ti] > worst_p) {
+        worst_p = persistence[ti];
+        worst = ti;
+      }
+    }
+    if (worst_p == 0) break;  // everything already invisible
+
+    // 2. Unmasked cell intersecting that track for the most samples.
+    std::unordered_map<int, int> freq;
+    for (const auto& cells : tracks[worst].cells_per_sample) {
+      for (int c : cells) {
+        if (!masked.count(c)) ++freq[c];
+      }
+    }
+    int best_cell = -1, best_freq = 0;
+    for (const auto& [c, f] : freq) {
+      if (f > best_freq || (f == best_freq && c < best_cell)) {
+        best_freq = f;
+        best_cell = c;
+      }
+    }
+    if (best_cell < 0) break;
+
+    // 3. Mask it everywhere and update affected tracks.
+    masked.insert(best_cell);
+    std::set<std::size_t> dirty;
+    auto it = occurrences.find(best_cell);
+    if (it != occurrences.end()) {
+      for (const auto& [ti, si] : it->second) {
+        counts[ti][si]--;
+        dirty.insert(ti);
+      }
+      occurrences.erase(it);
+    }
+    for (std::size_t ti : dirty) persistence[ti] = longest_run(counts[ti]);
+
+    record(best_cell);
+  }
+  return out;
+}
+
+}  // namespace privid::maskopt

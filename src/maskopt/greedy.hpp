@@ -1,0 +1,43 @@
+// Algorithm 2: greedy ordering of grid boxes to mask.
+//
+// Repeatedly: find the track with the largest remaining persistence, mask
+// the grid box it intersects for the most samples, remove that box from all
+// tracks, and record the resulting (max persistence, identities retained)
+// curve — the data behind Fig. 11 and Table 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "maskopt/heatmap.hpp"
+#include "video/mask.hpp"
+
+namespace privid::maskopt {
+
+struct MaskOrderingStep {
+  int cell = -1;                    // flat cell index masked at this step
+  double max_persistence = 0;       // seconds, after masking
+  double identities_retained = 1.0; // fraction of tracks still visible
+};
+
+struct MaskOrdering {
+  int cols = 0, rows = 0;
+  double sample_dt = 0.5;
+  // step[0] is the state before any masking (cell == -1); step[i] for i>=1
+  // is the state after masking the i-th box.
+  std::vector<MaskOrderingStep> steps;
+
+  // Builds the Mask corresponding to masking the first n boxes.
+  Mask mask_prefix(const VideoMeta& meta, std::size_t n) const;
+
+  // Smallest prefix length whose max persistence is <= target (steps.size()
+  // - 1 if never reached).
+  std::size_t prefix_for_target(double target_persistence) const;
+};
+
+// Runs Algorithm 2 until max persistence reaches zero or `max_steps` boxes
+// have been masked (0 = unlimited).
+MaskOrdering greedy_mask_ordering(const HeatmapData& heatmap,
+                                  std::size_t max_steps = 0);
+
+}  // namespace privid::maskopt

@@ -1,0 +1,86 @@
+#include "maskopt/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace privid::maskopt {
+
+double HeatmapData::max_persistence() const {
+  double m = 0;
+  for (double p : persistence) m = std::max(m, p);
+  return m;
+}
+
+HeatmapData build_heatmap(const sim::Scene& scene, TimeInterval window,
+                          int cols, int rows, double sample_dt) {
+  if (cols <= 0 || rows <= 0) {
+    throw ArgumentError("heatmap grid must be positive");
+  }
+  if (sample_dt <= 0) throw ArgumentError("sample_dt must be positive");
+
+  HeatmapData hm;
+  hm.cols = cols;
+  hm.rows = rows;
+  hm.sample_dt = sample_dt;
+  hm.persistence.assign(static_cast<std::size_t>(cols) * rows, 0.0);
+
+  const auto& meta = scene.meta();
+  double cw = static_cast<double>(meta.width) / cols;
+  double ch = static_cast<double>(meta.height) / rows;
+
+  for (std::size_t ei = 0; ei < scene.entities().size(); ++ei) {
+    const auto& e = scene.entities()[ei];
+    for (const auto& app : e.appearances) {
+      TimeInterval span =
+          TimeInterval{app.start(), app.end()}.intersect(window);
+      if (span.empty()) continue;
+
+      TrackOccupancy occ;
+      occ.entity_index = ei;
+      // Contiguous run length per *currently occupied* cell only — boxes
+      // touch a handful of cells, so this stays O(samples x box-cells)
+      // instead of O(samples x grid-cells).
+      std::unordered_map<int, double> run;
+      for (Seconds t = span.begin; t <= span.end + 1e-9; t += sample_dt) {
+        auto b = app.sample(t);
+        std::vector<int> cells;
+        if (b) {
+          int cx0 = std::clamp(static_cast<int>(b->x / cw), 0, cols - 1);
+          int cy0 = std::clamp(static_cast<int>(b->y / ch), 0, rows - 1);
+          int cx1 = std::clamp(static_cast<int>((b->right() - 1e-9) / cw), 0,
+                               cols - 1);
+          int cy1 = std::clamp(static_cast<int>((b->bottom() - 1e-9) / ch), 0,
+                               rows - 1);
+          for (int cy = cy0; cy <= cy1; ++cy) {
+            for (int cx = cx0; cx <= cx1; ++cx) {
+              cells.push_back(cy * cols + cx);
+            }
+          }
+        }
+        for (int c : cells) {
+          double& r = run[c];
+          r += sample_dt;
+          auto uc = static_cast<std::size_t>(c);
+          hm.persistence[uc] = std::max(hm.persistence[uc], r);
+        }
+        // Cells no longer occupied end their run.
+        for (auto it = run.begin(); it != run.end();) {
+          if (std::find(cells.begin(), cells.end(), it->first) ==
+              cells.end()) {
+            it = run.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        occ.cells_per_sample.push_back(std::move(cells));
+      }
+      hm.tracks.push_back(std::move(occ));
+    }
+  }
+  return hm;
+}
+
+}  // namespace privid::maskopt

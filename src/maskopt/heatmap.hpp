@@ -1,0 +1,43 @@
+// Persistence heat-maps over a grid of frame cells (§7.1, Fig. 3 top row).
+//
+// Cell persistence = the longest time any single appearance (track) spends
+// intersecting that cell. Lingering spots (benches, parking) light up;
+// through-traffic contributes only seconds per cell.
+//
+// The heat-map builder also records, per appearance, which cells it
+// occupies at each time sample — the input Algorithm 2 (greedy mask
+// ordering) consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/scene.hpp"
+
+namespace privid::maskopt {
+
+// Occupancy of one ground-truth appearance, sampled on a regular time grid.
+struct TrackOccupancy {
+  std::size_t entity_index = 0;  // into scene.entities()
+  // For each time sample while visible: flat cell indices overlapped.
+  std::vector<std::vector<int>> cells_per_sample;
+};
+
+struct HeatmapData {
+  int cols = 0, rows = 0;
+  double sample_dt = 0.5;
+  std::vector<double> persistence;  // per flat cell, seconds (max over tracks)
+  std::vector<TrackOccupancy> tracks;
+
+  double cell_persistence(int cx, int cy) const {
+    return persistence.at(static_cast<std::size_t>(cy) * cols + cx);
+  }
+  double max_persistence() const;
+};
+
+// Builds the heat-map from ground truth over `window`, sampling trajectories
+// every `sample_dt` seconds onto a cols x rows grid.
+HeatmapData build_heatmap(const sim::Scene& scene, TimeInterval window,
+                          int cols, int rows, double sample_dt = 0.5);
+
+}  // namespace privid::maskopt

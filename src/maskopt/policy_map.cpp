@@ -1,0 +1,67 @@
+#include "maskopt/policy_map.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace privid::maskopt {
+
+MaskPolicyMap::MaskPolicyMap(const VideoMeta& meta,
+                             const MaskOrdering& ordering,
+                             double safety_factor, int k, std::size_t levels)
+    : meta_(meta), ordering_(ordering) {
+  if (safety_factor < 1.0) throw ArgumentError("safety_factor must be >= 1");
+  if (levels < 2) throw ArgumentError("need at least 2 levels");
+  if (ordering.steps.empty()) throw ArgumentError("empty mask ordering");
+
+  // Pick `levels` prefix lengths spread geometrically over the chain so the
+  // published map is small but covers the useful range.
+  std::set<std::size_t> prefixes{0, ordering.steps.size() - 1};
+  double ratio = static_cast<double>(ordering.steps.size() - 1);
+  for (std::size_t i = 1; i + 1 < levels && ratio > 1; ++i) {
+    double f = static_cast<double>(i) / static_cast<double>(levels - 1);
+    prefixes.insert(static_cast<std::size_t>(ratio * f * f));
+  }
+  for (std::size_t p : prefixes) {
+    const auto& step = ordering.steps[p];
+    PolicyEntry e;
+    e.mask_id = "mask_" + std::to_string(p);
+    e.boxes_masked = p;
+    e.rho = step.max_persistence * safety_factor;
+    e.k = k;
+    e.identities_retained = step.identities_retained;
+    entries_.push_back(std::move(e));
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const PolicyEntry& a, const PolicyEntry& b) {
+              return a.boxes_masked < b.boxes_masked;
+            });
+}
+
+Mask MaskPolicyMap::mask_for(std::size_t i) const {
+  return ordering_.mask_prefix(meta_, entries_.at(i).boxes_masked);
+}
+
+const PolicyEntry& MaskPolicyMap::best_for(
+    const std::vector<int>& required_cells) const {
+  const PolicyEntry* best = nullptr;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    // Check the prefix avoids every required cell.
+    bool ok = true;
+    for (std::size_t s = 1;
+         s < ordering_.steps.size() && s <= entries_[i].boxes_masked; ++s) {
+      if (std::find(required_cells.begin(), required_cells.end(),
+                    ordering_.steps[s].cell) != required_cells.end()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (!best || entries_[i].rho < best->rho) best = &entries_[i];
+  }
+  if (!best) throw LookupError("no mask avoids the required cells");
+  return *best;
+}
+
+}  // namespace privid::maskopt

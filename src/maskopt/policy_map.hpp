@@ -1,0 +1,53 @@
+// Mask -> policy map (§7.1 "Optimization", Appendix F.2).
+//
+// At camera registration the owner releases a map from candidate masks to
+// the (ρ, K) policy each yields. The analyst picks the mask that least
+// disrupts their query while maximally reducing ρ. Per Appendix F.2 the
+// structure is effectively a narrow chain: each additional masked box
+// lowers (or keeps) the achievable ρ.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "maskopt/greedy.hpp"
+#include "video/mask.hpp"
+
+namespace privid::maskopt {
+
+struct PolicyEntry {
+  std::string mask_id;           // public identifier
+  std::size_t boxes_masked = 0;  // prefix length of the greedy ordering
+  Seconds rho = 0;               // policy ρ under this mask
+  int k = 2;                     // policy K
+  double identities_retained = 1.0;
+};
+
+class MaskPolicyMap {
+ public:
+  // Builds the chain from a greedy ordering. `safety_factor` pads ρ above
+  // the observed max persistence (the owner's margin for estimation error);
+  // `levels` caps how many distinct entries are published.
+  MaskPolicyMap(const VideoMeta& meta, const MaskOrdering& ordering,
+                double safety_factor = 1.2, int k = 2,
+                std::size_t levels = 8);
+
+  std::size_t size() const { return entries_.size(); }
+  const PolicyEntry& entry(std::size_t i) const { return entries_.at(i); }
+  const std::vector<PolicyEntry>& entries() const { return entries_; }
+
+  // The mask for an entry.
+  Mask mask_for(std::size_t i) const;
+  // Entry with the smallest ρ among those whose mask leaves every cell in
+  // `required_cells` (flat indices) visible; throws LookupError when none
+  // qualifies (entry 0, the empty mask, always qualifies in practice).
+  const PolicyEntry& best_for(const std::vector<int>& required_cells) const;
+
+ private:
+  VideoMeta meta_;
+  MaskOrdering ordering_;
+  std::vector<PolicyEntry> entries_;
+};
+
+}  // namespace privid::maskopt

@@ -1,0 +1,104 @@
+#include "privacy/budget.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+BudgetLedger::BudgetLedger(double epsilon_per_frame)
+    : epsilon_(epsilon_per_frame) {
+  if (epsilon_per_frame <= 0) {
+    throw ArgumentError("epsilon_per_frame must be positive");
+  }
+}
+
+bool BudgetLedger::can_charge(FrameInterval interval, FrameIndex margin,
+                              double epsilon) const {
+  if (interval.empty()) throw ArgumentError("can_charge: empty interval");
+  if (margin < 0) throw ArgumentError("can_charge: negative margin");
+  if (epsilon <= 0) throw ArgumentError("can_charge: non-positive epsilon");
+  FrameInterval widened{interval.begin - margin, interval.end + margin};
+  double max_spent = spent_.max_over(widened.begin, widened.end);
+  // Guard against FP accumulation: treat within-1e-12 as equal.
+  return epsilon_ - max_spent >= epsilon - 1e-12;
+}
+
+void BudgetLedger::charge(FrameInterval interval, FrameIndex margin,
+                          double epsilon) {
+  if (!can_charge(interval, margin, epsilon)) {
+    throw BudgetError("insufficient budget over [" +
+                      std::to_string(interval.begin - margin) + ", " +
+                      std::to_string(interval.end + margin) + ") for epsilon " +
+                      std::to_string(epsilon));
+  }
+  spent_.add(interval.begin, interval.end, epsilon);
+}
+
+double BudgetLedger::remaining(FrameIndex frame) const {
+  return epsilon_ - spent_.value_at(frame);
+}
+
+double BudgetLedger::min_remaining(FrameInterval interval) const {
+  if (interval.empty()) throw ArgumentError("min_remaining: empty interval");
+  return epsilon_ - spent_.max_over(interval.begin, interval.end);
+}
+
+double BudgetLedger::total_consumed(FrameInterval over) const {
+  if (over.empty()) return 0.0;
+  return spent_.sum_over(over.begin, over.end);
+}
+
+BudgetLedger::BudgetLedger(double epsilon_per_frame, IntervalMap spent)
+    : epsilon_(epsilon_per_frame), spent_(std::move(spent)) {}
+
+void BudgetLedger::save(std::ostream& os) const {
+  os.precision(17);
+  os << "privid-budget-v1\n";
+  os << "epsilon " << epsilon_ << "\n";
+  for (const auto& seg : spent_.segments()) {
+    os << "spent " << seg.lo << " " << seg.hi << " " << seg.value << "\n";
+  }
+  os << "end\n";
+}
+
+BudgetLedger BudgetLedger::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "privid-budget-v1") {
+    throw ParseError("budget ledger: bad header");
+  }
+  double epsilon = 0;
+  IntervalMap spent;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "epsilon") {
+      ls >> epsilon;
+    } else if (tag == "spent") {
+      std::int64_t lo = 0, hi = 0;
+      double value = 0;
+      ls >> lo >> hi >> value;
+      if (ls.fail() || hi <= lo || value < 0) {
+        throw ParseError("budget ledger: bad segment '" + line + "'");
+      }
+      spent.assign(lo, hi, value);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw ParseError("budget ledger: unknown record '" + tag + "'");
+    }
+    if (ls.fail()) throw ParseError("budget ledger: bad record '" + line + "'");
+  }
+  if (!saw_end) throw ParseError("budget ledger: truncated file");
+  if (epsilon <= 0) throw ParseError("budget ledger: missing epsilon");
+  return BudgetLedger(epsilon, std::move(spent));
+}
+
+}  // namespace privid

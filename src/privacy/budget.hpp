@@ -1,0 +1,61 @@
+// Per-frame privacy budget ledger (§6.4, Algorithm 1 lines 1-5).
+//
+// Privid allocates a separate budget of ε to *each frame* of a camera's
+// video rather than one global budget. A query over frame interval [a, b)
+// requesting ε_Q is admitted only if every frame in the widened interval
+// [a - ρ_frames, b + ρ_frames) still has ≥ ε_Q remaining; on admission,
+// ε_Q is charged to [a, b) only (the ρ margin is checked but not charged).
+// The margin guarantees no single ≤ρ event segment can straddle two
+// temporally disjoint queries with independent budgets (Appendix E.2).
+//
+// Backed by an IntervalMap so cost is O(log n) per query, independent of
+// video length.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/interval_map.hpp"
+#include "common/timeutil.hpp"
+
+namespace privid {
+
+class BudgetLedger {
+ public:
+  // `epsilon_per_frame`: the global per-frame allocation ε_C for the camera.
+  explicit BudgetLedger(double epsilon_per_frame);
+
+  // True iff every frame in [interval.begin - margin, interval.end + margin)
+  // has at least `epsilon` remaining.
+  bool can_charge(FrameInterval interval, FrameIndex margin,
+                  double epsilon) const;
+
+  // Charges `epsilon` to every frame in `interval` (no margin). Throws
+  // BudgetError if can_charge would be false — callers must check first,
+  // but the ledger re-verifies to keep the invariant unconditional.
+  void charge(FrameInterval interval, FrameIndex margin, double epsilon);
+
+  // Remaining budget on a single frame.
+  double remaining(FrameIndex frame) const;
+  // Minimum remaining budget over an interval.
+  double min_remaining(FrameInterval interval) const;
+
+  double epsilon_per_frame() const { return epsilon_; }
+
+  // Total budget consumed across all frames (diagnostics).
+  double total_consumed(FrameInterval over) const;
+
+  // Persistence: budget state must survive owner restarts — a ledger that
+  // forgets its charges silently voids the (ρ, K, ε_C) guarantee. The
+  // format is a line-oriented text record of the spent segments.
+  void save(std::ostream& os) const;
+  static BudgetLedger load(std::istream& is);  // throws ParseError
+
+ private:
+  BudgetLedger(double epsilon_per_frame, IntervalMap spent);
+
+  double epsilon_;
+  IntervalMap spent_;  // default 0: nothing spent
+};
+
+}  // namespace privid

@@ -1,0 +1,40 @@
+#include "privacy/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+double max_detection_probability(double epsilon, double alpha) {
+  if (epsilon < 0) throw ArgumentError("negative epsilon");
+  if (alpha < 0 || alpha > 1) throw ArgumentError("alpha out of [0,1]");
+  // Eq. C.3. Both branches derive from PFP + e^ε PFN >= 1 and its mirror:
+  //   1 - PFN <= e^ε · α          (first constraint)
+  //   1 - PFN <= 1 - e^{-ε}(1-α)  (second constraint, rearranged)
+  double a = std::exp(epsilon) * alpha;
+  double b = 1.0 - std::exp(-epsilon) * (1.0 - alpha);
+  // The bound is also trivially capped at 1.
+  return std::min({a, b, 1.0});
+}
+
+double effective_epsilon_for_k(double epsilon, double k_policy,
+                               double k_actual) {
+  if (epsilon < 0) throw ArgumentError("negative epsilon");
+  if (k_policy <= 0) throw ArgumentError("k_policy must be positive");
+  if (k_actual < 0) throw ArgumentError("negative k_actual");
+  return epsilon * (k_actual / k_policy);
+}
+
+double effective_epsilon_for_rho(double epsilon, double rho_policy,
+                                 double rho_actual, double chunk_seconds) {
+  if (epsilon < 0) throw ArgumentError("negative epsilon");
+  if (chunk_seconds <= 0) throw ArgumentError("chunk must be positive");
+  if (rho_policy < 0 || rho_actual < 0) throw ArgumentError("negative rho");
+  double policy_chunks = 1.0 + std::ceil(rho_policy / chunk_seconds);
+  double actual_chunks = 1.0 + std::ceil(rho_actual / chunk_seconds);
+  return epsilon * (actual_chunks / policy_chunks);
+}
+
+}  // namespace privid

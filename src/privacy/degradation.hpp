@@ -1,0 +1,31 @@
+// Graceful degradation of privacy beyond the (ρ, K) bound (Appendix C).
+//
+// An event exceeding the protected bound is not revealed outright: the
+// adversary's detection advantage grows smoothly with the excess. Given an
+// adversary who tolerates false-positive rate α against ε-DP output, the
+// maximum probability of correctly deciding the event occurred is
+//   P(detect) ≤ min{ e^ε·α,  1 - e^{-ε}·(α - (1 - e^ε)) }   (Eq. C.3)
+// and an event visible for r·ρ (or r·K segments) effectively faces ε' = r·ε
+// (§5.3's linear-in-K rule; the ρ scaling is mechanism-dependent but is
+// bounded by the same ratio through Eq. 6.2's ceil term).
+#pragma once
+
+namespace privid {
+
+// Eq. C.3: maximum detection probability for an ε-DP release at
+// false-positive tolerance alpha.
+double max_detection_probability(double epsilon, double alpha);
+
+// Effective epsilon for an event that is (rho, K')-bounded under a policy
+// protecting (rho, K): ε' = ε · ceil(K'/K)… the paper's §5.3 rule is linear:
+// ε' = ε · (K'/K). Exposed for the Fig. 8 curve and policy analysis.
+double effective_epsilon_for_k(double epsilon, double k_policy,
+                               double k_actual);
+
+// Effective epsilon for an event whose per-segment duration is rho_actual
+// under a policy rho_policy with chunk size c: the sensitivity ratio
+// (1 + ceil(rho_actual/c)) / (1 + ceil(rho_policy/c)) scales ε (Eq. 6.2).
+double effective_epsilon_for_rho(double epsilon, double rho_policy,
+                                 double rho_actual, double chunk_seconds);
+
+}  // namespace privid

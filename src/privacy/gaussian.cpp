@@ -1,0 +1,28 @@
+#include "privacy/gaussian.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+double GaussianMechanism::noise_sigma(double sensitivity, double epsilon,
+                                      double delta) {
+  if (sensitivity < 0) throw ArgumentError("negative sensitivity");
+  if (epsilon <= 0 || epsilon > 1.0) {
+    throw ArgumentError("gaussian mechanism requires 0 < epsilon <= 1");
+  }
+  if (delta <= 0 || delta >= 1) {
+    throw ArgumentError("delta must be in (0, 1)");
+  }
+  return sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double GaussianMechanism::release(double raw, double sensitivity,
+                                  double epsilon, double delta, Rng& rng) {
+  double sigma = noise_sigma(sensitivity, epsilon, delta);
+  if (sigma == 0) return raw;
+  return raw + rng.normal(0.0, sigma);
+}
+
+}  // namespace privid

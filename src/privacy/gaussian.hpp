@@ -1,0 +1,18 @@
+// Gaussian mechanism for the (ε, δ)-DP variant.
+//
+// Footnote 5 of the paper notes (ρ, K, ε)-privacy extends trivially to
+// (ε, δ)-DP; this is that extension (analytic calibration σ ≥
+// Δ·sqrt(2 ln(1.25/δ))/ε, valid for ε ≤ 1).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace privid {
+
+struct GaussianMechanism {
+  static double noise_sigma(double sensitivity, double epsilon, double delta);
+  static double release(double raw, double sensitivity, double epsilon,
+                        double delta, Rng& rng);
+};
+
+}  // namespace privid

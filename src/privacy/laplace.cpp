@@ -1,0 +1,32 @@
+#include "privacy/laplace.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+double LaplaceMechanism::noise_scale(double sensitivity, double epsilon) {
+  if (sensitivity < 0) throw ArgumentError("negative sensitivity");
+  if (epsilon <= 0) throw ArgumentError("epsilon must be positive");
+  return sensitivity / epsilon;
+}
+
+double LaplaceMechanism::release(double raw, double sensitivity,
+                                 double epsilon, Rng& rng) {
+  double b = noise_scale(sensitivity, epsilon);
+  if (b == 0) return raw;
+  return raw + rng.laplace(0.0, b);
+}
+
+double LaplaceMechanism::confidence_halfwidth(double sensitivity,
+                                              double epsilon,
+                                              double confidence) {
+  if (confidence <= 0 || confidence >= 1) {
+    throw ArgumentError("confidence must be in (0, 1)");
+  }
+  double b = noise_scale(sensitivity, epsilon);
+  return b * std::log(1.0 / (1.0 - confidence));
+}
+
+}  // namespace privid

@@ -1,0 +1,27 @@
+// The Laplace mechanism (Dwork et al. 2006), Privid's release mechanism.
+//
+// Privid adds Laplace(0, Δ/ε) noise to each data release (Alg. 1 line 13),
+// where Δ is the query sensitivity w.r.t. the (ρ, K) policy.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace privid {
+
+struct LaplaceMechanism {
+  // Returns `raw + Laplace(0, sensitivity / epsilon)`.
+  // sensitivity == 0 (possible when ρ = 0 masks every private pixel, Case 4
+  // in §8.2) releases the exact value: nothing private can influence it.
+  static double release(double raw, double sensitivity, double epsilon,
+                        Rng& rng);
+
+  // The scale b = Δ/ε of the noise for the given parameters.
+  static double noise_scale(double sensitivity, double epsilon);
+
+  // Half-width of the symmetric interval containing `confidence` of the
+  // noise mass: b * ln(1/(1-confidence)). Used for the 99% ribbon in Fig. 5.
+  static double confidence_halfwidth(double sensitivity, double epsilon,
+                                     double confidence);
+};
+
+}  // namespace privid

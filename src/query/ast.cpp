@@ -1,0 +1,117 @@
+#include "query/ast.hpp"
+
+#include "common/error.hpp"
+
+namespace privid::query {
+
+ExprPtr Expr::column(std::string n) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->name = std::move(n);
+  return e;
+}
+
+ExprPtr Expr::number_lit(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNumber;
+  e->number = v;
+  return e;
+}
+
+ExprPtr Expr::string_lit(std::string s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kString;
+  e->text = std::move(s);
+  return e;
+}
+
+ExprPtr Expr::binary(std::string op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->name = std::move(op);
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::call(std::string fn, std::vector<ExprPtr> a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->name = std::move(fn);
+  e->args = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->name = name;
+  e->number = number;
+  e->text = text;
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return name;
+    case Kind::kNumber:
+      return Value(number).to_string();
+    case Kind::kString:
+      return "\"" + text + "\"";
+    case Kind::kBinary:
+      return "(" + args[0]->to_string() + " " + name + " " +
+             args[1]->to_string() + ")";
+    case Kind::kCall: {
+      std::string s = name + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->to_string();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+std::string Projection::output_name() const {
+  if (!alias.empty()) return alias;
+  if (expr && expr->kind == Expr::Kind::kColumn) return expr->name;
+  if (agg) return agg_func_name(*agg);
+  return "expr";
+}
+
+RelPtr Relation::table_ref(std::string name) {
+  auto r = std::make_unique<Relation>();
+  r->kind = Kind::kTableRef;
+  r->table = std::move(name);
+  return r;
+}
+
+RelPtr Relation::from_select(std::unique_ptr<SelectCore> core) {
+  auto r = std::make_unique<Relation>();
+  r->kind = Kind::kSelect;
+  r->select = std::move(core);
+  return r;
+}
+
+RelPtr Relation::join(RelPtr l, RelPtr r, std::vector<std::string> cols) {
+  if (cols.empty()) throw ArgumentError("join requires at least one column");
+  auto rel = std::make_unique<Relation>();
+  rel->kind = Kind::kJoin;
+  rel->left = std::move(l);
+  rel->right = std::move(r);
+  rel->join_columns = std::move(cols);
+  return rel;
+}
+
+RelPtr Relation::union_of(RelPtr l, RelPtr r) {
+  auto rel = std::make_unique<Relation>();
+  rel->kind = Kind::kUnion;
+  rel->left = std::move(l);
+  rel->right = std::move(r);
+  return rel;
+}
+
+}  // namespace privid::query

@@ -1,0 +1,136 @@
+// Abstract syntax tree for the Privid query language (Appendix D).
+//
+// A query is a sequence of SPLIT, PROCESS and SELECT statements. SELECTs
+// compile to a small relational algebra (table refs, select-project cores,
+// joins, unions) over which the sensitivity module runs the Fig. 10 rules.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timeutil.hpp"
+#include "table/aggregate.hpp"
+#include "table/value.hpp"
+
+namespace privid::query {
+
+// ---------------------------------------------------------------- statements
+
+struct SplitStmt {
+  std::string camera;
+  Seconds begin = 0;
+  Seconds end = 0;
+  Seconds chunk = 0;
+  Seconds stride = 0;
+  std::optional<std::string> region_scheme;  // BY REGION <name>
+  std::optional<std::string> mask_id;        // WITH MASK <name>
+  std::string into;
+};
+
+struct SchemaColDecl {
+  std::string name;
+  DType type = DType::kNumber;
+  Value default_value;
+};
+
+struct ProcessStmt {
+  std::string chunk_set;
+  std::string executable;
+  Seconds timeout = 1.0;
+  std::size_t max_rows = 1;
+  std::vector<SchemaColDecl> schema;
+  std::string into;
+};
+
+// -------------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kColumn, kNumber, kString, kBinary, kCall };
+  Kind kind = Kind::kNumber;
+
+  std::string name;      // column name / binary op / call name
+  double number = 0;     // kNumber
+  std::string text;      // kString
+  std::vector<ExprPtr> args;  // kBinary (2) / kCall (n)
+
+  static ExprPtr column(std::string n);
+  static ExprPtr number_lit(double v);
+  static ExprPtr string_lit(std::string s);
+  static ExprPtr binary(std::string op, ExprPtr l, ExprPtr r);
+  static ExprPtr call(std::string fn, std::vector<ExprPtr> a);
+
+  ExprPtr clone() const;
+  std::string to_string() const;
+};
+
+// ------------------------------------------------------------------ selects
+
+// Binning functions for trusted-column group keys: hour(chunk), day(chunk).
+enum class BinFunc { kNone, kHour, kDay };
+
+struct GroupKey {
+  std::string column;
+  BinFunc bin = BinFunc::kNone;
+  // Explicit key values (WITH KEYS [...]); must be non-empty for untrusted
+  // columns, must be empty for trusted ones (chunk/region/camera).
+  std::vector<Value> keys;
+};
+
+struct Projection {
+  ExprPtr expr;                       // the projected expression
+  std::optional<AggFunc> agg;         // set when wrapped in an agg function
+  std::optional<AggFunc> argmax_inner;  // ARGMAX(COUNT(col)) etc.
+  std::string alias;                  // AS name; defaults to a derived name
+  // Declared range of the aggregated/projected column (range(col, lo, hi)
+  // or RANGE lo hi after an aggregate).
+  std::optional<std::pair<double, double>> range;
+
+  std::string output_name() const;
+};
+
+struct Relation;
+using RelPtr = std::unique_ptr<Relation>;
+
+struct SelectCore {
+  std::vector<Projection> projections;
+  RelPtr from;
+  ExprPtr where;                      // nullable
+  std::optional<std::size_t> limit;   // LIMIT n
+  std::vector<GroupKey> group_by;     // empty when no GROUP BY
+};
+
+struct Relation {
+  enum class Kind { kTableRef, kSelect, kJoin, kUnion };
+  Kind kind = Kind::kTableRef;
+
+  std::string table;                      // kTableRef
+  std::unique_ptr<SelectCore> select;     // kSelect
+  RelPtr left, right;                     // kJoin / kUnion
+  std::vector<std::string> join_columns;  // kJoin: shared column names
+
+  static RelPtr table_ref(std::string name);
+  static RelPtr from_select(std::unique_ptr<SelectCore> core);
+  static RelPtr join(RelPtr l, RelPtr r, std::vector<std::string> cols);
+  static RelPtr union_of(RelPtr l, RelPtr r);
+};
+
+struct SelectStmt {
+  SelectCore core;
+  // Per-release privacy budget εᵢ (CONSUMING directive). 0 means "use the
+  // executor's default".
+  double consuming = 0;
+};
+
+// A full parsed query.
+struct ParsedQuery {
+  std::vector<SplitStmt> splits;
+  std::vector<ProcessStmt> processes;
+  std::vector<SelectStmt> selects;
+};
+
+}  // namespace privid::query

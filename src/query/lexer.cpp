@@ -1,0 +1,170 @@
+#include "query/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace privid::query {
+
+bool Token::is_keyword(const std::string& upper_kw) const {
+  if (kind != TokKind::kIdent) return false;
+  if (text.size() != upper_kw.size()) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != upper_kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct Cursor {
+  const std::string& src;
+  std::size_t pos = 0;
+  std::size_t line = 1, col = 1;
+
+  bool done() const { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char advance() {
+    char c = src[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " at line " + std::to_string(line) + ", col " +
+                     std::to_string(col));
+  }
+};
+
+double duration_multiplier(const std::string& unit, Cursor& c) {
+  if (unit == "s" || unit == "sec" || unit == "secs") return 1;
+  if (unit == "min" || unit == "mins" || unit == "m") return 60;
+  if (unit == "hr" || unit == "hrs" || unit == "h") return 3600;
+  if (unit == "day" || unit == "days" || unit == "d") return 86400;
+  c.fail("unknown duration unit '" + unit + "'");
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  Cursor c{src};
+  while (!c.done()) {
+    char ch = c.peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+    // Comments.
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (c.done()) c.fail("unterminated comment");
+      c.advance();
+      c.advance();
+      continue;
+    }
+    if (ch == '-' && c.peek(1) == '-') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+
+    Token tok;
+    tok.line = c.line;
+    tok.col = c.col;
+
+    // Numbers (with optional duration suffix).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string num;
+      while (std::isdigit(static_cast<unsigned char>(c.peek())) ||
+             c.peek() == '.') {
+        num += c.advance();
+      }
+      double v;
+      try {
+        v = std::stod(num);
+      } catch (const std::exception&) {
+        c.fail("bad number '" + num + "'");
+      }
+      if (std::isalpha(static_cast<unsigned char>(c.peek()))) {
+        std::string unit;
+        while (std::isalpha(static_cast<unsigned char>(c.peek()))) {
+          unit += static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c.advance())));
+        }
+        tok.kind = TokKind::kDuration;
+        tok.number = v * duration_multiplier(unit, c);
+      } else {
+        tok.kind = TokKind::kNumber;
+        tok.number = v;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Identifiers.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string id;
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) ||
+             c.peek() == '_' || c.peek() == '.') {
+        id += c.advance();
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = std::move(id);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Strings.
+    if (ch == '"') {
+      c.advance();
+      std::string s;
+      while (!c.done() && c.peek() != '"') s += c.advance();
+      if (c.done()) c.fail("unterminated string");
+      c.advance();
+      tok.kind = TokKind::kString;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char punctuation.
+    if ((ch == '<' || ch == '>' || ch == '!') && c.peek(1) == '=') {
+      tok.kind = TokKind::kPunct;
+      char first = c.advance();
+      char second = c.advance();
+      tok.text = {first, second};
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Single-char punctuation.
+    static const std::string kPunct = "()[],;:=<>+-*/";
+    if (kPunct.find(ch) != std::string::npos) {
+      tok.kind = TokKind::kPunct;
+      tok.text = std::string(1, c.advance());
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    c.fail(std::string("unexpected character '") + ch + "'");
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = c.line;
+  end.col = c.col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace privid::query

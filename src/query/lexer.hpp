@@ -1,0 +1,42 @@
+// Tokenizer for the Privid query language.
+//
+// Identifiers and keywords are case-insensitive (keywords are recognised by
+// the parser from the IDENT spelling). Numbers may carry a duration suffix
+// (s/sec/min/hr/day), in which case the token value is normalised to
+// seconds: "5sec" -> 5, "10min" -> 600, "12hr" -> 43200.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace privid::query {
+
+enum class TokKind {
+  kIdent,     // foo, SELECT (keywords resolved by parser)
+  kNumber,    // 42, 3.5
+  kDuration,  // 5sec, 12hr — value normalised to seconds
+  kString,    // "RED"
+  kPunct,     // ( ) [ ] , ; : = < > <= >= != + - * /
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier / punct spelling / string contents
+  double number = 0;  // kNumber / kDuration value
+  std::size_t line = 1;
+  std::size_t col = 1;
+
+  // Case-insensitive keyword match for kIdent tokens.
+  bool is_keyword(const std::string& upper_kw) const;
+  bool is_punct(const std::string& p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+};
+
+// Tokenizes `src`; throws ParseError with line/col on bad input. Comments
+// (/* ... */ and -- to end of line) are skipped.
+std::vector<Token> tokenize(const std::string& src);
+
+}  // namespace privid::query

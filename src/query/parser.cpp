@@ -1,0 +1,458 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "query/lexer.hpp"
+
+namespace privid::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  ParsedQuery parse() {
+    ParsedQuery q;
+    while (!at_end()) {
+      if (peek().is_keyword("SPLIT")) {
+        q.splits.push_back(parse_split());
+      } else if (peek().is_keyword("PROCESS")) {
+        q.processes.push_back(parse_process());
+      } else if (peek().is_keyword("SELECT")) {
+        q.selects.push_back(parse_select_stmt());
+      } else {
+        fail("expected SPLIT, PROCESS or SELECT");
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool at_end() const { return peek().kind == TokKind::kEnd; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const Token& t = peek();
+    std::string got = t.kind == TokKind::kEnd ? "<end>" : t.text;
+    if (t.kind == TokKind::kNumber || t.kind == TokKind::kDuration) {
+      got = Value(t.number).to_string();
+    }
+    throw ParseError(msg + " (got '" + got + "' at line " +
+                     std::to_string(t.line) + ", col " + std::to_string(t.col) +
+                     ")");
+  }
+
+  void expect_kw(const std::string& kw) {
+    if (!peek().is_keyword(kw)) fail("expected " + kw);
+    advance();
+  }
+  bool accept_kw(const std::string& kw) {
+    if (peek().is_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(const std::string& p) {
+    if (!peek().is_punct(p)) fail("expected '" + p + "'");
+    advance();
+  }
+  bool accept_punct(const std::string& p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  std::string expect_ident(const std::string& what) {
+    if (peek().kind != TokKind::kIdent) fail("expected " + what);
+    return advance().text;
+  }
+  double expect_number(const std::string& what) {
+    if (peek().kind != TokKind::kNumber && peek().kind != TokKind::kDuration) {
+      fail("expected " + what);
+    }
+    return advance().number;
+  }
+
+  // Seconds: a bare number or a duration literal.
+  Seconds expect_time(const std::string& what) { return expect_number(what); }
+
+  // ------------------------------------------------------------- statements
+
+  SplitStmt parse_split() {
+    expect_kw("SPLIT");
+    SplitStmt s;
+    s.camera = expect_ident("camera id");
+    expect_kw("BEGIN");
+    s.begin = expect_time("begin time");
+    expect_kw("END");
+    s.end = expect_time("end time");
+    expect_kw("BY");
+    expect_kw("TIME");
+    s.chunk = expect_time("chunk duration");
+    expect_kw("STRIDE");
+    // Stride may be negative (overlapping chunks).
+    bool neg = accept_punct("-");
+    s.stride = expect_time("stride");
+    if (neg) s.stride = -s.stride;
+    while (true) {
+      if (accept_kw("BY")) {
+        expect_kw("REGION");
+        s.region_scheme = expect_ident("region scheme");
+      } else if (accept_kw("WITH")) {
+        expect_kw("MASK");
+        s.mask_id = expect_ident("mask id");
+      } else {
+        break;
+      }
+    }
+    expect_kw("INTO");
+    s.into = expect_ident("chunk set id");
+    expect_punct(";");
+    return s;
+  }
+
+  ProcessStmt parse_process() {
+    expect_kw("PROCESS");
+    ProcessStmt p;
+    p.chunk_set = expect_ident("chunk set id");
+    expect_kw("USING");
+    if (peek().kind == TokKind::kString) {
+      p.executable = advance().text;
+    } else {
+      p.executable = expect_ident("executable name");
+    }
+    expect_kw("TIMEOUT");
+    p.timeout = expect_time("timeout");
+    expect_kw("PRODUCING");
+    double rows = expect_number("max rows");
+    if (rows < 1) fail("PRODUCING must be at least 1 row");
+    p.max_rows = static_cast<std::size_t>(rows);
+    accept_kw("ROWS") || accept_kw("ROW");
+    expect_kw("WITH");
+    expect_kw("SCHEMA");
+    expect_punct("(");
+    do {
+      p.schema.push_back(parse_schema_col());
+    } while (accept_punct(","));
+    expect_punct(")");
+    expect_kw("INTO");
+    p.into = expect_ident("table id");
+    expect_punct(";");
+    return p;
+  }
+
+  SchemaColDecl parse_schema_col() {
+    SchemaColDecl c;
+    c.name = expect_ident("column name");
+    expect_punct(":");
+    if (accept_kw("STRING")) {
+      c.type = DType::kString;
+      c.default_value = Value(std::string());
+    } else if (accept_kw("NUMBER")) {
+      c.type = DType::kNumber;
+      c.default_value = Value(0.0);
+    } else {
+      fail("expected STRING or NUMBER");
+    }
+    if (accept_punct("=")) {
+      if (c.type == DType::kString) {
+        if (peek().kind != TokKind::kString) fail("expected string default");
+        c.default_value = Value(advance().text);
+      } else {
+        bool neg = accept_punct("-");
+        double v = expect_number("numeric default");
+        c.default_value = Value(neg ? -v : v);
+      }
+    }
+    return c;
+  }
+
+  SelectStmt parse_select_stmt() {
+    SelectStmt s;
+    s.core = parse_select_core();
+    if (accept_kw("CONSUMING")) {
+      s.consuming = expect_number("epsilon");
+      if (s.consuming <= 0) fail("CONSUMING must be positive");
+    }
+    expect_punct(";");
+    return s;
+  }
+
+  SelectCore parse_select_core() {
+    expect_kw("SELECT");
+    SelectCore core;
+    do {
+      core.projections.push_back(parse_projection());
+    } while (accept_punct(","));
+    expect_kw("FROM");
+    core.from = parse_relation();
+    if (accept_kw("WHERE")) core.where = parse_expr();
+    if (accept_kw("LIMIT")) {
+      double n = expect_number("limit");
+      if (n < 0) fail("LIMIT must be non-negative");
+      core.limit = static_cast<std::size_t>(n);
+    }
+    if (accept_kw("GROUP")) {
+      expect_kw("BY");
+      do {
+        core.group_by.push_back(parse_group_key());
+      } while (accept_punct(","));
+    }
+    return core;
+  }
+
+  // Is the identifier an aggregation function name?
+  static std::optional<AggFunc> as_agg(const Token& t) {
+    if (t.kind != TokKind::kIdent) return std::nullopt;
+    return parse_agg_func(t.text);
+  }
+
+  Projection parse_projection() {
+    Projection p;
+    auto agg = as_agg(peek());
+    if (agg && peek(1).is_punct("(")) {
+      advance();  // the agg name
+      advance();  // '('
+      p.agg = agg;
+      if (*agg == AggFunc::kArgmax) {
+        // ARGMAX(COUNT(col)) / ARGMAX(SUM(col)) ...
+        auto inner = as_agg(peek());
+        if (inner && peek(1).is_punct("(")) {
+          advance();
+          advance();
+          p.argmax_inner = inner;
+          if (accept_punct("*")) {
+            p.expr = Expr::column("*");
+          } else {
+            p.expr = parse_expr();
+          }
+          expect_punct(")");
+        } else {
+          p.expr = parse_expr();
+        }
+      } else if (accept_punct("*")) {
+        if (*agg != AggFunc::kCount) fail("only COUNT(*) is supported");
+        p.expr = Expr::column("*");
+      } else {
+        p.expr = parse_expr();
+      }
+      expect_punct(")");
+    } else {
+      p.expr = parse_expr();
+    }
+    // range(col, lo, hi) as the aggregated expression: hoist into p.range.
+    if (p.expr && p.expr->kind == Expr::Kind::kCall && p.expr->name == "range") {
+      if (p.expr->args.size() != 3 ||
+          p.expr->args[1]->kind != Expr::Kind::kNumber ||
+          p.expr->args[2]->kind != Expr::Kind::kNumber) {
+        fail("range() expects (expr, lo, hi) with numeric bounds");
+      }
+      double lo = p.expr->args[1]->number;
+      double hi = p.expr->args[2]->number;
+      if (hi < lo) fail("range() bounds inverted");
+      p.range = {lo, hi};
+      ExprPtr inner = std::move(p.expr->args[0]);
+      p.expr = std::move(inner);
+    }
+    // Trailing "RANGE lo hi" and "AS alias", in either order.
+    for (int i = 0; i < 2; ++i) {
+      if (accept_kw("RANGE")) {
+        bool neg_lo = accept_punct("-");
+        double lo = expect_number("range low");
+        if (neg_lo) lo = -lo;
+        bool neg_hi = accept_punct("-");
+        double hi = expect_number("range high");
+        if (neg_hi) hi = -hi;
+        if (hi < lo) fail("RANGE bounds inverted");
+        p.range = {lo, hi};
+      } else if (accept_kw("AS")) {
+        p.alias = expect_ident("alias");
+      }
+    }
+    return p;
+  }
+
+  GroupKey parse_group_key() {
+    GroupKey g;
+    std::string first = expect_ident("group column");
+    if (accept_punct("(")) {
+      // hour(chunk) / day(chunk)
+      std::string col = expect_ident("binned column");
+      expect_punct(")");
+      std::string fn;
+      for (char c : first) {
+        fn += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (fn == "hour") {
+        g.bin = BinFunc::kHour;
+      } else if (fn == "day") {
+        g.bin = BinFunc::kDay;
+      } else {
+        fail("unknown binning function '" + first + "'");
+      }
+      g.column = col;
+    } else {
+      g.column = first;
+    }
+    if (accept_kw("WITH")) {
+      expect_kw("KEYS");
+      expect_punct("[");
+      do {
+        if (peek().kind == TokKind::kString) {
+          g.keys.emplace_back(advance().text);
+        } else if (peek().kind == TokKind::kNumber ||
+                   peek().kind == TokKind::kDuration) {
+          g.keys.emplace_back(advance().number);
+        } else {
+          fail("expected key literal");
+        }
+      } while (accept_punct(","));
+      expect_punct("]");
+    }
+    return g;
+  }
+
+  RelPtr parse_relation() {
+    RelPtr left = parse_relation_primary();
+    while (true) {
+      if (accept_kw("JOIN")) {
+        RelPtr right = parse_relation_primary();
+        expect_kw("ON");
+        std::vector<std::string> cols;
+        do {
+          cols.push_back(expect_ident("join column"));
+        } while (accept_punct(","));
+        left = Relation::join(std::move(left), std::move(right),
+                              std::move(cols));
+      } else if (accept_kw("UNION")) {
+        RelPtr right = parse_relation_primary();
+        left = Relation::union_of(std::move(left), std::move(right));
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  RelPtr parse_relation_primary() {
+    if (accept_punct("(")) {
+      RelPtr r;
+      if (peek().is_keyword("SELECT")) {
+        auto core = std::make_unique<SelectCore>(parse_select_core());
+        r = Relation::from_select(std::move(core));
+      } else {
+        r = parse_relation();
+      }
+      expect_punct(")");
+      return r;
+    }
+    return Relation::table_ref(expect_ident("table name"));
+  }
+
+  // ------------------------------------------------------------ expressions
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr l = parse_and();
+    while (peek().is_keyword("OR")) {
+      advance();
+      l = Expr::binary("OR", std::move(l), parse_and());
+    }
+    return l;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr l = parse_cmp();
+    while (peek().is_keyword("AND")) {
+      advance();
+      l = Expr::binary("AND", std::move(l), parse_cmp());
+    }
+    return l;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr l = parse_add();
+    static const char* kOps[] = {"<=", ">=", "!=", "=", "<", ">"};
+    for (const char* op : kOps) {
+      if (peek().is_punct(op)) {
+        advance();
+        return Expr::binary(op, std::move(l), parse_add());
+      }
+    }
+    return l;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr l = parse_mul();
+    while (peek().is_punct("+") || peek().is_punct("-")) {
+      std::string op = advance().text;
+      l = Expr::binary(op, std::move(l), parse_mul());
+    }
+    return l;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr l = parse_primary();
+    while (peek().is_punct("*") || peek().is_punct("/")) {
+      std::string op = advance().text;
+      l = Expr::binary(op, std::move(l), parse_primary());
+    }
+    return l;
+  }
+
+  ExprPtr parse_primary() {
+    if (accept_punct("(")) {
+      ExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (accept_punct("-")) {
+      return Expr::binary("-", Expr::number_lit(0), parse_primary());
+    }
+    if (peek().kind == TokKind::kNumber || peek().kind == TokKind::kDuration) {
+      return Expr::number_lit(advance().number);
+    }
+    if (peek().kind == TokKind::kString) {
+      return Expr::string_lit(advance().text);
+    }
+    if (peek().kind == TokKind::kIdent) {
+      std::string name = advance().text;
+      if (accept_punct("(")) {
+        std::vector<ExprPtr> args;
+        if (!peek().is_punct(")")) {
+          do {
+            args.push_back(parse_expr());
+          } while (accept_punct(","));
+        }
+        expect_punct(")");
+        std::string fn;
+        for (char c : name) {
+          fn += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        return Expr::call(fn, std::move(args));
+      }
+      return Expr::column(name);
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedQuery parse_query(const std::string& text) {
+  return Parser(tokenize(text)).parse();
+}
+
+}  // namespace privid::query

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the Privid query language (Appendix D).
+#pragma once
+
+#include <string>
+
+#include "query/ast.hpp"
+
+namespace privid::query {
+
+// Parses a full query (any number of SPLIT / PROCESS / SELECT statements,
+// each terminated by ';'). Throws ParseError on malformed input.
+ParsedQuery parse_query(const std::string& text);
+
+}  // namespace privid::query

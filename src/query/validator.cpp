@@ -1,0 +1,187 @@
+#include "query/validator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "table/schema.hpp"
+
+namespace privid::query {
+
+namespace {
+
+bool is_trusted_group_column(const GroupKey& g) {
+  return Schema::is_trusted_column(g.column) || g.column == "camera";
+}
+
+void validate_relation(const Relation& rel,
+                       const std::set<std::string>& tables);
+
+void validate_core(const SelectCore& core, const std::set<std::string>& tables,
+                   bool outermost) {
+  if (core.projections.empty()) {
+    throw ValidationError("SELECT with no projections");
+  }
+  if (!core.from) throw ValidationError("SELECT without FROM");
+  validate_relation(*core.from, tables);
+
+  // Group keys: untrusted columns need explicit keys, trusted must not have
+  // them (their key sets would otherwise be analyst-controlled).
+  for (const auto& g : core.group_by) {
+    bool trusted = is_trusted_group_column(g);
+    if (g.bin != BinFunc::kNone && g.column != kChunkColumn) {
+      throw ValidationError("binning (hour/day) applies only to 'chunk'");
+    }
+    if (trusted && !g.keys.empty()) {
+      throw ValidationError("GROUP BY " + g.column +
+                            ": trusted columns must not declare WITH KEYS");
+    }
+    if (!trusted && g.keys.empty()) {
+      throw ValidationError(
+          "GROUP BY " + g.column +
+          ": untrusted columns require WITH KEYS (key presence leaks data)");
+    }
+  }
+
+  bool has_group = !core.group_by.empty();
+  for (const auto& p : core.projections) {
+    if (p.agg) {
+      if (*p.agg == AggFunc::kArgmax) {
+        if (!has_group) {
+          throw ValidationError("ARGMAX requires a GROUP BY");
+        }
+        if (!p.argmax_inner) {
+          throw ValidationError("ARGMAX requires an inner aggregation, e.g. "
+                                "ARGMAX(COUNT(col))");
+        }
+        if (needs_range_constraint(*p.argmax_inner) && !p.range) {
+          throw ValidationError(
+              "ARGMAX inner aggregation " + agg_func_name(*p.argmax_inner) +
+              " requires a declared range");
+        }
+      } else if (needs_range_constraint(*p.agg) && !p.range) {
+        throw ValidationError("aggregation " + agg_func_name(*p.agg) +
+                              " requires a declared range "
+                              "(range(col, lo, hi) or RANGE lo hi)");
+      }
+    } else {
+      // Bare projection. In the outermost select it must be a group key
+      // (DP releases only aggregates); inner selects may project freely.
+      if (outermost) {
+        if (!p.expr || p.expr->kind != Expr::Kind::kColumn) {
+          throw ValidationError(
+              "outer SELECT items must be aggregations or group-key columns");
+        }
+        bool matches_key = false;
+        for (const auto& g : core.group_by) {
+          if (g.column == p.expr->name) matches_key = true;
+        }
+        if (!matches_key) {
+          throw ValidationError("outer SELECT projects non-aggregated column '" +
+                                p.expr->name + "' that is not a group key");
+        }
+      }
+    }
+  }
+  if (outermost) {
+    bool any_agg = std::any_of(core.projections.begin(),
+                               core.projections.end(),
+                               [](const Projection& p) { return p.agg.has_value(); });
+    if (!any_agg) {
+      throw ValidationError(
+          "the outermost SELECT must contain an aggregation (Goal: only "
+          "aggregate results are released)");
+    }
+  }
+}
+
+void validate_relation(const Relation& rel,
+                       const std::set<std::string>& tables) {
+  switch (rel.kind) {
+    case Relation::Kind::kTableRef:
+      if (!tables.count(rel.table)) {
+        throw ValidationError("SELECT references unknown table '" + rel.table +
+                              "'");
+      }
+      return;
+    case Relation::Kind::kSelect:
+      validate_core(*rel.select, tables, /*outermost=*/false);
+      return;
+    case Relation::Kind::kJoin:
+      if (rel.join_columns.empty()) {
+        throw ValidationError("JOIN requires ON columns");
+      }
+      validate_relation(*rel.left, tables);
+      validate_relation(*rel.right, tables);
+      return;
+    case Relation::Kind::kUnion:
+      validate_relation(*rel.left, tables);
+      validate_relation(*rel.right, tables);
+      return;
+  }
+}
+
+}  // namespace
+
+void validate_select(const SelectStmt& s,
+                     const std::vector<std::string>& table_names) {
+  std::set<std::string> tables(table_names.begin(), table_names.end());
+  validate_core(s.core, tables, /*outermost=*/true);
+}
+
+void validate(const ParsedQuery& q) {
+  std::set<std::string> chunk_sets;
+  std::set<std::string> tables;
+
+  for (const auto& s : q.splits) {
+    if (s.chunk <= 0) {
+      throw ValidationError("SPLIT chunk duration must be positive");
+    }
+    if (s.end <= s.begin) {
+      throw ValidationError("SPLIT END must be after BEGIN");
+    }
+    if (s.stride < -s.chunk) {
+      throw ValidationError("SPLIT STRIDE more negative than chunk duration");
+    }
+    if (!chunk_sets.insert(s.into).second) {
+      throw ValidationError("duplicate chunk set '" + s.into + "'");
+    }
+  }
+  for (const auto& p : q.processes) {
+    if (!chunk_sets.count(p.chunk_set)) {
+      throw ValidationError("PROCESS references unknown chunk set '" +
+                            p.chunk_set + "'");
+    }
+    if (p.schema.empty()) {
+      throw ValidationError("PROCESS schema must declare at least one column");
+    }
+    if (p.max_rows == 0) {
+      throw ValidationError("PROCESS max rows must be positive");
+    }
+    if (p.timeout <= 0) {
+      throw ValidationError("PROCESS TIMEOUT must be positive");
+    }
+    std::set<std::string> cols;
+    for (const auto& c : p.schema) {
+      if (Schema::is_trusted_column(c.name) || c.name == "camera") {
+        throw ValidationError("schema column '" + c.name +
+                              "' collides with a Privid-reserved column");
+      }
+      if (!cols.insert(c.name).second) {
+        throw ValidationError("duplicate schema column '" + c.name + "'");
+      }
+    }
+    if (!tables.insert(p.into).second) {
+      throw ValidationError("duplicate table '" + p.into + "'");
+    }
+  }
+  if (q.selects.empty()) {
+    throw ValidationError("query has no SELECT statement");
+  }
+  for (const auto& s : q.selects) {
+    validate_core(s.core, tables, /*outermost=*/true);
+  }
+}
+
+}  // namespace privid::query

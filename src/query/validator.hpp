@@ -1,0 +1,25 @@
+// Structural validation of parsed queries — the Appendix D constraints that
+// can be checked without camera registry state:
+//   - name resolution between SPLIT / PROCESS / SELECT statements
+//   - the outer SELECT must aggregate; bare projections must be group keys
+//   - GROUP BY over untrusted columns requires explicit WITH KEYS
+//   - aggregations that need a range constraint must declare one (except
+//     COUNT, whose bound comes from max_rows)
+//   - ARGMAX requires a GROUP BY
+// Camera-dependent checks (mask ids, region schemes, soft-boundary chunk
+// size) happen in the engine, which owns the registry.
+#pragma once
+
+#include "query/ast.hpp"
+
+namespace privid::query {
+
+// Throws ValidationError on the first violated rule.
+void validate(const ParsedQuery& q);
+
+// Validates one SELECT statement against the set of table names produced by
+// the query's PROCESS statements.
+void validate_select(const SelectStmt& s,
+                     const std::vector<std::string>& table_names);
+
+}  // namespace privid::query

@@ -1,0 +1,23 @@
+#include "sensitivity/constraints.hpp"
+
+#include "common/error.hpp"
+#include "video/chunker.hpp"
+
+namespace privid::sensitivity {
+
+double base_delta(const TableInfo& info) {
+  if (info.chunk_seconds <= 0) {
+    throw ArgumentError("chunk_seconds must be positive");
+  }
+  if (info.policy.k < 1) throw ArgumentError("policy K must be >= 1");
+  // rho == 0: a (0, K)-bounded event has zero-duration segments, i.e. it is
+  // never visible, so it cannot influence any row (the paper's Case 4 —
+  // mask everything but the traffic light — releases exactly).
+  if (info.policy.rho == 0) return 0.0;
+  std::size_t span = max_chunks_spanned(info.policy.rho, info.chunk_seconds);
+  return static_cast<double>(info.max_rows) *
+         static_cast<double>(info.policy.k) * static_cast<double>(span) *
+         static_cast<double>(info.regions_per_event);
+}
+
+}  // namespace privid::sensitivity

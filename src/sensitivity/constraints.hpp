@@ -1,0 +1,75 @@
+// Constraint state for the Fig. 10 sensitivity propagation.
+//
+// Each relation carries:
+//   Δ_P(R)   — max rows that can differ under presence/absence of any
+//              (ρ, K)-bounded event ("delta")
+//   C̃r(R,a) — per-attribute range constraints ("ranges"); absent = ∅
+//   C̃s(R)   — upper bound on total rows ("size"); absent = ∅
+// Unbound (∅) constraints are representable; aggregations that require them
+// throw SensitivityError if still unbound when reached.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/timeutil.hpp"
+
+namespace privid::sensitivity {
+
+// The video owner's (ρ, K) policy in effect for a table (mask-adjusted).
+struct Policy {
+  Seconds rho = 0;
+  int k = 1;
+};
+
+// Execution facts about a base (PROCESS-produced) table.
+struct TableInfo {
+  Seconds chunk_seconds = 1;
+  std::size_t max_rows = 1;
+  // Spatial splitting: regions one event can influence per chunk. 1 for
+  // plain and soft/hard region schemes; > 1 only for grid split.
+  std::size_t regions_per_event = 1;
+  // Number of chunks the query window produced (C̃s of the base table is
+  // max_rows * num_chunks * num_regions).
+  std::size_t num_chunks = 0;
+  std::size_t num_regions = 1;
+  Policy policy;
+};
+
+struct RangeC {
+  double lo = 0;
+  double hi = 0;
+
+  // The per-row contribution bound used by SUM-like sensitivities: a row
+  // may be added/removed (impact up to max(|lo|, |hi|)) or modified
+  // (impact up to hi - lo).
+  double magnitude() const {
+    return std::max({hi - lo, std::abs(lo), std::abs(hi)});
+  }
+  double width() const { return hi - lo; }
+};
+
+struct Constraints {
+  double delta = 0;                         // Δ_P(R)
+  std::optional<double> size;               // C̃s(R); nullopt = ∅
+  std::map<std::string, RangeC> ranges;     // C̃r(R, a); missing = ∅
+  // Length of the (public) query window backing this relation, in seconds.
+  // Used by the Fig. 10 GroupBy bin-size rule: grouping by day(chunk) over
+  // a W-second window yields at most ceil(W / 86400) groups per key combo.
+  std::optional<double> window_seconds;
+
+  std::optional<RangeC> range_of(const std::string& column) const {
+    auto it = ranges.find(column);
+    if (it == ranges.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+// Δ_P of a base table (Eq. 6.2, extended by the grid-split region factor):
+//   max_rows * K * (1 + ceil(ρ / c)) * regions_per_event
+double base_delta(const TableInfo& info);
+
+}  // namespace privid::sensitivity

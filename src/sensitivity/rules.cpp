@@ -1,0 +1,280 @@
+#include "sensitivity/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "table/schema.hpp"
+#include "video/chunker.hpp"
+
+namespace privid::sensitivity {
+
+using query::BinFunc;
+using query::Expr;
+using query::Projection;
+using query::Relation;
+using query::SelectCore;
+
+SensitivityEngine::SensitivityEngine(Resolver resolver)
+    : resolver_(std::move(resolver)) {
+  if (!resolver_) throw ArgumentError("SensitivityEngine needs a resolver");
+}
+
+namespace {
+
+Seconds bin_seconds(BinFunc b, Seconds chunk_fallback) {
+  switch (b) {
+    case BinFunc::kHour: return 3600;
+    case BinFunc::kDay: return 86400;
+    case BinFunc::kNone: return chunk_fallback;
+  }
+  return chunk_fallback;
+}
+
+bool is_trusted_column(const std::string& name) {
+  return privid::Schema::is_trusted_column(name) || name == "camera";
+}
+
+}  // namespace
+
+Constraints SensitivityEngine::relation_constraints(const Relation& rel) const {
+  switch (rel.kind) {
+    case Relation::Kind::kTableRef: {
+      TableInfo info = resolver_(rel.table);
+      Constraints c;
+      c.delta = base_delta(info);
+      c.size = static_cast<double>(info.max_rows) *
+               static_cast<double>(std::max<std::size_t>(info.num_chunks, 1)) *
+               static_cast<double>(std::max<std::size_t>(info.num_regions, 1));
+      c.window_seconds =
+          static_cast<double>(info.num_chunks) * info.chunk_seconds;
+      // Analyst columns are untrusted: all ranges start ∅. The trusted chunk
+      // column is a timestamp; no aggregation over raw chunk values is
+      // allowed without an explicit range, so it also starts ∅.
+      return c;
+    }
+    case Relation::Kind::kSelect:
+      return core_constraints(*rel.select);
+    case Relation::Kind::kJoin: {
+      Constraints l = relation_constraints(*rel.left);
+      Constraints r = relation_constraints(*rel.right);
+      Constraints c;
+      // §6.3: untrusted tables can be primed, so influence adds.
+      c.delta = l.delta + r.delta;
+      if (l.size && r.size) {
+        // Joins are admitted when each side is keyed (GroupBy) on the join
+        // columns, making keys unique per side: the match count is bounded
+        // by the smaller side.
+        c.size = std::min(*l.size, *r.size);
+      }
+      if (l.window_seconds && r.window_seconds) {
+        c.window_seconds = std::min(*l.window_seconds, *r.window_seconds);
+      }
+      c.ranges = l.ranges;
+      for (const auto& [name, rng] : r.ranges) {
+        std::string out = c.ranges.count(name) ? name + "_r" : name;
+        c.ranges.emplace(out, rng);
+      }
+      return c;
+    }
+    case Relation::Kind::kUnion: {
+      Constraints l = relation_constraints(*rel.left);
+      Constraints r = relation_constraints(*rel.right);
+      Constraints c;
+      c.delta = l.delta + r.delta;
+      if (l.size && r.size) c.size = *l.size + *r.size;
+      if (l.window_seconds && r.window_seconds) {
+        // Conservative (fewer bins -> smaller C̃s -> larger noise).
+        c.window_seconds = std::min(*l.window_seconds, *r.window_seconds);
+      }
+      // A column's range holds across the union only if bound on both
+      // sides; take the envelope.
+      for (const auto& [name, lr] : l.ranges) {
+        auto it = r.ranges.find(name);
+        if (it != r.ranges.end()) {
+          c.ranges.emplace(name, RangeC{std::min(lr.lo, it->second.lo),
+                                        std::max(lr.hi, it->second.hi)});
+        }
+      }
+      return c;
+    }
+  }
+  throw SensitivityError("unknown relation kind");
+}
+
+double SensitivityEngine::max_base_delta(const Relation& rel) const {
+  switch (rel.kind) {
+    case Relation::Kind::kTableRef:
+      return base_delta(resolver_(rel.table));
+    case Relation::Kind::kSelect:
+      return max_base_delta(*rel.select->from);
+    case Relation::Kind::kJoin:
+    case Relation::Kind::kUnion:
+      return std::max(max_base_delta(*rel.left), max_base_delta(*rel.right));
+  }
+  throw SensitivityError("unknown relation kind");
+}
+
+Constraints SensitivityEngine::apply_filters(Constraints c,
+                                             const SelectCore& core) const {
+  // σ WHERE: Δ, ranges, size preserved (rows only removed).
+  // σ LIMIT x: size capped.
+  if (core.limit) {
+    double x = static_cast<double>(*core.limit);
+    c.size = c.size ? std::min(*c.size, x) : x;
+  }
+  return c;
+}
+
+Constraints SensitivityEngine::core_constraints(const SelectCore& core) const {
+  if (!core.from) throw SensitivityError("select core without FROM");
+  Constraints in = apply_filters(relation_constraints(*core.from), core);
+
+  if (core.group_by.empty()) {
+    // Pure select-project: recompute ranges for the projected columns.
+    Constraints out;
+    out.delta = in.delta;
+    out.size = in.size;
+    out.window_seconds = in.window_seconds;
+    for (const auto& p : core.projections) {
+      if (p.agg) {
+        throw SensitivityError(
+            "aggregation in a non-grouped inner SELECT is not allowed");
+      }
+      std::string name = p.output_name();
+      if (p.range) {
+        // range(col, lo, hi) clamps, so the declared range is sound.
+        out.ranges[name] = RangeC{p.range->first, p.range->second};
+      } else if (p.expr && p.expr->kind == Expr::Kind::kColumn) {
+        if (auto r = in.range_of(p.expr->name)) out.ranges[name] = *r;
+      }
+      // Transformed columns (arithmetic, stateless fns) drop to ∅.
+    }
+    return out;
+  }
+
+  // GroupBy core: one output row per group.
+  double key_product = 1;       // Π|WITH KEYS| over untrusted columns
+  double bin_product = 1;       // Π bins over trusted time-binned columns
+  bool bins_bounded = true;
+  bool any_key = false;
+  for (const auto& g : core.group_by) {
+    if (is_trusted_column(g.column)) {
+      Seconds bin = bin_seconds(g.bin, 0);
+      if (bin > 0 && in.window_seconds) {
+        // Fig. 10 bin-size rule: at most ceil(window / bin) groups. The
+        // window is public (the analyst chose it), so this is not a leak.
+        bin_product *= std::max(1.0, std::ceil(*in.window_seconds / bin));
+      } else if (g.column != kRegionColumn && g.column != "camera") {
+        bins_bounded = false;  // raw chunk grouping: one group per chunk
+      }
+    } else {
+      any_key = true;
+      if (g.keys.empty()) {
+        throw SensitivityError("GROUP BY " + g.column + " without WITH KEYS");
+      }
+      key_product *= static_cast<double>(g.keys.size());
+    }
+  }
+
+  Constraints out;
+  out.window_seconds = in.window_seconds;
+  // Δ_P(R'): an event cannot affect more output rows (groups) than input
+  // rows it touches — Fig. 10 rows 1 and 2 are both bounded by the input Δ.
+  out.delta = in.delta;
+  // C̃s(R'): Π|keys| x Π bins when both are bounded.
+  if ((any_key || bin_product > 1) && bins_bounded) {
+    out.size = key_product * bin_product;
+  }
+
+  // Output columns: group keys + aggregates.
+  for (const auto& g : core.group_by) {
+    // Key columns carry no numeric range (group keys are labels).
+    (void)g;
+  }
+  for (const auto& p : core.projections) {
+    if (!p.agg) continue;  // key echo column
+    std::string name = p.output_name();
+    if (p.range) {
+      // "aggregation constrains range: agg(ai) ∈ [li, ui]" — the executor
+      // clamps each group's aggregate into the declared range.
+      out.ranges[name] = RangeC{p.range->first, p.range->second};
+    }
+    // Without a declared range the aggregate column stays ∅.
+  }
+  return out;
+}
+
+double SensitivityEngine::aggregate_sensitivity(
+    AggFunc f, const std::optional<std::pair<double, double>>& declared_range,
+    const std::string& column, const Constraints& c) const {
+  auto resolve_range = [&]() -> RangeC {
+    if (declared_range) return RangeC{declared_range->first, declared_range->second};
+    if (auto r = c.range_of(column)) return *r;
+    throw SensitivityError("aggregation over column '" + column +
+                           "' requires a range constraint (∅)");
+  };
+  switch (f) {
+    case AggFunc::kCount:
+      return c.delta;
+    case AggFunc::kSum:
+      return c.delta * resolve_range().magnitude();
+    case AggFunc::kSpan:
+      return c.delta > 0 ? resolve_range().width() : 0.0;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      // Extremes can jump across the whole declared range.
+      return c.delta > 0 ? resolve_range().width() : 0.0;
+    case AggFunc::kAvg: {
+      if (!c.size || *c.size <= 0) {
+        throw SensitivityError("AVG requires a size constraint (∅)");
+      }
+      return c.delta * resolve_range().magnitude() / *c.size;
+    }
+    case AggFunc::kVar: {
+      if (!c.size || *c.size <= 0) {
+        throw SensitivityError("VAR requires a size constraint (∅)");
+      }
+      double num = c.delta * resolve_range().magnitude();
+      return num * num / *c.size;
+    }
+    case AggFunc::kArgmax:
+      throw SensitivityError(
+          "ARGMAX sensitivity is per-group; use the inner aggregation");
+  }
+  throw SensitivityError("unknown aggregation");
+}
+
+double SensitivityEngine::release_sensitivity(const Projection& p,
+                                              const SelectCore& core) const {
+  if (!p.agg) {
+    throw SensitivityError("release_sensitivity on non-aggregate projection");
+  }
+  Constraints c = apply_filters(relation_constraints(*core.from), core);
+  std::string column;
+  if (p.expr && p.expr->kind == Expr::Kind::kColumn) column = p.expr->name;
+
+  if (*p.agg == AggFunc::kArgmax) {
+    // Report-noisy-max: each group's aggregate gets Laplace(Δ_inner / ε);
+    // the released key is the argmax. Sensitivity = the inner aggregate's,
+    // evaluated per group (Fig. 10: max_k Δ(σ_{a=k}(R))). Grouping by the
+    // trusted camera column partitions the relation by base table, so the
+    // per-group delta is the largest single table's rather than the sum.
+    bool camera_partitioned =
+        !core.group_by.empty() &&
+        std::all_of(core.group_by.begin(), core.group_by.end(),
+                    [](const query::GroupKey& g) {
+                      return g.column == "camera";
+                    });
+    if (camera_partitioned) {
+      Constraints per_group = c;
+      per_group.delta = max_base_delta(*core.from);
+      return aggregate_sensitivity(*p.argmax_inner, p.range, column,
+                                   per_group);
+    }
+    return aggregate_sensitivity(*p.argmax_inner, p.range, column, c);
+  }
+  return aggregate_sensitivity(*p.agg, p.range, column, c);
+}
+
+}  // namespace privid::sensitivity

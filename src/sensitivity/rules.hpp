@@ -1,0 +1,73 @@
+// Sensitivity propagation over the relational AST (Fig. 10, Appendix E.1).
+//
+// The engine walks the relation tree bottom-up, carrying (Δ_P, C̃r, C̃s):
+//   table ref   — Δ from Eq. 6.2; size = max_rows * chunks * regions;
+//                 analyst columns have ∅ range (the table is untrusted)
+//   σ / LIMIT   — Δ, ranges preserved; LIMIT caps size
+//   Π           — pass-through keeps range; transformed columns drop to ∅;
+//                 range(col, lo, hi) *clamps* and therefore binds C̃r
+//   γ (trusted) — grouping over chunk/region/camera: Δ = per-bin Eq. 6.2,
+//                 agg column range = the inner aggregation's sensitivity
+//   γ (untrusted) — requires WITH KEYS; Δ preserved; size = Π|keys|;
+//                 agg column range must be declared (RANGE lo hi)
+//   JOIN        — Δ = Δ_l + Δ_r (untrusted tables can be "primed", §6.3);
+//                 equijoin size = min of sides when both bound
+//   UNION       — Δ = Δ_l + Δ_r; size = sum
+//
+// Final release sensitivities (Fig. 10 top):
+//   COUNT  Δ            SUM  Δ·C̃r          AVG  Δ·C̃r / C̃s
+//   VAR    (Δ·C̃r)²/C̃s  SPAN Δ·C̃r          ARGMAX max_k Δ(σ_{a=k}(R))
+//
+// Note on AVG/VAR: following Fig. 10, the size constraint C̃s is the public
+// denominator bound. The executor computes the true mean over actual rows;
+// when actual rows are far below C̃s the reported noise is optimistic in the
+// same way prior DP-SQL engines' bounded-contribution averages are. The
+// paper inherits this; we document rather than diverge.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "query/ast.hpp"
+#include "sensitivity/constraints.hpp"
+
+namespace privid::sensitivity {
+
+class SensitivityEngine {
+ public:
+  // Resolves a table name to its execution facts. Throws LookupError for
+  // unknown tables.
+  using Resolver = std::function<TableInfo(const std::string&)>;
+
+  explicit SensitivityEngine(Resolver resolver);
+
+  // Constraints of an arbitrary inner relation.
+  Constraints relation_constraints(const query::Relation& rel) const;
+
+  // Constraints of a SelectCore used as an inner relation (projection and
+  // grouping applied).
+  Constraints core_constraints(const query::SelectCore& core) const;
+
+  // Sensitivity of one outer release: aggregation `p` over `core.from`
+  // (with WHERE/LIMIT applied; outer GROUP BY does not lower Δ — an event's
+  // chunks may all land in the released group). Throws SensitivityError
+  // when a required constraint is unbound.
+  double release_sensitivity(const query::Projection& p,
+                             const query::SelectCore& core) const;
+
+ private:
+  // Fig. 10 ARGMAX rule: max_k Δ(σ_{a=k}(R)). When the group key is the
+  // trusted camera column, σ_{camera=k} contains rows of one base table
+  // only, so the per-group delta is bounded by the largest single table's.
+  double max_base_delta(const query::Relation& rel) const;
+  Constraints apply_filters(Constraints c, const query::SelectCore& core) const;
+  double aggregate_sensitivity(AggFunc f,
+                               const std::optional<std::pair<double, double>>&
+                                   declared_range,
+                               const std::string& column,
+                               const Constraints& c) const;
+
+  Resolver resolver_;
+};
+
+}  // namespace privid::sensitivity

@@ -1,0 +1,60 @@
+#include "sim/entity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privid::sim {
+
+std::string entity_class_name(EntityClass c) {
+  switch (c) {
+    case EntityClass::kPerson: return "person";
+    case EntityClass::kCar: return "car";
+    case EntityClass::kBike: return "bike";
+    case EntityClass::kTaxi: return "taxi";
+    case EntityClass::kOther: return "other";
+  }
+  return "?";
+}
+
+std::optional<Box> Entity::box_at(Seconds t) const {
+  for (const auto& a : appearances) {
+    if (auto b = a.sample(t)) return b;
+  }
+  return std::nullopt;
+}
+
+Seconds Entity::max_appearance_duration() const {
+  Seconds m = 0;
+  for (const auto& a : appearances) m = std::max(m, a.duration());
+  return m;
+}
+
+Seconds Entity::total_duration() const {
+  Seconds s = 0;
+  for (const auto& a : appearances) s += a.duration();
+  return s;
+}
+
+Seconds Entity::first_seen() const {
+  if (appearances.empty()) throw ArgumentError("entity has no appearances");
+  Seconds m = appearances.front().start();
+  for (const auto& a : appearances) m = std::min(m, a.start());
+  return m;
+}
+
+Seconds Entity::last_seen() const {
+  if (appearances.empty()) throw ArgumentError("entity has no appearances");
+  Seconds m = appearances.front().end();
+  for (const auto& a : appearances) m = std::max(m, a.end());
+  return m;
+}
+
+double Entity::speed_at(Seconds t) const {
+  for (const auto& a : appearances) {
+    if (a.sample(t)) return a.speed_at(t);
+  }
+  return 0.0;
+}
+
+}  // namespace privid::sim

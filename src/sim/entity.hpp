@@ -1,0 +1,54 @@
+// Simulated entities: the ground-truth "individuals" of §5.
+//
+// An entity is one real-world individual (person, car, bike, ...) which may
+// make several *appearances* in the camera's view (the running example's
+// individual x appears for 30 s, leaves, and reappears for 10 s). Each
+// appearance carries its own trajectory. The (ρ, K) bound of an entity is
+// (max appearance duration, number of appearances) — Definition 5.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/trajectory.hpp"
+
+namespace privid::sim {
+
+enum class EntityClass { kPerson, kCar, kBike, kTaxi, kOther };
+
+std::string entity_class_name(EntityClass c);
+
+using EntityId = std::int64_t;
+
+struct Entity {
+  EntityId id = 0;
+  EntityClass cls = EntityClass::kPerson;
+  // Identifying attributes analysts may extract (plate for cars, empty for
+  // people) and a colour label for GROUP BY queries.
+  std::string plate;
+  std::string color;
+  // Latent appearance feature for the DeepSORT-style tracker (unit vector);
+  // the detector observes it with noise.
+  std::vector<double> appearance_feature;
+  std::vector<Trajectory> appearances;
+
+  // Bounding box at time t (nullopt when not visible in any appearance).
+  std::optional<Box> box_at(Seconds t) const;
+  bool visible_at(Seconds t) const { return box_at(t).has_value(); }
+
+  // Duration of the longest single appearance (the entity's ρ bound).
+  Seconds max_appearance_duration() const;
+  // Total time visible across all appearances.
+  Seconds total_duration() const;
+  // Number of appearances (the entity's K bound).
+  std::size_t appearance_count() const { return appearances.size(); }
+  // Earliest appearance start / latest appearance end.
+  Seconds first_seen() const;
+  Seconds last_seen() const;
+  // Instantaneous speed at t (pixels/second; 0 if not visible).
+  double speed_at(Seconds t) const;
+};
+
+}  // namespace privid::sim

@@ -1,0 +1,14 @@
+#include "sim/foliage.hpp"
+
+namespace privid::sim {
+
+double bloomed_percent(const std::vector<Tree>& trees) {
+  if (trees.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& t : trees) {
+    if (t.bloomed) ++n;
+  }
+  return 100.0 * static_cast<double>(n) / static_cast<double>(trees.size());
+}
+
+}  // namespace privid::sim

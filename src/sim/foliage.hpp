@@ -1,0 +1,20 @@
+// Trees with a bloom state — the non-private objects of Case-3 queries
+// (Q7-Q9): "fraction of trees with leaves". Bloom state is static over a
+// 12-hour window (the paper notes it does not change on that time scale).
+#pragma once
+
+#include <vector>
+
+#include "video/video.hpp"
+
+namespace privid::sim {
+
+struct Tree {
+  Box box;
+  bool bloomed = false;
+};
+
+// Ground-truth bloomed fraction of a set of trees, in percent [0, 100].
+double bloomed_percent(const std::vector<Tree>& trees);
+
+}  // namespace privid::sim

@@ -1,0 +1,164 @@
+#include "sim/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid::sim {
+
+void Scene::build_index() const {
+  Seconds span = meta_.extent.duration();
+  std::size_t n_buckets =
+      static_cast<std::size_t>(std::ceil(span / kBucketSeconds)) + 1;
+  buckets_.assign(n_buckets, {});
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    for (const auto& app : entities_[i].appearances) {
+      double lo = (app.start() - meta_.extent.begin) / kBucketSeconds;
+      double hi = (app.end() - meta_.extent.begin) / kBucketSeconds;
+      auto b0 = static_cast<std::ptrdiff_t>(std::floor(lo));
+      auto b1 = static_cast<std::ptrdiff_t>(std::floor(hi));
+      b0 = std::clamp<std::ptrdiff_t>(b0, 0,
+                                      static_cast<std::ptrdiff_t>(n_buckets) - 1);
+      b1 = std::clamp<std::ptrdiff_t>(b1, 0,
+                                      static_cast<std::ptrdiff_t>(n_buckets) - 1);
+      for (std::ptrdiff_t b = b0; b <= b1; ++b) {
+        auto& bucket = buckets_[static_cast<std::size_t>(b)];
+        if (bucket.empty() || bucket.back() != i) bucket.push_back(i);
+      }
+    }
+  }
+  indexed_entity_count_ = entities_.size();
+}
+
+const std::vector<std::size_t>& Scene::candidates_at(Seconds t) const {
+  if (indexed_entity_count_ != entities_.size()) build_index();
+  double rel = (t - meta_.extent.begin) / kBucketSeconds;
+  auto b = static_cast<std::ptrdiff_t>(std::floor(rel));
+  if (b < 0 || b >= static_cast<std::ptrdiff_t>(buckets_.size())) {
+    return empty_bucket_;
+  }
+  return buckets_[static_cast<std::size_t>(b)];
+}
+
+std::vector<std::size_t> Scene::visible_at(Seconds t, const Mask* mask) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i : candidates_at(t)) {
+    auto b = entities_[i].box_at(t);
+    if (!b) continue;
+    if (mask && !mask->visible(*b)) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+Seconds Scene::masked_max_duration(std::size_t entity_index,
+                                   const Mask& mask) const {
+  const Entity& e = entities_.at(entity_index);
+  Seconds dt = 1.0 / meta_.fps;
+  Seconds best = 0;
+  for (const auto& app : e.appearances) {
+    Seconds run = 0;
+    for (Seconds t = app.start(); t <= app.end() + 1e-9; t += dt) {
+      auto b = app.sample(t);
+      bool vis = b && mask.visible(*b);
+      if (vis) {
+        run += dt;
+        best = std::max(best, run);
+      } else {
+        run = 0;
+      }
+    }
+  }
+  return best;
+}
+
+Scene::MaskedPersistence Scene::masked_persistence(const Mask* mask,
+                                                   Seconds sample_dt) const {
+  if (sample_dt <= 0) throw ArgumentError("sample_dt must be positive");
+  MaskedPersistence out;
+  out.entities_total = entities_.size();
+  for (const auto& e : entities_) {
+    Seconds entity_max = 0;
+    for (const auto& app : e.appearances) {
+      Seconds run = 0;
+      bool closed = true;
+      for (Seconds t = app.start(); t <= app.end() + 1e-9; t += sample_dt) {
+        auto b = app.sample(t);
+        bool vis = b && (!mask || mask->visible(*b));
+        if (vis) {
+          run += sample_dt;
+          closed = false;
+        } else if (!closed) {
+          out.durations.push_back(run);
+          entity_max = std::max(entity_max, run);
+          run = 0;
+          closed = true;
+        }
+      }
+      if (!closed) {
+        out.durations.push_back(run);
+        entity_max = std::max(entity_max, run);
+      }
+    }
+    if (entity_max > 0) {
+      out.entities_retained++;
+      out.per_entity_max.push_back(entity_max);
+      out.max_duration = std::max(out.max_duration, entity_max);
+    }
+  }
+  return out;
+}
+
+std::size_t Scene::true_entries(EntityClass cls, TimeInterval interval,
+                                const Mask* mask) const {
+  std::size_t n = 0;
+  for (const auto& e : entities_) {
+    if (e.cls != cls || e.appearances.empty()) continue;
+    if (mask) {
+      // First time observably visible through the mask.
+      Seconds dt = 0.5;
+      bool counted = false;
+      for (const auto& app : e.appearances) {
+        for (Seconds t = app.start(); t <= app.end() + 1e-9 && !counted;
+             t += dt) {
+          auto b = app.sample(t);
+          if (b && mask->visible(*b)) {
+            if (interval.contains(t)) ++n;
+            counted = true;  // only the first observable instant counts
+          }
+        }
+        if (counted) break;
+      }
+    } else {
+      if (interval.contains(e.first_seen())) ++n;
+    }
+  }
+  return n;
+}
+
+double Scene::true_mean_speed(EntityClass cls, TimeInterval interval) const {
+  std::vector<double> speeds;
+  for (const auto& e : entities_) {
+    if (e.cls != cls) continue;
+    // Mean speed over the entity's visible time inside the window.
+    double sum = 0;
+    int samples = 0;
+    for (const auto& app : e.appearances) {
+      for (Seconds t = std::max(app.start(), interval.begin);
+           t <= std::min(app.end(), interval.end); t += 0.5) {
+        if (app.sample(t)) {
+          sum += app.speed_at(t);
+          ++samples;
+        }
+      }
+    }
+    if (samples > 0) speeds.push_back(sum / samples);
+  }
+  if (speeds.empty()) return 0.0;
+  double s = 0;
+  for (double v : speeds) s += v;
+  return s / static_cast<double>(speeds.size());
+}
+
+}  // namespace privid::sim

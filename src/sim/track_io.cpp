@@ -1,0 +1,122 @@
+#include "sim/track_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace privid::sim {
+
+namespace {
+
+EntityClass class_from_name(const std::string& s) {
+  if (s == "person") return EntityClass::kPerson;
+  if (s == "car") return EntityClass::kCar;
+  if (s == "bike") return EntityClass::kBike;
+  if (s == "taxi") return EntityClass::kTaxi;
+  return EntityClass::kOther;
+}
+
+struct RawRow {
+  FrameIndex frame;
+  Box box;
+};
+
+}  // namespace
+
+void export_tracks_csv(const Scene& scene, std::ostream& os) {
+  const VideoMeta& meta = scene.meta();
+  // Collect (frame, id) -> box rows, ordered by frame then id.
+  std::map<std::pair<FrameIndex, EntityId>, std::pair<Box, EntityClass>> rows;
+  for (const auto& e : scene.entities()) {
+    for (const auto& app : e.appearances) {
+      FrameIndex f0 = meta.frame_at(app.start());
+      FrameIndex f1 = meta.frame_at(app.end());
+      for (FrameIndex f = std::max<FrameIndex>(f0, 0); f <= f1; ++f) {
+        Seconds t = meta.time_of(f);
+        if (auto b = app.sample(t)) {
+          rows[{f, e.id}] = {*b, e.cls};
+        }
+      }
+    }
+  }
+  os << "frame,id,x,y,w,h,class\n";
+  for (const auto& [key, val] : rows) {
+    os << (key.first + 1) << ',' << key.second << ',' << val.first.x << ','
+       << val.first.y << ',' << val.first.w << ',' << val.first.h << ','
+       << entity_class_name(val.second) << "\n";
+  }
+}
+
+Scene import_tracks_csv(std::istream& is, const VideoMeta& meta,
+                        FrameIndex gap_frames) {
+  if (gap_frames < 1) throw ArgumentError("gap_frames must be >= 1");
+  std::map<EntityId, std::vector<RawRow>> per_id;
+  std::map<EntityId, EntityClass> classes;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && line.rfind("frame", 0) == 0) continue;  // header
+    std::istringstream ls(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() < 6) {
+      throw ParseError("track CSV line " + std::to_string(lineno) +
+                       ": expected >= 6 fields");
+    }
+    try {
+      RawRow r;
+      r.frame = std::stoll(fields[0]) - 1;  // 1-based in the file
+      EntityId id = std::stoll(fields[1]);
+      r.box = Box{std::stod(fields[2]), std::stod(fields[3]),
+                  std::stod(fields[4]), std::stod(fields[5])};
+      per_id[id].push_back(r);
+      if (fields.size() >= 7) classes[id] = class_from_name(fields[6]);
+    } catch (const std::invalid_argument&) {
+      throw ParseError("track CSV line " + std::to_string(lineno) +
+                       ": bad numeric field");
+    }
+  }
+
+  Scene scene(meta);
+  for (auto& [id, rows] : per_id) {
+    std::sort(rows.begin(), rows.end(),
+              [](const RawRow& a, const RawRow& b) { return a.frame < b.frame; });
+    Entity e;
+    e.id = id;
+    e.cls = classes.count(id) ? classes[id] : EntityClass::kOther;
+    e.appearance_feature.assign(8, 0.0);
+    e.appearance_feature[static_cast<std::size_t>(id) % 8] = 1.0;
+
+    std::vector<Keyframe> keys;
+    FrameIndex prev_frame = -1;
+    auto flush = [&]() {
+      if (keys.size() == 1) {
+        // A single-frame appearance: pad by one frame so the trajectory is
+        // well-formed.
+        keys.push_back({keys[0].t + 1.0 / meta.fps, keys[0].box});
+      }
+      if (keys.size() >= 2) e.appearances.emplace_back(std::move(keys));
+      keys.clear();
+    };
+    for (const auto& r : rows) {
+      if (r.frame == prev_frame) continue;  // duplicate row for the frame
+      if (prev_frame >= 0 && r.frame - prev_frame > gap_frames) flush();
+      keys.push_back({meta.time_of(r.frame), r.box});
+      prev_frame = r.frame;
+    }
+    flush();
+    if (!e.appearances.empty()) scene.add_entity(std::move(e));
+  }
+  return scene;
+}
+
+}  // namespace privid::sim

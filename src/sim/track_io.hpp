@@ -1,0 +1,31 @@
+// Ground-truth track import/export in the MOTChallenge CSV convention:
+//
+//   frame,id,x,y,w,h,class
+//
+// (frame is 1-based; class is an entity_class_name string). This is the
+// bridge from real annotation data to the library: a video owner with
+// MOT-format ground truth (or tracker output) can import it as a Scene and
+// run the full policy-estimation / masking / query pipeline on real video
+// statistics instead of the simulator.
+//
+// Appearances are split wherever an id disappears for more than
+// `gap_frames` frames, which reproduces Definition 5.1's segment structure
+// (one appearance per contiguous visibility run).
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/scene.hpp"
+
+namespace privid::sim {
+
+// Writes every appearance of every entity, sampled at the video frame
+// rate. Rows are ordered by frame, then id.
+void export_tracks_csv(const Scene& scene, std::ostream& os);
+
+// Parses CSV rows into a Scene over `meta`. Unknown class names map to
+// kOther. Throws ParseError on malformed rows.
+Scene import_tracks_csv(std::istream& is, const VideoMeta& meta,
+                        FrameIndex gap_frames = 30);
+
+}  // namespace privid::sim

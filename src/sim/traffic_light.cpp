@@ -1,0 +1,36 @@
+#include "sim/traffic_light.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid::sim {
+
+std::string light_state_name(LightState s) {
+  switch (s) {
+    case LightState::kRed: return "red";
+    case LightState::kGreen: return "green";
+    case LightState::kYellow: return "yellow";
+  }
+  return "?";
+}
+
+TrafficLight::TrafficLight(Box where, Seconds red, Seconds green,
+                           Seconds yellow, Seconds phase_offset)
+    : box_(where), red_(red), green_(green), yellow_(yellow),
+      offset_(phase_offset) {
+  if (red < 0 || green < 0 || yellow < 0 || red + green + yellow <= 0) {
+    throw ArgumentError("traffic light durations invalid");
+  }
+}
+
+LightState TrafficLight::state_at(Seconds t) const {
+  double c = cycle();
+  double phase = std::fmod(t + offset_, c);
+  if (phase < 0) phase += c;
+  if (phase < red_) return LightState::kRed;
+  if (phase < red_ + green_) return LightState::kGreen;
+  return LightState::kYellow;
+}
+
+}  // namespace privid::sim

@@ -1,0 +1,33 @@
+// Traffic lights: a fixed-cycle red/green/yellow state machine placed at a
+// box in the scene. Used by the Case-4 queries (Q10-Q12): the owner masks
+// everything except the light, achieving ρ = 0.
+#pragma once
+
+#include <string>
+
+#include "common/timeutil.hpp"
+#include "video/video.hpp"
+
+namespace privid::sim {
+
+enum class LightState { kRed, kGreen, kYellow };
+
+std::string light_state_name(LightState s);
+
+class TrafficLight {
+ public:
+  TrafficLight(Box where, Seconds red, Seconds green, Seconds yellow,
+               Seconds phase_offset = 0);
+
+  const Box& box() const { return box_; }
+  Seconds cycle() const { return red_ + green_ + yellow_; }
+  Seconds red_duration() const { return red_; }
+
+  LightState state_at(Seconds t) const;
+
+ private:
+  Box box_;
+  Seconds red_, green_, yellow_, offset_;
+};
+
+}  // namespace privid::sim

@@ -1,0 +1,72 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid::sim {
+
+Trajectory::Trajectory(std::vector<Keyframe> keyframes)
+    : keys_(std::move(keyframes)) {
+  if (keys_.size() < 2) {
+    throw ArgumentError("Trajectory needs at least two keyframes");
+  }
+  for (std::size_t i = 1; i < keys_.size(); ++i) {
+    if (keys_[i].t <= keys_[i - 1].t) {
+      throw ArgumentError("Trajectory keyframes must be strictly increasing");
+    }
+  }
+}
+
+Seconds Trajectory::start() const {
+  if (empty()) throw ArgumentError("empty trajectory");
+  return keys_.front().t;
+}
+
+Seconds Trajectory::end() const {
+  if (empty()) throw ArgumentError("empty trajectory");
+  return keys_.back().t;
+}
+
+std::optional<Box> Trajectory::sample(Seconds t) const {
+  if (empty() || t < keys_.front().t || t > keys_.back().t) {
+    return std::nullopt;
+  }
+  auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), t,
+      [](const Keyframe& k, Seconds v) { return k.t < v; });
+  if (it == keys_.begin()) return it->box;
+  if (it == keys_.end()) return keys_.back().box;
+  const Keyframe& b = *it;
+  const Keyframe& a = *std::prev(it);
+  double f = (t - a.t) / (b.t - a.t);
+  return Box{a.box.x + f * (b.box.x - a.box.x),
+             a.box.y + f * (b.box.y - a.box.y),
+             a.box.w + f * (b.box.w - a.box.w),
+             a.box.h + f * (b.box.h - a.box.h)};
+}
+
+double Trajectory::speed_at(Seconds t) const {
+  if (empty() || t < keys_.front().t || t >= keys_.back().t) return 0.0;
+  auto it = std::upper_bound(
+      keys_.begin(), keys_.end(), t,
+      [](Seconds v, const Keyframe& k) { return v < k.t; });
+  if (it == keys_.begin() || it == keys_.end()) return 0.0;
+  const Keyframe& b = *it;
+  const Keyframe& a = *std::prev(it);
+  double dt = b.t - a.t;
+  double dx = b.box.cx() - a.box.cx();
+  double dy = b.box.cy() - a.box.cy();
+  return std::sqrt(dx * dx + dy * dy) / dt;
+}
+
+Trajectory Trajectory::linear(Seconds t0, Seconds t1, Box from, Box to) {
+  return Trajectory({{t0, from}, {t1, to}});
+}
+
+Trajectory Trajectory::stationary(Seconds t0, Seconds t1, Box where) {
+  return Trajectory({{t0, where}, {t1, where}});
+}
+
+}  // namespace privid::sim

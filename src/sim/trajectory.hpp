@@ -1,0 +1,49 @@
+// Parametric trajectories for simulated entities.
+//
+// A trajectory is a piecewise-linear interpolation over keyframes
+// (time, Box). Sampling outside the keyframe span returns nullopt (the
+// entity is not in the scene). This representation covers every motion
+// pattern the paper's scenes exhibit: straight crossings, pauses (repeated
+// keyframe), parked objects (two keyframes with equal boxes), and multi-leg
+// paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/timeutil.hpp"
+#include "video/video.hpp"
+
+namespace privid::sim {
+
+struct Keyframe {
+  Seconds t = 0;
+  Box box;
+};
+
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Keyframe> keyframes);
+
+  bool empty() const { return keys_.empty(); }
+  Seconds start() const;
+  Seconds end() const;
+  Seconds duration() const { return empty() ? 0 : end() - start(); }
+  const std::vector<Keyframe>& keyframes() const { return keys_; }
+
+  // Interpolated box at time t; nullopt outside [start, end].
+  std::optional<Box> sample(Seconds t) const;
+
+  // Instantaneous speed (pixels/second) of the box centre at t; 0 outside.
+  double speed_at(Seconds t) const;
+
+  // Convenience constructors.
+  static Trajectory linear(Seconds t0, Seconds t1, Box from, Box to);
+  static Trajectory stationary(Seconds t0, Seconds t1, Box where);
+
+ private:
+  std::vector<Keyframe> keys_;  // sorted by t, strictly increasing
+};
+
+}  // namespace privid::sim

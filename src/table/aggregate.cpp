@@ -1,0 +1,118 @@
+#include "table/aggregate.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+std::string agg_func_name(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kVar: return "VAR";
+    case AggFunc::kArgmax: return "ARGMAX";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kSpan: return "SPAN";
+  }
+  return "?";
+}
+
+std::optional<AggFunc> parse_agg_func(const std::string& name) {
+  std::string u;
+  for (char c : name) u += static_cast<char>(std::toupper(c));
+  if (u == "COUNT") return AggFunc::kCount;
+  if (u == "SUM") return AggFunc::kSum;
+  if (u == "AVG") return AggFunc::kAvg;
+  if (u == "VAR" || u == "VARIANCE") return AggFunc::kVar;
+  if (u == "ARGMAX") return AggFunc::kArgmax;
+  if (u == "MIN") return AggFunc::kMin;
+  if (u == "MAX") return AggFunc::kMax;
+  if (u == "SPAN") return AggFunc::kSpan;
+  return std::nullopt;
+}
+
+bool needs_range_constraint(AggFunc f) { return f != AggFunc::kCount; }
+
+bool needs_size_constraint(AggFunc f) {
+  return f == AggFunc::kAvg || f == AggFunc::kVar;
+}
+
+double aggregate_column(AggFunc f, const std::vector<Value>& values) {
+  switch (f) {
+    case AggFunc::kCount:
+      return static_cast<double>(values.size());
+    case AggFunc::kSum: {
+      double s = 0;
+      for (const auto& v : values) s += v.as_number();
+      return s;
+    }
+    case AggFunc::kAvg: {
+      if (values.empty()) return 0.0;
+      double s = 0;
+      for (const auto& v : values) s += v.as_number();
+      return s / static_cast<double>(values.size());
+    }
+    case AggFunc::kVar: {
+      if (values.empty()) return 0.0;
+      double s = 0, s2 = 0;
+      for (const auto& v : values) {
+        double x = v.as_number();
+        s += x;
+        s2 += x * x;
+      }
+      double n = static_cast<double>(values.size());
+      double m = s / n;
+      return s2 / n - m * m;
+    }
+    case AggFunc::kMin: {
+      if (values.empty()) return 0.0;
+      double m = values[0].as_number();
+      for (const auto& v : values) m = std::min(m, v.as_number());
+      return m;
+    }
+    case AggFunc::kMax: {
+      if (values.empty()) return 0.0;
+      double m = values[0].as_number();
+      for (const auto& v : values) m = std::max(m, v.as_number());
+      return m;
+    }
+    case AggFunc::kSpan: {
+      if (values.empty()) return 0.0;
+      double lo = values[0].as_number(), hi = lo;
+      for (const auto& v : values) {
+        double x = v.as_number();
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      return hi - lo;
+    }
+    case AggFunc::kArgmax:
+      throw ArgumentError("ARGMAX is computed over groups, not a column");
+  }
+  throw ArgumentError("unknown aggregation function");
+}
+
+std::size_t argmax_group(const std::vector<double>& group_aggregates) {
+  if (group_aggregates.empty()) {
+    throw ArgumentError("argmax over zero groups");
+  }
+  return static_cast<std::size_t>(
+      std::max_element(group_aggregates.begin(), group_aggregates.end()) -
+      group_aggregates.begin());
+}
+
+double aggregate_rows(AggFunc f, const Table& t, const std::string& column,
+                      const std::vector<std::size_t>& rows) {
+  if (f == AggFunc::kCount) return static_cast<double>(rows.size());
+  std::size_t idx = t.schema().index_of(column);
+  std::vector<Value> vals;
+  vals.reserve(rows.size());
+  for (std::size_t r : rows) vals.push_back(t.row(r)[idx]);
+  return aggregate_column(f, vals);
+}
+
+}  // namespace privid

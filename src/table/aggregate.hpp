@@ -1,0 +1,47 @@
+// Aggregation functions (Fig. 10, "Aggregation Functions").
+//
+// The outer SELECT of every Privid query ends in one of these. Each takes
+// the (already range-clamped) values of a single column. Sensitivity of each
+// function is computed by the sensitivity module from the table constraints;
+// here we only compute the raw (pre-noise) result.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/ops.hpp"
+#include "table/table.hpp"
+
+namespace privid {
+
+// kSpan (MAX - MIN of a column) is an extension used by the multi-camera
+// case study (per-taxi daily working hours); its sensitivity is bounded by
+// the column's range constraint like SUM's.
+enum class AggFunc { kCount, kSum, kAvg, kVar, kArgmax, kMin, kMax, kSpan };
+
+std::string agg_func_name(AggFunc f);
+// Parses "COUNT"/"SUM"/... (case-insensitive); nullopt if unknown.
+std::optional<AggFunc> parse_agg_func(const std::string& name);
+
+// True for functions whose sensitivity needs a range constraint on the
+// aggregated column (everything but COUNT; Fig. 10).
+bool needs_range_constraint(AggFunc f);
+// True for functions whose sensitivity needs a size constraint (AVG, VAR).
+bool needs_size_constraint(AggFunc f);
+
+// Scalar aggregations over a column. COUNT ignores the values and counts
+// rows. Empty input: COUNT/SUM yield 0; AVG/VAR yield 0 (the convention the
+// executor relies on so that noisy releases are always well-defined).
+double aggregate_column(AggFunc f, const std::vector<Value>& values);
+
+// ARGMAX over groups: returns the index of the group whose aggregate of
+// `values_per_group` is largest (ties: first). Used by SELECT ... ARGMAX.
+std::size_t argmax_group(const std::vector<double>& group_aggregates);
+
+// Convenience: aggregate a column of a table restricted to `rows`.
+double aggregate_rows(AggFunc f, const Table& t, const std::string& column,
+                      const std::vector<std::size_t>& rows);
+
+}  // namespace privid

@@ -1,0 +1,178 @@
+#include "table/ops.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+Table select_rows(const Table& t, const RowPredicate& pred) {
+  Table out(t.schema(), t.provenance());
+  for (const auto& r : t.rows()) {
+    if (pred(r)) out.append_unchecked(r);
+  }
+  return out;
+}
+
+Table limit_rows(const Table& t, std::size_t x) {
+  Table out(t.schema(), t.provenance());
+  for (std::size_t i = 0; i < std::min(x, t.row_count()); ++i) {
+    out.append_unchecked(t.row(i));
+  }
+  return out;
+}
+
+Table project(const Table& t, const std::vector<ProjectionColumn>& cols) {
+  std::vector<Column> schema_cols;
+  schema_cols.reserve(cols.size());
+  for (const auto& c : cols) {
+    Value dflt = (c.type == DType::kNumber) ? Value(0.0) : Value(std::string());
+    schema_cols.push_back({c.name, c.type, dflt});
+  }
+  Table out(Schema(std::move(schema_cols)), t.provenance());
+  for (const auto& r : t.rows()) {
+    Row nr;
+    nr.reserve(cols.size());
+    for (const auto& c : cols) nr.push_back(c.eval(r));
+    out.append(std::move(nr));
+  }
+  return out;
+}
+
+ProjectionColumn pass_column(const Table& t, const std::string& name) {
+  std::size_t idx = t.schema().index_of(name);
+  return {name, t.schema().column(idx).type,
+          [idx](const Row& r) { return r[idx]; }};
+}
+
+ProjectionColumn range_clamp_column(const Table& t, const std::string& name,
+                                    double lo, double hi) {
+  if (hi < lo) throw ArgumentError("range(): hi < lo");
+  std::size_t idx = t.schema().index_of(name);
+  if (t.schema().column(idx).type != DType::kNumber) {
+    throw TypeError("range() requires a NUMBER column, got '" + name + "'");
+  }
+  return {name, DType::kNumber, [idx, lo, hi](const Row& r) {
+            return Value(std::clamp(r[idx].as_number(), lo, hi));
+          }};
+}
+
+std::vector<Group> group_by_keys(
+    const Table& t, const std::vector<std::string>& key_columns,
+    const std::vector<std::vector<Value>>& keys_per_column) {
+  if (key_columns.empty()) throw ArgumentError("group_by_keys: no key columns");
+  if (key_columns.size() != keys_per_column.size()) {
+    throw ArgumentError("group_by_keys: key column / key list arity mismatch");
+  }
+  for (const auto& keys : keys_per_column) {
+    if (keys.empty()) {
+      throw ArgumentError("group_by_keys: empty key list for a column");
+    }
+  }
+  std::vector<std::size_t> idx;
+  for (const auto& c : key_columns) idx.push_back(t.schema().index_of(c));
+
+  // Enumerate the cartesian product of explicit keys, in declaration order.
+  std::vector<Group> groups;
+  groups.push_back(Group{});
+  for (const auto& keys : keys_per_column) {
+    std::vector<Group> next;
+    next.reserve(groups.size() * keys.size());
+    for (const auto& g : groups) {
+      for (const auto& k : keys) {
+        Group ng;
+        ng.key = g.key;
+        ng.key.push_back(k);
+        next.push_back(std::move(ng));
+      }
+    }
+    groups = std::move(next);
+  }
+
+  // Map from key tuple to group index for row routing.
+  std::map<std::vector<Value>, std::size_t> lookup;
+  for (std::size_t g = 0; g < groups.size(); ++g) lookup[groups[g].key] = g;
+
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    std::vector<Value> key;
+    key.reserve(idx.size());
+    for (std::size_t i : idx) key.push_back(t.row(r)[i]);
+    auto it = lookup.find(key);
+    // Rows whose key is not in the explicit list are dropped: the key list
+    // is the analyst's declaration of the output domain (§6.2).
+    if (it != lookup.end()) groups[it->second].rows.push_back(r);
+  }
+  return groups;
+}
+
+std::vector<Group> group_by_trusted(
+    const Table& t, const std::string& column,
+    const std::function<Value(const Value&)>& bin) {
+  if (!Schema::is_trusted_column(column)) {
+    throw ValidationError("group_by_trusted: '" + column +
+                          "' is not a trusted column");
+  }
+  std::size_t idx = t.schema().index_of(column);
+  std::map<Value, Group> by_key;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    Value k = bin ? bin(t.row(r)[idx]) : t.row(r)[idx];
+    auto [it, inserted] = by_key.try_emplace(k);
+    if (inserted) it->second.key = {k};
+    it->second.rows.push_back(r);
+  }
+  std::vector<Group> out;
+  out.reserve(by_key.size());
+  for (auto& [k, g] : by_key) out.push_back(std::move(g));
+  return out;
+}
+
+Table equijoin(const Table& a, const Table& b, const std::string& a_col,
+               const std::string& b_col) {
+  std::size_t ai = a.schema().index_of(a_col);
+  std::size_t bi = b.schema().index_of(b_col);
+  std::vector<Column> cols = a.schema().columns();
+  for (const auto& c : b.schema().columns()) {
+    Column nc = c;
+    if (a.schema().has(nc.name)) nc.name += "_r";
+    cols.push_back(std::move(nc));
+  }
+  Table out(Schema(std::move(cols)), a.provenance());
+
+  std::multimap<Value, std::size_t> index;
+  for (std::size_t r = 0; r < b.row_count(); ++r) {
+    index.emplace(b.row(r)[bi], r);
+  }
+  for (std::size_t r = 0; r < a.row_count(); ++r) {
+    auto [lo, hi] = index.equal_range(a.row(r)[ai]);
+    for (auto it = lo; it != hi; ++it) {
+      Row nr = a.row(r);
+      const Row& br = b.row(it->second);
+      nr.insert(nr.end(), br.begin(), br.end());
+      out.append_unchecked(std::move(nr));
+    }
+  }
+  return out;
+}
+
+Table table_union(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    throw TypeError("union: schemas differ");
+  }
+  Table out(a.schema(), a.provenance());
+  for (const auto& r : a.rows()) out.append_unchecked(r);
+  for (const auto& r : b.rows()) out.append_unchecked(r);
+  return out;
+}
+
+Table distinct(const Table& t) {
+  Table out(t.schema(), t.provenance());
+  std::set<Row> seen;
+  for (const auto& r : t.rows()) {
+    if (seen.insert(r).second) out.append_unchecked(r);
+  }
+  return out;
+}
+
+}  // namespace privid

@@ -1,0 +1,84 @@
+// Relational operators over intermediate tables.
+//
+// These are the executable counterparts of the relational algebra Privid's
+// SELECT statements compile to (Appendix D / Fig. 10): selection, limit,
+// projection (including the range() clamp and stateless column functions),
+// group-by with explicit keys, equijoin and outer join (union).
+//
+// The operators are deliberately value-semantic (table in, table out): the
+// executor builds small pipelines and the sensitivity rules are computed on
+// the AST, never on the data itself.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "table/table.hpp"
+
+namespace privid {
+
+// Row predicate bound to a schema. Evaluated per row.
+using RowPredicate = std::function<bool(const Row&)>;
+
+// σ: rows of `t` satisfying `pred`, same schema/provenance.
+Table select_rows(const Table& t, const RowPredicate& pred);
+
+// σ limit=x: first x rows.
+Table limit_rows(const Table& t, std::size_t x);
+
+// One output column of a projection.
+struct ProjectionColumn {
+  std::string name;
+  DType type = DType::kNumber;
+  std::function<Value(const Row&)> eval;
+};
+
+// Π: maps each row through the projection columns.
+Table project(const Table& t, const std::vector<ProjectionColumn>& cols);
+
+// Projection helper: pass-through of an existing column.
+ProjectionColumn pass_column(const Table& t, const std::string& name);
+
+// Projection helper: range(col, lo, hi) — clamps NUMBER values into
+// [lo, hi]. This is the range constraint of §6.2/Fig. 10; the clamp is what
+// makes the declared range sound rather than advisory.
+ProjectionColumn range_clamp_column(const Table& t, const std::string& name,
+                                    double lo, double hi);
+
+// A group produced by group_by: its key values and member-row indices.
+struct Group {
+  std::vector<Value> key;         // one value per grouping column
+  std::vector<std::size_t> rows;  // indices into the source table
+};
+
+// γ with explicit keys (WITH KEYS [...]): one group per element of the
+// cartesian product of `keys_per_column`, in declaration order, *including
+// empty groups* — output cardinality must not depend on the data (§6.2).
+std::vector<Group> group_by_keys(
+    const Table& t, const std::vector<std::string>& key_columns,
+    const std::vector<std::vector<Value>>& keys_per_column);
+
+// γ over a trusted column (chunk/region): groups are the distinct values
+// present; Privid created the column so its key set is not a leak. `bin`
+// optionally buckets chunk timestamps (e.g. hour(chunk)); identity if null.
+std::vector<Group> group_by_trusted(
+    const Table& t, const std::string& column,
+    const std::function<Value(const Value&)>& bin = nullptr);
+
+// Equijoin of a and b on equality of `a_col` == `b_col`. Output schema is
+// a's columns followed by b's (b's join column renamed with suffix "_r" if
+// it collides). Provenance: max_rows/chunk metadata is meaningless after a
+// join, so it carries over from `a`; sensitivity of joins is handled by the
+// Fig. 10 sum rule on the AST, not via provenance.
+Table equijoin(const Table& a, const Table& b, const std::string& a_col,
+               const std::string& b_col);
+
+// Union (outer join in Fig. 10's terminology): rows of a followed by rows
+// of b; schemas must match exactly.
+Table table_union(const Table& a, const Table& b);
+
+// Distinct rows (stable: first occurrence kept).
+Table distinct(const Table& t);
+
+}  // namespace privid

@@ -1,0 +1,59 @@
+#include "table/schema.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  check_unique();
+  for (const auto& c : columns_) {
+    DType dt = c.default_value.type();
+    if (dt != c.type) {
+      throw TypeError("default for column '" + c.name + "' is " +
+                      dtype_name(dt) + " but column is " + dtype_name(c.type));
+    }
+  }
+}
+
+void Schema::check_unique() const {
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns_) {
+    if (!seen.insert(c.name).second) {
+      throw ArgumentError("duplicate column name '" + c.name + "'");
+    }
+  }
+}
+
+std::optional<std::size_t> Schema::find(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  auto i = find(name);
+  if (!i) throw LookupError("no column named '" + name + "'");
+  return *i;
+}
+
+Schema Schema::with_column(Column col) const {
+  auto cols = columns_;
+  cols.push_back(std::move(col));
+  return Schema(std::move(cols));
+}
+
+std::vector<Value> Schema::default_row() const {
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (const auto& c : columns_) row.push_back(c.default_value);
+  return row;
+}
+
+bool Schema::is_trusted_column(const std::string& name) {
+  return name == kChunkColumn || name == kRegionColumn;
+}
+
+}  // namespace privid

@@ -1,0 +1,63 @@
+// Table schemas.
+//
+// A PROCESS statement declares the schema of the intermediate table it
+// produces: per-column name, dtype, and a default value (used when the
+// analyst's executable crashes or exceeds TIMEOUT; §6.2, Appendix D).
+// Privid itself appends the implicit `chunk` column (timestamp of the first
+// frame of the chunk) and, when spatial splitting is used, a `region`
+// column. Those two columns are the only ones Privid trusts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/value.hpp"
+
+namespace privid {
+
+struct Column {
+  std::string name;
+  DType type = DType::kNumber;
+  Value default_value;
+
+  bool operator==(const Column&) const = default;
+};
+
+// Names of the implicit trusted columns Privid appends.
+inline constexpr const char* kChunkColumn = "chunk";
+inline constexpr const char* kRegionColumn = "region";
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t size() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of a column by name; nullopt if absent.
+  std::optional<std::size_t> find(const std::string& name) const;
+  // Index of a column by name; throws LookupError if absent.
+  std::size_t index_of(const std::string& name) const;
+  bool has(const std::string& name) const { return find(name).has_value(); }
+
+  // Returns a copy with `col` appended; throws on duplicate name.
+  Schema with_column(Column col) const;
+
+  // The row of per-column default values.
+  std::vector<Value> default_row() const;
+
+  // True when `name` is one of Privid's implicit trusted columns.
+  static bool is_trusted_column(const std::string& name);
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  void check_unique() const;
+  std::vector<Column> columns_;
+};
+
+}  // namespace privid

@@ -1,0 +1,65 @@
+#include "table/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+Table::Table(Schema schema, TableProvenance prov)
+    : schema_(std::move(schema)), prov_(prov) {}
+
+void Table::append(Row row) {
+  if (row.size() != schema_.size()) {
+    throw TypeError("row arity " + std::to_string(row.size()) +
+                    " does not match schema arity " +
+                    std::to_string(schema_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.column(i).type) {
+      throw TypeError("column '" + schema_.column(i).name + "' expects " +
+                      dtype_name(schema_.column(i).type) + ", got " +
+                      dtype_name(row[i].type()));
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<Value> Table::column_values(const std::string& col) const {
+  std::size_t idx = schema_.index_of(col);
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[idx]);
+  return out;
+}
+
+std::string Table::to_string(std::size_t limit) const {
+  std::ostringstream os;
+  std::vector<std::size_t> widths;
+  for (const auto& c : schema_.columns()) widths.push_back(c.name.size());
+  std::size_t n = std::min(limit, rows_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+      widths[c] = std::max(widths[c], rows_[r][c].to_string().size());
+    }
+  }
+  for (std::size_t c = 0; c < schema_.size(); ++c) {
+    os << (c ? " | " : "") << schema_.column(c).name
+       << std::string(widths[c] - schema_.column(c).name.size(), ' ');
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+      std::string s = rows_[r][c].to_string();
+      os << (c ? " | " : "") << s << std::string(widths[c] - s.size(), ' ');
+    }
+    os << "\n";
+  }
+  if (rows_.size() > n) {
+    os << "... (" << rows_.size() - n << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace privid

@@ -1,0 +1,67 @@
+// Intermediate tables.
+//
+// A Table is the (untrusted) output of running the analyst's PROCESS
+// executable over every chunk of a SPLIT (§6.2). Besides rows and schema it
+// carries the provenance metadata the sensitivity calculation needs:
+// the chunk duration c_t and per-chunk row cap max_rows_t of Eq. 6.2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/timeutil.hpp"
+#include "table/schema.hpp"
+
+namespace privid {
+
+using Row = std::vector<Value>;
+
+// Provenance carried from PROCESS into the sensitivity rules (§6.3).
+struct TableProvenance {
+  Seconds chunk_duration = 0;   // c_t: duration of each chunk, seconds
+  std::size_t max_rows = 0;     // max_rows_t: per-chunk output row cap
+  // When spatial splitting is active, an event can occupy at most this many
+  // regions at once (1 unless grid splitting relaxes it; §7.2).
+  std::size_t regions_per_event = 1;
+};
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema, TableProvenance prov = {});
+
+  const Schema& schema() const { return schema_; }
+  const TableProvenance& provenance() const { return prov_; }
+
+  std::size_t row_count() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(std::size_t i) const { return rows_.at(i); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Appends a row; throws TypeError if arity or dtypes mismatch.
+  void append(Row row);
+  // Appends a row without validation (internal fast path for operators that
+  // construct rows already known to match).
+  void append_unchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  // Column accessors.
+  const Value& at(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+  const Value& at(std::size_t row, const std::string& col) const {
+    return rows_.at(row).at(schema_.index_of(col));
+  }
+  // The entire column as a vector (copies).
+  std::vector<Value> column_values(const std::string& col) const;
+
+  // Renders the first `limit` rows as an aligned ASCII table (debugging).
+  std::string to_string(std::size_t limit = 20) const;
+
+ private:
+  Schema schema_;
+  TableProvenance prov_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace privid

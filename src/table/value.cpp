@@ -1,0 +1,43 @@
+#include "table/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+std::string dtype_name(DType t) {
+  return t == DType::kString ? "STRING" : "NUMBER";
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw TypeError("value is STRING, expected NUMBER");
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw TypeError("value is NUMBER, expected STRING");
+  return std::get<std::string>(v_);
+}
+
+std::string Value::to_string() const {
+  if (is_string()) return std::get<std::string>(v_);
+  double d = std::get<double>(v_);
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+bool Value::operator<(const Value& o) const {
+  if (type() != o.type()) return is_number() && o.is_string();
+  if (is_number()) return std::get<double>(v_) < std::get<double>(o.v_);
+  return std::get<std::string>(v_) < std::get<std::string>(o.v_);
+}
+
+}  // namespace privid

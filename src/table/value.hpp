@@ -1,0 +1,47 @@
+// Typed cell values for Privid intermediate tables.
+//
+// The query grammar (Appendix D) admits exactly two analyst-visible data
+// types: STRING and NUMBER. Values are a closed variant over those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace privid {
+
+enum class DType { kString, kNumber };
+
+std::string dtype_name(DType t);
+
+class Value {
+ public:
+  Value() : v_(0.0) {}  // default NUMBER 0
+  Value(double d) : v_(d) {}                        // NOLINT: implicit by design
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Value(int i) : v_(static_cast<double>(i)) {}      // NOLINT
+  Value(std::int64_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+
+  DType type() const {
+    return std::holds_alternative<double>(v_) ? DType::kNumber : DType::kString;
+  }
+  bool is_number() const { return type() == DType::kNumber; }
+  bool is_string() const { return type() == DType::kString; }
+
+  // Throws TypeError on mismatch.
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // Renders the value for reports ("3.14" / "RED").
+  std::string to_string() const;
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  // Ordering: numbers before strings, then natural order within type.
+  bool operator<(const Value& o) const;
+
+ private:
+  std::variant<double, std::string> v_;
+};
+
+}  // namespace privid

@@ -1,0 +1,76 @@
+#include "video/chunker.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+std::vector<Chunk> make_chunks(const VideoMeta& video, TimeInterval interval,
+                               const ChunkSpec& spec) {
+  if (spec.chunk_seconds <= 0) {
+    throw ArgumentError("chunk duration must be positive");
+  }
+  if (spec.stride_seconds < -spec.chunk_seconds) {
+    throw ArgumentError("stride more negative than chunk duration");
+  }
+  // Appendix D: chunk and stride must be integer numbers of frames.
+  FrameIndex chunk_frames = to_frames_exact(spec.chunk_seconds, video.fps);
+  FrameIndex advance_frames =
+      chunk_frames + to_frames_exact(spec.stride_seconds, video.fps);
+  if (advance_frames <= 0) {
+    throw ArgumentError("chunk + stride must advance by at least one frame");
+  }
+  if (interval.empty()) return {};
+  TimeInterval window = interval.intersect(video.extent);
+  if (window.empty()) return {};
+
+  std::vector<Chunk> chunks;
+  FrameIndex start_f = video.frame_at(window.begin);
+  FrameIndex end_f = video.frame_at(window.end);
+  // frame_at floors; include a final partial frame interval if end is not
+  // frame aligned.
+  if (video.time_of(end_f) < window.end) end_f += 1;
+
+  std::size_t index = 0;
+  for (FrameIndex f = start_f; f < end_f; f += advance_frames) {
+    Chunk c;
+    c.index = index++;
+    c.frames = FrameInterval{f, std::min(f + chunk_frames, end_f)};
+    c.time = TimeInterval{video.time_of(c.frames.begin),
+                          std::min(video.time_of(c.frames.end), window.end)};
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+std::size_t count_chunks(const VideoMeta& video, TimeInterval interval,
+                         const ChunkSpec& spec) {
+  if (spec.chunk_seconds <= 0) {
+    throw ArgumentError("chunk duration must be positive");
+  }
+  FrameIndex chunk_frames = to_frames_exact(spec.chunk_seconds, video.fps);
+  FrameIndex advance =
+      chunk_frames + to_frames_exact(spec.stride_seconds, video.fps);
+  if (advance <= 0) {
+    throw ArgumentError("chunk + stride must advance by at least one frame");
+  }
+  if (interval.empty()) return 0;
+  TimeInterval window = interval.intersect(video.extent);
+  if (window.empty()) return 0;
+  FrameIndex start_f = video.frame_at(window.begin);
+  FrameIndex end_f = video.frame_at(window.end);
+  if (video.time_of(end_f) < window.end) end_f += 1;
+  FrameIndex span = end_f - start_f;
+  return static_cast<std::size_t>((span + advance - 1) / advance);
+}
+
+std::size_t max_chunks_spanned(Seconds rho, Seconds chunk_seconds) {
+  if (chunk_seconds <= 0) {
+    throw ArgumentError("chunk duration must be positive");
+  }
+  if (rho < 0) throw ArgumentError("rho must be non-negative");
+  return 1 + static_cast<std::size_t>(std::ceil(rho / chunk_seconds - 1e-12));
+}
+
+}  // namespace privid

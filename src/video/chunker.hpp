@@ -1,0 +1,44 @@
+// Temporal chunking — the SPLIT statement's BY TIME / STRIDE semantics.
+//
+// A SPLIT divides [begin, end) into contiguous chunks of fixed duration c
+// with a stride s between consecutive chunk starts of (c + s). Per Appendix
+// D, c must be a positive integer number of frames; s may be zero (back to
+// back) or negative (overlapping), and both must be frame-aligned.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/timeutil.hpp"
+#include "video/video.hpp"
+
+namespace privid {
+
+struct ChunkSpec {
+  Seconds chunk_seconds = 0;   // duration of each chunk (> 0)
+  Seconds stride_seconds = 0;  // gap between chunks (>= -chunk, may be 0)
+};
+
+struct Chunk {
+  std::size_t index = 0;
+  TimeInterval time;    // [start, start + chunk)
+  FrameInterval frames; // frame indices relative to the video start
+};
+
+// Enumerates the chunks covering [interval) of `video`. The final chunk is
+// truncated at interval.end if the window is not a multiple of the chunk
+// size (its `time.end` reflects the truncation).
+std::vector<Chunk> make_chunks(const VideoMeta& video, TimeInterval interval,
+                               const ChunkSpec& spec);
+
+// Number of chunks make_chunks would produce, without materializing them
+// (query planning over long windows).
+std::size_t count_chunks(const VideoMeta& video, TimeInterval interval,
+                         const ChunkSpec& spec);
+
+// Worst-case number of chunks a single event segment of duration rho can
+// span: 1 + ceil(rho / c) (Eq. 6.1). For rho == 0 this is 1: an instant
+// event still lands in one chunk.
+std::size_t max_chunks_spanned(Seconds rho, Seconds chunk_seconds);
+
+}  // namespace privid

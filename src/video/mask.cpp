@@ -1,0 +1,114 @@
+#include "video/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+Mask::Mask(int frame_width, int frame_height, int grid_cols, int grid_rows)
+    : width_(frame_width), height_(frame_height), cols_(grid_cols),
+      rows_(grid_rows),
+      masked_(static_cast<std::size_t>(grid_cols) * grid_rows, 0) {
+  if (frame_width <= 0 || frame_height <= 0 || grid_cols <= 0 ||
+      grid_rows <= 0) {
+    throw ArgumentError("Mask dimensions must be positive");
+  }
+}
+
+Mask Mask::empty(const VideoMeta& v, int grid_cols, int grid_rows) {
+  return Mask(v.width, v.height, grid_cols, grid_rows);
+}
+
+bool Mask::cell_masked(int cx, int cy) const {
+  if (cx < 0 || cx >= cols_ || cy < 0 || cy >= rows_) {
+    throw ArgumentError("Mask::cell_masked out of bounds");
+  }
+  return masked_[static_cast<std::size_t>(cy) * cols_ + cx] != 0;
+}
+
+void Mask::set_cell(int cx, int cy, bool masked) {
+  if (cx < 0 || cx >= cols_ || cy < 0 || cy >= rows_) {
+    throw ArgumentError("Mask::set_cell out of bounds");
+  }
+  masked_[static_cast<std::size_t>(cy) * cols_ + cx] = masked ? 1 : 0;
+}
+
+void Mask::mask_box(const Box& b) {
+  auto [cx0, cy0] = cell_of(b.x, b.y);
+  auto [cx1, cy1] = cell_of(b.right() - 1e-9, b.bottom() - 1e-9);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      if (cell_box(cx, cy).overlaps(b)) set_cell(cx, cy, true);
+    }
+  }
+}
+
+Box Mask::cell_box(int cx, int cy) const {
+  double cw = static_cast<double>(width_) / cols_;
+  double ch = static_cast<double>(height_) / rows_;
+  return Box{cx * cw, cy * ch, cw, ch};
+}
+
+std::pair<int, int> Mask::cell_of(double px, double py) const {
+  int cx = static_cast<int>(std::floor(px * cols_ / width_));
+  int cy = static_cast<int>(std::floor(py * rows_ / height_));
+  cx = std::clamp(cx, 0, cols_ - 1);
+  cy = std::clamp(cy, 0, rows_ - 1);
+  return {cx, cy};
+}
+
+std::size_t Mask::masked_cell_count() const {
+  return static_cast<std::size_t>(
+      std::count(masked_.begin(), masked_.end(), 1));
+}
+
+double Mask::masked_fraction() const {
+  return static_cast<double>(masked_cell_count()) /
+         static_cast<double>(masked_.size());
+}
+
+double Mask::visible_fraction(const Box& b) const {
+  Box clipped = b.intersect(Box{0, 0, static_cast<double>(width_),
+                                static_cast<double>(height_)});
+  double total = b.area();
+  if (total <= 0 || clipped.area() <= 0) return 0.0;
+  auto [cx0, cy0] = cell_of(clipped.x, clipped.y);
+  auto [cx1, cy1] = cell_of(clipped.right() - 1e-9, clipped.bottom() - 1e-9);
+  double masked_area = 0;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      if (cell_masked(cx, cy)) {
+        masked_area += cell_box(cx, cy).intersection_area(clipped);
+      }
+    }
+  }
+  return (clipped.area() - masked_area) / total;
+}
+
+bool Mask::visible(const Box& b, double visibility_threshold) const {
+  return visible_fraction(b) >= visibility_threshold;
+}
+
+Mask Mask::unite(const Mask& other) const {
+  if (other.cols_ != cols_ || other.rows_ != rows_ || other.width_ != width_ ||
+      other.height_ != height_) {
+    throw ArgumentError("Mask::unite geometry mismatch");
+  }
+  Mask out = *this;
+  for (std::size_t i = 0; i < masked_.size(); ++i) {
+    out.masked_[i] = masked_[i] | other.masked_[i];
+  }
+  return out;
+}
+
+void Mask::apply(FrameBuffer& frame) const {
+  for (int cy = 0; cy < rows_; ++cy) {
+    for (int cx = 0; cx < cols_; ++cx) {
+      if (cell_masked(cx, cy)) frame.fill_box(cell_box(cx, cy), 0);
+    }
+  }
+}
+
+}  // namespace privid

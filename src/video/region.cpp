@@ -1,0 +1,85 @@
+#include "video/region.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+RegionScheme::RegionScheme(std::string name, BoundaryKind boundaries,
+                           std::vector<Region> regions)
+    : name_(std::move(name)), boundaries_(boundaries),
+      regions_(std::move(regions)) {
+  if (regions_.empty()) {
+    throw ArgumentError("RegionScheme requires at least one region");
+  }
+}
+
+int RegionScheme::region_of(const Box& b) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].extent.contains(b.cx(), b.cy())) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+RegionScheme RegionScheme::grid(const VideoMeta& v, int cols, int rows,
+                                double max_object_w, double max_object_h,
+                                double max_speed_px_s) {
+  if (cols <= 0 || rows <= 0) {
+    throw ArgumentError("grid dimensions must be positive");
+  }
+  if (max_object_w <= 0 || max_object_h <= 0 || max_speed_px_s < 0) {
+    throw ArgumentError("grid object bounds must be positive");
+  }
+  double cw = static_cast<double>(v.width) / cols;
+  double ch = static_cast<double>(v.height) / rows;
+  std::vector<Region> regions;
+  regions.reserve(static_cast<std::size_t>(cols) * rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      regions.push_back(
+          {"cell_" + std::to_string(c) + "_" + std::to_string(r),
+           Box{c * cw, r * ch, cw, ch}});
+    }
+  }
+  // Grid boundaries are soft by nature, but the declared size/speed bounds
+  // substitute for the single-frame-chunk restriction.
+  RegionScheme s("grid", BoundaryKind::kSoft, std::move(regions));
+  s.is_grid_ = true;
+  s.grid_cols_ = cols;
+  s.grid_rows_ = rows;
+  s.cell_w_ = cw;
+  s.cell_h_ = ch;
+  s.max_obj_w_ = max_object_w;
+  s.max_obj_h_ = max_object_h;
+  s.max_speed_ = max_speed_px_s;
+  return s;
+}
+
+std::size_t RegionScheme::occupied_cells_bound() const {
+  if (!is_grid_) throw ArgumentError("occupied_cells_bound: not a grid scheme");
+  auto across = [](double obj, double cell) {
+    return 1 + static_cast<std::size_t>(std::ceil(obj / cell));
+  };
+  return across(max_obj_w_, cell_w_) * across(max_obj_h_, cell_h_);
+}
+
+std::size_t RegionScheme::influenced_cells_bound(Seconds chunk_seconds) const {
+  if (!is_grid_) {
+    throw ArgumentError("influenced_cells_bound: not a grid scheme");
+  }
+  if (chunk_seconds <= 0) {
+    throw ArgumentError("chunk duration must be positive");
+  }
+  // Worst case: the object sweeps max_speed * chunk pixels in each axis,
+  // widening the band of cells it can touch during the chunk.
+  double travel = max_speed_ * chunk_seconds;
+  auto across = [&](double obj, double cell) {
+    return 1 + static_cast<std::size_t>(std::ceil((obj + travel) / cell));
+  };
+  return across(max_obj_w_, cell_w_) * across(max_obj_h_, cell_h_);
+}
+
+}  // namespace privid

@@ -1,0 +1,78 @@
+// Spatial splitting (§7.2): owner-defined region schemes.
+//
+// At camera registration the owner publishes named schemes that divide the
+// frame into regions with either *soft* boundaries (objects may cross over
+// time — tables built with such a split must use chunk size of one frame)
+// or *hard* boundaries (objects never cross — any chunk size allowed).
+//
+// The "Grid Split" extension (paper future work) is also implemented: a
+// uniform grid with declared bounds on the maximum object size and speed,
+// from which the number of cells an object can influence per chunk follows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "video/video.hpp"
+
+namespace privid {
+
+struct Region {
+  std::string name;
+  Box extent;
+};
+
+enum class BoundaryKind { kSoft, kHard };
+
+class RegionScheme {
+ public:
+  RegionScheme(std::string name, BoundaryKind boundaries,
+               std::vector<Region> regions);
+
+  const std::string& name() const { return name_; }
+  BoundaryKind boundaries() const { return boundaries_; }
+  std::size_t region_count() const { return regions_.size(); }
+  const Region& region(std::size_t i) const { return regions_.at(i); }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  // Index of the region containing the box centre; -1 if none.
+  int region_of(const Box& b) const;
+
+  // Number of regions a single object can occupy simultaneously. For
+  // disjoint soft/hard schemes this is 1 (an object is assigned by centre).
+  std::size_t regions_per_object() const { return 1; }
+
+  // §7.2: soft boundaries force chunk size of a single frame so an object
+  // is in at most one (chunk, region) cell.
+  bool requires_single_frame_chunks() const {
+    return boundaries_ == BoundaryKind::kSoft;
+  }
+
+  // Uniform grid scheme (the Grid Split extension). `max_object_diag` and
+  // `max_speed_px_s` are the owner's declared bounds; occupied_cells_bound()
+  // exposes the per-frame cell bound they imply.
+  static RegionScheme grid(const VideoMeta& v, int cols, int rows,
+                           double max_object_w, double max_object_h,
+                           double max_speed_px_s);
+
+  // Grid split only: max cells an object of the declared size can overlap
+  // at one instant: (1 + ceil(w_obj/w_cell)) * (1 + ceil(h_obj/h_cell)).
+  std::size_t occupied_cells_bound() const;
+  // Grid split only: max cells an object can *influence over a chunk* of
+  // the given duration, accounting for motion at the declared max speed.
+  std::size_t influenced_cells_bound(Seconds chunk_seconds) const;
+
+  bool is_grid() const { return is_grid_; }
+
+ private:
+  std::string name_;
+  BoundaryKind boundaries_;
+  std::vector<Region> regions_;
+  bool is_grid_ = false;
+  int grid_cols_ = 0, grid_rows_ = 0;
+  double cell_w_ = 0, cell_h_ = 0;
+  double max_obj_w_ = 0, max_obj_h_ = 0, max_speed_ = 0;
+};
+
+}  // namespace privid

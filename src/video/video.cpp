@@ -1,0 +1,87 @@
+#include "video/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privid {
+
+Box Box::intersect(const Box& o) const {
+  double nx = std::max(x, o.x);
+  double ny = std::max(y, o.y);
+  double nr = std::min(right(), o.right());
+  double nb = std::min(bottom(), o.bottom());
+  return Box{nx, ny, nr - nx, nb - ny};
+}
+
+double iou(const Box& a, const Box& b) {
+  double inter = a.intersection_area(b);
+  if (inter <= 0) return 0.0;
+  double uni = a.area() + b.area() - inter;
+  return uni > 0 ? inter / uni : 0.0;
+}
+
+FrameIndex VideoMeta::frame_at(Seconds t) const {
+  return static_cast<FrameIndex>(std::floor((t - extent.begin) * fps + 1e-9));
+}
+
+Seconds VideoMeta::time_of(FrameIndex f) const {
+  return extent.begin + static_cast<Seconds>(f) / fps;
+}
+
+FrameIndex VideoMeta::total_frames() const {
+  return to_frames_round(extent.duration(), fps);
+}
+
+FrameBuffer::FrameBuffer(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(width) * height, fill) {
+  if (width <= 0 || height <= 0) {
+    throw ArgumentError("FrameBuffer dimensions must be positive");
+  }
+}
+
+std::uint8_t FrameBuffer::at(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw ArgumentError("FrameBuffer::at out of bounds");
+  }
+  return data_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void FrameBuffer::set(int x, int y, std::uint8_t v) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw ArgumentError("FrameBuffer::set out of bounds");
+  }
+  data_[static_cast<std::size_t>(y) * width_ + x] = v;
+}
+
+void FrameBuffer::fill_box(const Box& b, std::uint8_t v) {
+  int x0 = std::max(0, static_cast<int>(std::floor(b.x)));
+  int y0 = std::max(0, static_cast<int>(std::floor(b.y)));
+  int x1 = std::min(width_, static_cast<int>(std::ceil(b.right())));
+  int y1 = std::min(height_, static_cast<int>(std::ceil(b.bottom())));
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      data_[static_cast<std::size_t>(y) * width_ + x] = v;
+    }
+  }
+}
+
+double FrameBuffer::mean_over(const Box& b) const {
+  int x0 = std::max(0, static_cast<int>(std::floor(b.x)));
+  int y0 = std::max(0, static_cast<int>(std::floor(b.y)));
+  int x1 = std::min(width_, static_cast<int>(std::ceil(b.right())));
+  int y1 = std::min(height_, static_cast<int>(std::ceil(b.bottom())));
+  double sum = 0;
+  long n = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sum += data_[static_cast<std::size_t>(y) * width_ + x];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace privid

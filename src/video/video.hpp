@@ -1,0 +1,75 @@
+// Core video abstractions: frame geometry and video metadata.
+//
+// Privid never needs decoded pixels — analyst models consume detections and
+// the owner-side policy estimation consumes durations — so a "video" here is
+// its metadata (camera, frame rate, extent, frame geometry) plus the
+// ground-truth world attached to it by the simulator. A small raster
+// FrameBuffer is provided for mask-application semantics and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timeutil.hpp"
+
+namespace privid {
+
+// Axis-aligned box in pixel coordinates (x, y = top-left corner).
+struct Box {
+  double x = 0, y = 0, w = 0, h = 0;
+
+  double area() const { return (w > 0 && h > 0) ? w * h : 0.0; }
+  double cx() const { return x + w / 2; }
+  double cy() const { return y + h / 2; }
+  double right() const { return x + w; }
+  double bottom() const { return y + h; }
+
+  bool contains(double px, double py) const {
+    return px >= x && px < right() && py >= y && py < bottom();
+  }
+  // Intersection box (possibly empty: w/h <= 0).
+  Box intersect(const Box& o) const;
+  double intersection_area(const Box& o) const { return intersect(o).area(); }
+  bool overlaps(const Box& o) const { return intersection_area(o) > 0; }
+  bool operator==(const Box&) const = default;
+};
+
+// Intersection-over-union; 0 if either box is degenerate.
+double iou(const Box& a, const Box& b);
+
+// Metadata for one camera's recording.
+struct VideoMeta {
+  std::string camera_id;
+  double fps = 30.0;
+  int width = 1280;
+  int height = 720;
+  TimeInterval extent;  // recorded time range, seconds from owner epoch
+
+  Box frame_box() const {
+    return Box{0, 0, static_cast<double>(width), static_cast<double>(height)};
+  }
+  FrameIndex frame_at(Seconds t) const;
+  Seconds time_of(FrameIndex f) const;
+  FrameIndex total_frames() const;
+};
+
+// Minimal grayscale raster, used to verify mask application semantics
+// ("replace with black pixels", Appendix D) at the pixel level.
+class FrameBuffer {
+ public:
+  FrameBuffer(int width, int height, std::uint8_t fill = 128);
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t v);
+  void fill_box(const Box& b, std::uint8_t v);
+  // Mean intensity over a box (0 if box misses the frame).
+  double mean_over(const Box& b) const;
+
+ private:
+  int width_, height_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace privid

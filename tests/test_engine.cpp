@@ -1,0 +1,765 @@
+// Unit tests for the engine: sandbox enforcement, chunk views, the query
+// executor, budget accounting, masks/regions, and the Privid facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "engine/mask_registration.hpp"
+#include "engine/privid.hpp"
+#include "engine/standing.hpp"
+#include "maskopt/greedy.hpp"
+#include "maskopt/heatmap.hpp"
+#include "sim/scenarios.hpp"
+
+namespace privid::engine {
+namespace {
+
+// A tiny deterministic scene: `n` people crossing one at a time, each
+// visible for 10 s, one every 20 s starting at t = 5.
+std::shared_ptr<sim::Scene> staircase_scene(int n) {
+  VideoMeta m;
+  m.camera_id = "cam";
+  m.fps = 10;
+  m.width = 1280;
+  m.height = 720;
+  m.extent = {0, 20.0 * n + 20};
+  auto s = std::make_shared<sim::Scene>(m);
+  for (int i = 0; i < n; ++i) {
+    sim::Entity e;
+    e.id = i + 1;
+    e.cls = sim::EntityClass::kPerson;
+    e.appearance_feature.assign(8, 0.1);
+    double t0 = 5.0 + 20.0 * i;
+    e.appearances.push_back(sim::Trajectory::linear(
+        t0, t0 + 10, Box{0, 300, 60, 120}, Box{1200, 300, 60, 120}));
+    s->add_entity(e);
+  }
+  s->add_light(sim::TrafficLight(Box{600, 20, 30, 60}, 30, 30, 0));
+  return s;
+}
+
+// Counts ground-truth entities visible at the chunk midpoint via a
+// high-recall detector (deterministic).
+Executable counting_exe() {
+  return [](const ChunkView& view) {
+    ExecOutput out;
+    cv::DetectorConfig det;
+    det.base_detect_prob = 0.98;
+    det.false_positives_per_frame = 0;
+    double mid = view.time().begin + view.time().duration() / 2;
+    for (const auto& d : view.detect(det, mid)) {
+      (void)d;
+      out.rows.push_back({Value(1.0)});
+    }
+    out.simulated_runtime = 0.1;
+    return out;
+  };
+}
+
+Privid make_system(int n_people = 5, double rho = 10, int k = 1,
+                   double budget = 100) {
+  Privid sys(7);
+  auto scene = staircase_scene(n_people);
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {rho, k};
+  reg.epsilon_budget = budget;
+  // A published mask covering the top strip (where the light is).
+  Mask top(1280, 720, 64, 36);
+  top.mask_box(Box{0, 0, 1280, 120});
+  reg.masks.emplace("top_strip", MaskEntry{top, {rho / 2, k}});
+  reg.regions.emplace(
+      "halves", RegionScheme("halves", BoundaryKind::kHard,
+                             {{"left", Box{0, 0, 640, 720}},
+                              {"right", Box{640, 0, 640, 720}}}));
+  sys.register_camera(std::move(reg));
+  sys.register_executable("count", counting_exe());
+  return sys;
+}
+
+constexpr const char* kCountQuery =
+    "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 INTO c;"
+    "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+    "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+    "SELECT COUNT(*) FROM t;";
+
+// ------------------------------------------------------------- sandbox
+
+TEST(Sandbox, TruncatesToMaxRows) {
+  auto exe = [](const ChunkView&) {
+    ExecOutput out;
+    for (int i = 0; i < 10; ++i) out.rows.push_back({Value(1.0)});
+    return out;
+  };
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  Schema schema({{"n", DType::kNumber, Value(0.0)}});
+  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(Sandbox, CoercesRows) {
+  auto exe = [](const ChunkView&) {
+    ExecOutput out;
+    // Extra column, wrong type, missing column.
+    out.rows.push_back({Value("oops"), Value(2.0), Value(9.0)});
+    out.rows.push_back({Value(5.0)});
+    return out;
+  };
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  Schema schema({{"a", DType::kNumber, Value(-1.0)},
+                 {"b", DType::kNumber, Value(-2.0)}});
+  auto rows = run_sandboxed(exe, view, {1.0, 5, schema});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(-1.0));  // wrong type -> default
+  EXPECT_EQ(rows[0][1], Value(2.0));   // extra column 9.0 dropped
+  EXPECT_EQ(rows[1][0], Value(5.0));
+  EXPECT_EQ(rows[1][1], Value(-2.0));  // missing -> default
+}
+
+TEST(Sandbox, CrashYieldsDefaultRow) {
+  auto exe = [](const ChunkView&) -> ExecOutput {
+    throw std::runtime_error("model blew up");
+  };
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  Schema schema({{"n", DType::kNumber, Value(7.0)}});
+  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(7.0));
+}
+
+TEST(Sandbox, TimeoutYieldsDefaultRow) {
+  auto exe = [](const ChunkView&) {
+    ExecOutput out;
+    out.rows.push_back({Value(1.0)});
+    out.simulated_runtime = 5.0;  // exceeds TIMEOUT 1
+    return out;
+  };
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  Schema schema({{"n", DType::kNumber, Value(-9.0)}});
+  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(-9.0));
+}
+
+TEST(Sandbox, NonFiniteNumbersRejected) {
+  // A malicious executable emitting NaN/Inf must not poison the aggregate:
+  // NaN survives range() clamping and would turn the release into a side
+  // channel.
+  auto exe = [](const ChunkView&) {
+    ExecOutput out;
+    out.rows.push_back({Value(std::nan("")), Value(1.0)});
+    out.rows.push_back({Value(std::numeric_limits<double>::infinity()),
+                        Value(2.0)});
+    out.rows.push_back({Value(3.0), Value(-std::numeric_limits<double>::infinity())});
+    return out;
+  };
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  Schema schema({{"a", DType::kNumber, Value(-1.0)},
+                 {"b", DType::kNumber, Value(-2.0)}});
+  auto rows = run_sandboxed(exe, view, {1.0, 5, schema});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value(-1.0));  // NaN -> default
+  EXPECT_EQ(rows[0][1], Value(1.0));
+  EXPECT_EQ(rows[1][0], Value(-1.0));  // +inf -> default
+  EXPECT_EQ(rows[2][1], Value(-2.0));  // -inf -> default
+  EXPECT_EQ(rows[2][0], Value(3.0));
+}
+
+TEST(ChunkView, IsolationRejectsOutsideObservation) {
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView view(&content, &meta, 2, {10, 15}, {100, 150}, nullptr, nullptr);
+  cv::DetectorConfig det;
+  EXPECT_NO_THROW(view.detect(det, 12.0));
+  EXPECT_THROW(view.detect(det, 9.0), ArgumentError);   // previous chunk
+  EXPECT_THROW(view.detect(det, 16.0), ArgumentError);  // next chunk
+  EXPECT_THROW(view.light_state(0, 20.0), ArgumentError);
+}
+
+TEST(ChunkView, PerChunkRngIndependentButStable) {
+  auto scene = staircase_scene(1);
+  CameraContent content{scene, nullptr, -1, 1};
+  VideoMeta meta = scene->meta();
+  ChunkView a(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
+  ChunkView b(&content, &meta, 1, {5, 10}, {50, 100}, nullptr, nullptr);
+  Rng ra1 = a.fork_rng(), ra2 = a.fork_rng(), rb = b.fork_rng();
+  EXPECT_DOUBLE_EQ(ra1.uniform(), ra2.uniform());  // stable per chunk
+  Rng ra3 = a.fork_rng();
+  EXPECT_NE(ra3.uniform(), rb.uniform());          // independent across
+}
+
+// ------------------------------------------------------------ executor
+
+TEST(Executor, EndToEndCountWithNoise) {
+  Privid sys = make_system(4);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(kCountQuery, opts);
+  ASSERT_EQ(result.releases.size(), 1u);
+  const auto& r = result.releases[0];
+  // 4 people, each visible in 2-3 five-second chunk midpoints: raw between
+  // 4 and 12.
+  EXPECT_GE(r.raw, 4.0);
+  EXPECT_LE(r.raw, 12.0);
+  // Sensitivity: max_rows 3 * K 1 * (1 + ceil(10/5)) = 9.
+  EXPECT_DOUBLE_EQ(r.sensitivity, 9.0);
+  EXPECT_DOUBLE_EQ(r.epsilon, 1.0);
+  EXPECT_NE(r.value, r.raw);  // noise was added
+}
+
+TEST(Executor, RawDeterministicAcrossRuns) {
+  Privid a = make_system(4), b = make_system(4);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto ra = a.execute(kCountQuery, opts);
+  auto rb = b.execute(kCountQuery, opts);
+  EXPECT_DOUBLE_EQ(ra.releases[0].raw, rb.releases[0].raw);
+}
+
+TEST(Executor, ChunkAndCameraColumnsAppended) {
+  Privid sys = make_system(2);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  // Group by hour(chunk) proves the chunk column exists and is trusted.
+  auto result = sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t GROUP BY hour(chunk);",
+      opts);
+  ASSERT_EQ(result.releases.size(), 1u);  // all chunks in hour 0
+  EXPECT_EQ(result.releases[0].group_key[0], Value(0.0));
+}
+
+TEST(Executor, GroupByKeysEmitsAllDeclaredKeys) {
+  Privid sys = make_system(3);
+  auto exe = [](const ChunkView& view) {
+    ExecOutput out;
+    cv::DetectorConfig det;
+    det.base_detect_prob = 0.98;
+    det.false_positives_per_frame = 0;
+    double mid = view.time().begin + view.time().duration() / 2;
+    for (const auto& d : view.detect(det, mid)) {
+      (void)d;
+      out.rows.push_back({Value("blue")});
+    }
+    return out;
+  };
+  sys.register_executable("colors", exe);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING colors TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (shade:STRING=\"\") INTO t;"
+      "SELECT shade, COUNT(*) FROM t GROUP BY shade "
+      "WITH KEYS [\"blue\", \"green\"];",
+      opts);
+  ASSERT_EQ(result.releases.size(), 2u);  // one per declared key, even empty
+  EXPECT_GT(result.releases[0].raw, 0.0);   // blue
+  EXPECT_DOUBLE_EQ(result.releases[1].raw, 0.0);  // green: empty but released
+}
+
+TEST(Executor, MaskLowersSensitivity) {
+  Privid sys = make_system(4, 10, 1);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto masked = sys.execute(
+      "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 WITH MASK top_strip "
+      "INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  // Mask policy rho = 5 -> 1 + ceil(5/5) = 2 chunks; delta = 3*1*2 = 6 < 9.
+  EXPECT_DOUBLE_EQ(masked.releases[0].sensitivity, 6.0);
+}
+
+TEST(Executor, SoftRegionsRequireSingleFrameChunks) {
+  Privid sys = make_system(2);
+  // Register a soft scheme.
+  Privid sys2(3);
+  auto scene = staircase_scene(2);
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {10, 1};
+  reg.regions.emplace(
+      "soft", RegionScheme("soft", BoundaryKind::kSoft,
+                           {{"a", Box{0, 0, 640, 720}},
+                            {"b", Box{640, 0, 640, 720}}}));
+  sys2.register_camera(std::move(reg));
+  sys2.register_executable("count", counting_exe());
+  EXPECT_THROW(sys2.execute(
+                   "SPLIT cam BEGIN 0 END 30 BY TIME 5 STRIDE 0 "
+                   "BY REGION soft INTO c;"
+                   "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+                   "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+                   "SELECT COUNT(*) FROM t;"),
+               ValidationError);
+  // 0.1 s = 1 frame at 10 fps: accepted.
+  EXPECT_NO_THROW(sys2.execute(
+      "SPLIT cam BEGIN 0 END 3 BY TIME 0.1 STRIDE 0 BY REGION soft INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;"));
+}
+
+TEST(Executor, HardRegionsAddRegionColumn) {
+  Privid sys = make_system(3);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 BY REGION halves INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t GROUP BY region;",
+      opts);
+  // One release per observed region value.
+  EXPECT_GE(result.releases.size(), 1u);
+  EXPECT_LE(result.releases.size(), 2u);
+}
+
+TEST(Executor, ConsumingSetsEpsilon) {
+  Privid sys = make_system(3);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t CONSUMING 0.5;",
+      opts);
+  EXPECT_DOUBLE_EQ(result.releases[0].epsilon, 0.5);
+}
+
+TEST(Executor, LookupFailures) {
+  Privid sys = make_system(2);
+  EXPECT_THROW(sys.execute(
+                   "SPLIT nocam BEGIN 0 END 10 BY TIME 5 STRIDE 0 INTO c;"
+                   "PROCESS c USING count TIMEOUT 1 PRODUCING 1 ROWS "
+                   "WITH SCHEMA (n:NUMBER) INTO t; SELECT COUNT(*) FROM t;"),
+               LookupError);
+  EXPECT_THROW(sys.execute(
+                   "SPLIT cam BEGIN 0 END 10 BY TIME 5 STRIDE 0 INTO c;"
+                   "PROCESS c USING nope TIMEOUT 1 PRODUCING 1 ROWS "
+                   "WITH SCHEMA (n:NUMBER) INTO t; SELECT COUNT(*) FROM t;"),
+               LookupError);
+  EXPECT_THROW(sys.execute(
+                   "SPLIT cam BEGIN 0 END 10 BY TIME 5 STRIDE 0 "
+                   "WITH MASK ghost INTO c;"
+                   "PROCESS c USING count TIMEOUT 1 PRODUCING 1 ROWS "
+                   "WITH SCHEMA (n:NUMBER) INTO t; SELECT COUNT(*) FROM t;"),
+               LookupError);
+}
+
+// -------------------------------------------------------------- budget
+
+TEST(Budgeting, DepletesAndDenies) {
+  Privid sys = make_system(3, 10, 1, /*budget=*/2.0);
+  // Each run charges eps 1.0 over [0, 100s).
+  EXPECT_NO_THROW(sys.execute(kCountQuery));
+  EXPECT_NO_THROW(sys.execute(kCountQuery));
+  EXPECT_THROW(sys.execute(kCountQuery), BudgetError);
+}
+
+TEST(Budgeting, GroupKeysMultiplyCharge) {
+  Privid sys = make_system(3, 10, 1, /*budget=*/2.0);
+  // Two declared keys -> charge 2.0; a second identical query must fail.
+  const char* q =
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT seen, COUNT(*) FROM t GROUP BY seen WITH KEYS [0, 1];";
+  EXPECT_NO_THROW(sys.execute(q));
+  EXPECT_THROW(sys.execute(q), BudgetError);
+}
+
+TEST(Budgeting, DisabledChargingAllowsSweeps) {
+  Privid sys = make_system(3, 10, 1, /*budget=*/1.0);
+  RunOptions opts;
+  opts.charge_budget = false;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(sys.execute(kCountQuery, opts));
+  }
+}
+
+TEST(Budgeting, RemainingBudgetQueries) {
+  Privid sys = make_system(3, 10, 1, /*budget=*/5.0);
+  sys.execute(kCountQuery);
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("cam", 50), 4.0);
+  EXPECT_DOUBLE_EQ(sys.min_remaining_budget("cam", {0, 50}), 4.0);
+  EXPECT_THROW(sys.remaining_budget("ghost", 0), LookupError);
+}
+
+TEST(Budgeting, DisjointWindowsHaveSeparateBudgets) {
+  Privid sys = make_system(5, 10, 1, /*budget=*/1.0);
+  auto q = [](double b, double e) {
+    return "SPLIT cam BEGIN " + std::to_string(b) + " END " +
+           std::to_string(e) +
+           " BY TIME 5 STRIDE 0 INTO c;"
+           "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+           "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+           "SELECT COUNT(*) FROM t;";
+  };
+  EXPECT_NO_THROW(sys.execute(q(0, 40)));
+  // Adjacent window: the rho margin (10 s) collides -> denied.
+  EXPECT_THROW(sys.execute(q(40, 80)), BudgetError);
+  // rho-disjoint window (> 2*rho past the charged end): allowed.
+  EXPECT_NO_THROW(sys.execute(q(65, 100)));
+}
+
+TEST(Executor, MultiSelectChargesSequentially) {
+  // Two SELECTs in one query are separate data releases: each consumes its
+  // own epsilon from the same frames.
+  Privid sys = make_system(3, 10, 1, /*budget=*/1.5);
+  const char* q =
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t CONSUMING 1.0;"
+      "SELECT COUNT(seen) FROM t CONSUMING 1.0;";
+  // Second SELECT exceeds the remaining 0.5: whole query denied mid-way —
+  // the first release was already charged.
+  EXPECT_THROW(sys.execute(q), BudgetError);
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("cam", 100), 0.5);
+}
+
+TEST(Executor, OverlappingStrideProcessesEveryChunk) {
+  Privid sys = make_system(2);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  // chunk 5 s, stride -2.5 s: chunks start every 2.5 s (overlapping).
+  auto result = sys.execute(
+      "SPLIT cam BEGIN 0 END 30 BY TIME 5 STRIDE -2.5 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  // Overlap roughly doubles the observation count of the plain split.
+  auto plain = sys.execute(
+      "SPLIT cam BEGIN 30 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  (void)plain;
+  EXPECT_GT(result.releases[0].raw, 0.0);
+}
+
+TEST(Executor, UnionAcrossTwoCamerasChargesBoth) {
+  Privid sys(9);
+  for (const char* id : {"camA", "camB"}) {
+    auto scene = staircase_scene(3);
+    CameraRegistration reg;
+    reg.meta = scene->meta();
+    reg.meta.camera_id = id;
+    reg.content.scene = scene;
+    reg.content.seed = 11;
+    reg.policy = {10, 1};
+    reg.epsilon_budget = 5.0;
+    sys.register_camera(std::move(reg));
+  }
+  sys.register_executable("count", counting_exe());
+  auto r = sys.execute(
+      "SPLIT camA BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO ca;"
+      "SPLIT camB BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO cb;"
+      "PROCESS ca USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO ta;"
+      "PROCESS cb USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO tb;"
+      "SELECT COUNT(*) FROM ta UNION tb;");
+  ASSERT_EQ(r.releases.size(), 1u);
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("camA", 100), 4.0);
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("camB", 100), 4.0);
+}
+
+TEST(Executor, DeniedQueryChargesNothing) {
+  // The check-all-then-charge discipline: a query over two cameras where
+  // the second lacks budget must not charge the first.
+  Privid sys(9);
+  int i = 0;
+  for (const char* id : {"rich", "poor"}) {
+    auto scene = staircase_scene(3);
+    CameraRegistration reg;
+    reg.meta = scene->meta();
+    reg.meta.camera_id = id;
+    reg.content.scene = scene;
+    reg.content.seed = 11;
+    reg.policy = {10, 1};
+    reg.epsilon_budget = (i++ == 0) ? 5.0 : 0.5;
+    sys.register_camera(std::move(reg));
+  }
+  sys.register_executable("count", counting_exe());
+  EXPECT_THROW(sys.execute(
+                   "SPLIT rich BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO ca;"
+                   "SPLIT poor BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO cb;"
+                   "PROCESS ca USING count TIMEOUT 1 PRODUCING 3 ROWS "
+                   "WITH SCHEMA (seen:NUMBER=0) INTO ta;"
+                   "PROCESS cb USING count TIMEOUT 1 PRODUCING 3 ROWS "
+                   "WITH SCHEMA (seen:NUMBER=0) INTO tb;"
+                   "SELECT COUNT(*) FROM ta UNION tb;"),
+               BudgetError);
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("rich", 100), 5.0);  // untouched
+}
+
+// ---------------------------------------------------------- extensions
+
+TEST(Extensions, GaussianReleaseOption) {
+  // (eps, delta)-DP variant: delta > 0 switches the release mechanism.
+  Privid sys = make_system(4);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.delta = 1e-5;
+  auto r = sys.execute(kCountQuery, opts);
+  ASSERT_EQ(r.releases.size(), 1u);
+  EXPECT_NE(r.releases[0].value, r.releases[0].raw);
+  // Same raw result as the Laplace path (mechanism only changes noise).
+  Privid sys2 = make_system(4);
+  RunOptions lap;
+  lap.reveal_raw = true;
+  auto r2 = sys2.execute(kCountQuery, lap);
+  EXPECT_DOUBLE_EQ(r.releases[0].raw, r2.releases[0].raw);
+}
+
+TEST(Extensions, GridSplitAllowsMultiFrameChunks) {
+  Privid sys(4);
+  auto scene = staircase_scene(3);
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {10, 1};
+  reg.regions.emplace("grid", RegionScheme::grid(scene->meta(), 4, 4,
+                                                 /*max_obj_w=*/80,
+                                                 /*max_obj_h=*/140,
+                                                 /*max_speed=*/150));
+  sys.register_camera(std::move(reg));
+  sys.register_executable("count", counting_exe());
+  RunOptions opts;
+  opts.reveal_raw = true;
+  // Grid is "soft" but its declared bounds admit 5-second chunks.
+  auto r = sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 BY REGION grid INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  ASSERT_EQ(r.releases.size(), 1u);
+  // Sensitivity includes the occupied-cells factor:
+  // 3 rows * K1 * 3 chunks * cells_bound.
+  auto grid = RegionScheme::grid(scene->meta(), 4, 4, 80, 140, 150);
+  EXPECT_DOUBLE_EQ(r.releases[0].sensitivity,
+                   3.0 * 1 * 3 * static_cast<double>(grid.occupied_cells_bound()));
+}
+
+TEST(Planner, MatchesExecutionSensitivity) {
+  Privid sys = make_system(4);
+  auto plan = sys.plan(kCountQuery);
+  ASSERT_EQ(plan.selects.size(), 1u);
+  ASSERT_EQ(plan.selects[0].releases.size(), 1u);
+  EXPECT_TRUE(plan.admissible);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(kCountQuery, opts);
+  EXPECT_DOUBLE_EQ(plan.selects[0].releases[0].sensitivity,
+                   result.releases[0].sensitivity);
+  EXPECT_DOUBLE_EQ(plan.selects[0].releases[0].noise_scale,
+                   result.releases[0].sensitivity / result.releases[0].epsilon);
+}
+
+TEST(Planner, DoesNotConsumeBudget) {
+  Privid sys = make_system(3, 10, 1, /*budget=*/1.0);
+  for (int i = 0; i < 5; ++i) {
+    auto plan = sys.plan(kCountQuery);
+    EXPECT_TRUE(plan.admissible);
+  }
+  EXPECT_DOUBLE_EQ(sys.remaining_budget("cam", 100), 1.0);
+  // A real execution still works afterwards.
+  EXPECT_NO_THROW(sys.execute(kCountQuery));
+  // And now the plan reports inadmissibility.
+  EXPECT_FALSE(sys.plan(kCountQuery).admissible);
+}
+
+TEST(Planner, ReportsKeyMultipliedCharge) {
+  Privid sys = make_system(3);
+  auto plan = sys.plan(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT seen, COUNT(*) FROM t GROUP BY seen WITH KEYS [0, 1, 2];");
+  ASSERT_EQ(plan.selects.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.selects[0].same_frame_releases, 3.0);
+  EXPECT_DOUBLE_EQ(plan.selects[0].charge_per_frame, 3.0);
+  ASSERT_EQ(plan.selects[0].cameras.size(), 1u);
+  EXPECT_EQ(plan.selects[0].cameras[0], "cam");
+}
+
+TEST(Planner, RejectsInvalidQueries) {
+  Privid sys = make_system(2);
+  EXPECT_THROW(sys.plan("SELECT speed FROM nowhere;"), ValidationError);
+}
+
+TEST(Extensions, MaskEntriesFromPolicyMap) {
+  auto scene = staircase_scene(2);
+  auto hm = maskopt::build_heatmap(*scene, {0, 60}, 16, 9, 1.0);
+  auto ordering = maskopt::greedy_mask_ordering(hm, 10);
+  maskopt::MaskPolicyMap map(scene->meta(), ordering, 1.2, 2, 4);
+  auto entries = mask_entries_from_policy_map(map);
+  EXPECT_EQ(entries.size(), map.size());
+  ASSERT_TRUE(entries.count("mask_0"));
+  EXPECT_DOUBLE_EQ(entries.at("mask_0").policy.rho, map.entry(0).rho);
+
+  // Register them and query through one.
+  Privid sys(4);
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {map.entry(0).rho, 2};
+  reg.masks = std::move(entries);
+  sys.register_camera(std::move(reg));
+  sys.register_executable("count", counting_exe());
+  EXPECT_NO_THROW(sys.execute(
+      "SPLIT cam BEGIN 0 END 30 BY TIME 5 STRIDE 0 WITH MASK mask_0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;"));
+}
+
+// ------------------------------------------------------------- standing
+
+TEST(Standing, SubstitutesWindow) {
+  std::string q = substitute_window("BEGIN {BEGIN} END {END} x {BEGIN}",
+                                    10.0, 20.0);
+  EXPECT_EQ(q, "BEGIN 10 END 20 x 10");
+}
+
+TEST(Standing, AdvancesPeriodByPeriod) {
+  Privid sys = make_system(5, 10, 1, /*budget=*/50);
+  StandingQuery::Spec spec;
+  spec.query_template =
+      "SPLIT cam BEGIN {BEGIN} END {END} BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  spec.start = 0;
+  spec.period = 30;
+  StandingQuery standing(&sys, spec);
+
+  EXPECT_TRUE(standing.advance(29).empty());  // first period incomplete
+  auto first = standing.advance(30);
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(standing.periods_executed(), 1u);
+  EXPECT_TRUE(standing.advance(30).empty());  // idempotent
+  // Jumping the clock executes every elapsed period, in order.
+  auto batch = standing.advance(120);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(standing.periods_executed(), 4u);
+  EXPECT_DOUBLE_EQ(standing.next_due(), 150.0);
+}
+
+TEST(Standing, BudgetDenialDoesNotSkipPeriods) {
+  Privid sys = make_system(5, 10, 1, /*budget=*/1.0);
+  StandingQuery::Spec spec;
+  spec.query_template =
+      "SPLIT cam BEGIN {BEGIN} END {END} BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  spec.period = 30;
+  StandingQuery standing(&sys, spec);
+  // Adjacent periods collide through the rho margin (rho = 10 s): period 1
+  // succeeds, period 2 is denied and stays pending.
+  standing.advance(30);
+  EXPECT_THROW(standing.advance(60), BudgetError);
+  EXPECT_DOUBLE_EQ(standing.next_period_start(), 30.0);  // not skipped
+}
+
+TEST(Standing, Validation) {
+  Privid sys = make_system(2);
+  StandingQuery::Spec spec;
+  spec.query_template = "no placeholders";
+  EXPECT_THROW(StandingQuery(&sys, spec), ArgumentError);
+  spec.query_template = "{BEGIN} {END}";
+  spec.period = 0;
+  EXPECT_THROW(StandingQuery(&sys, spec), ArgumentError);
+  spec.period = 10;
+  EXPECT_THROW(StandingQuery(nullptr, spec), ArgumentError);
+}
+
+// -------------------------------------------------------------- facade
+
+TEST(Facade, BudgetSurvivesRestart) {
+  // Owner restart scenario: charges made before the restart must still be
+  // enforced after restoring the serialized ledger into a fresh instance.
+  Privid first = make_system(3, 10, 1, /*budget=*/2.0);
+  first.execute(kCountQuery);  // consumes 1.0 over [0, 100s)
+  std::ostringstream saved;
+  first.save_budget("cam", saved);
+
+  Privid second = make_system(3, 10, 1, /*budget=*/2.0);
+  std::istringstream is(saved.str());
+  second.restore_budget("cam", is);
+  EXPECT_DOUBLE_EQ(second.remaining_budget("cam", 100), 1.0);
+  EXPECT_NO_THROW(second.execute(kCountQuery));   // 1.0 left
+  EXPECT_THROW(second.execute(kCountQuery), BudgetError);
+
+  // Mismatched epsilon_C is rejected.
+  Privid third = make_system(3, 10, 1, /*budget=*/5.0);
+  std::istringstream is2(saved.str());
+  EXPECT_THROW(third.restore_budget("cam", is2), ArgumentError);
+}
+
+TEST(Facade, RegistrationValidation) {
+  Privid sys(1);
+  CameraRegistration empty;
+  empty.meta.camera_id = "x";
+  EXPECT_THROW(sys.register_camera(std::move(empty)), ArgumentError);
+
+  auto scene = staircase_scene(1);
+  CameraRegistration bad_policy;
+  bad_policy.meta = scene->meta();
+  bad_policy.content.scene = scene;
+  bad_policy.policy = {-1, 1};
+  EXPECT_THROW(sys.register_camera(std::move(bad_policy)), ArgumentError);
+
+  CameraRegistration ok;
+  ok.meta = scene->meta();
+  ok.content.scene = scene;
+  ok.policy = {5, 1};
+  sys.register_camera(std::move(ok));
+  EXPECT_TRUE(sys.has_camera("cam"));
+  EXPECT_EQ(sys.camera_meta("cam").fps, 10);
+
+  CameraRegistration dup;
+  dup.meta = scene->meta();
+  dup.content.scene = scene;
+  dup.policy = {5, 1};
+  EXPECT_THROW(sys.register_camera(std::move(dup)), ArgumentError);
+}
+
+}  // namespace
+}  // namespace privid::engine

@@ -1,0 +1,296 @@
+// Integration tests: full pipeline over simulated scenarios, plus the
+// central DP invariant — for neighbouring videos (differing in one
+// (rho, K)-bounded event), raw query outputs differ by at most the computed
+// sensitivity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyst/executables.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+namespace privid {
+namespace {
+
+using engine::CameraRegistration;
+using engine::Privid;
+using engine::RunOptions;
+
+cv::DetectorConfig eval_detector() {
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.9;
+  det.false_positives_per_frame = 0.0;
+  return det;
+}
+
+Privid campus_system(std::uint64_t seed, double hours = 1.0) {
+  Privid sys(seed);
+  auto scenario =
+      std::make_shared<sim::Scenario>(sim::make_campus(seed, hours, 0.5));
+  auto scene = std::make_shared<sim::Scene>(std::move(scenario->scene));
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = seed;
+  reg.policy = {85, 2};
+  reg.epsilon_budget = 50;
+  reg.masks.emplace("benches",
+                    engine::MaskEntry{scenario->recommended_mask, {30, 2}});
+  sys.register_camera(std::move(reg));
+  sys.register_executable(
+      "count_people",
+      analyst::make_entering_counter(eval_detector(),
+                                     cv::TrackerConfig::sort(20, 2, 0.1),
+                                     sim::EntityClass::kPerson));
+  return sys;
+}
+
+TEST(Integration, PeopleCountTracksGroundTruth) {
+  Privid sys = campus_system(21);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto result = sys.execute(
+      "SPLIT campus BEGIN 21600 END 25200 BY TIME 30 STRIDE 0 INTO c;"
+      "PROCESS c USING count_people TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  ASSERT_EQ(result.releases.size(), 1u);
+  // Raw count should be within 40% of the true number of entries in the
+  // hour (detector misses and tracker fragmentation both push it around).
+  auto scenario = sim::make_campus(21, 1.0, 0.5);
+  double truth = static_cast<double>(scenario.scene.true_entries(
+      sim::EntityClass::kPerson, {21600, 25200}));
+  ASSERT_GT(truth, 0);
+  EXPECT_GT(result.releases[0].raw, 0.4 * truth);
+  EXPECT_LT(result.releases[0].raw, 2.0 * truth);
+}
+
+TEST(Integration, NoiseMatchesSensitivityScale) {
+  // Re-running the same query (budget off) yields noisy values whose
+  // spread matches Laplace(sensitivity / epsilon).
+  Privid sys = campus_system(22);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.charge_budget = false;
+  const char* q =
+      "SPLIT campus BEGIN 21600 END 23400 BY TIME 30 STRIDE 0 INTO c;"
+      "PROCESS c USING count_people TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  std::vector<double> noise;
+  double sensitivity = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto r = sys.execute(q, opts);
+    noise.push_back(r.releases[0].value - r.releases[0].raw);
+    sensitivity = r.releases[0].sensitivity;
+  }
+  ASSERT_GT(sensitivity, 0);
+  // Laplace(b): mean |noise| = b.
+  std::vector<double> abs_noise;
+  for (double n : noise) abs_noise.push_back(std::abs(n));
+  EXPECT_NEAR(mean(abs_noise), sensitivity, sensitivity * 0.35);
+  EXPECT_NEAR(mean(noise), 0.0, sensitivity * 0.5);
+}
+
+TEST(Integration, DPInvariantNeighboringScenes) {
+  // Two scenes identical except one extra person (a (rho, K)-bounded
+  // event). The raw outputs of any accepted COUNT query must differ by at
+  // most the computed sensitivity.
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    VideoMeta m;
+    m.camera_id = "cam";
+    m.fps = 10;
+    m.extent = {0, 600};
+    auto base = std::make_shared<sim::Scene>(m);
+    auto with_x = std::make_shared<sim::Scene>(m);
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+      sim::Entity e;
+      e.id = i + 1;
+      e.cls = sim::EntityClass::kPerson;
+      e.appearance_feature.assign(8, 0.3);
+      double t0 = rng.uniform(0, 500);
+      double y = rng.uniform(100, 600);
+      e.appearances.push_back(sim::Trajectory::linear(
+          t0, t0 + rng.uniform(10, 40), Box{0, y, 50, 100},
+          Box{1200, y, 50, 100}));
+      base->add_entity(e);
+      with_x->add_entity(e);
+    }
+    // The extra individual: one 50 s appearance (rho = 60, K = 1 policy).
+    sim::Entity x;
+    x.id = 99;
+    x.cls = sim::EntityClass::kPerson;
+    x.appearance_feature.assign(8, 0.9);
+    x.appearances.push_back(sim::Trajectory::linear(
+        200, 250, Box{0, 350, 50, 100}, Box{1200, 350, 50, 100}));
+    with_x->add_entity(x);
+
+    auto run = [&](std::shared_ptr<sim::Scene> scene) {
+      Privid sys(seed);
+      CameraRegistration reg;
+      reg.meta = scene->meta();
+      reg.content.scene = scene;
+      reg.content.seed = 77;  // same model seed for both worlds
+      reg.policy = {60, 1};
+      reg.epsilon_budget = 10;
+      sys.register_camera(std::move(reg));
+      sys.register_executable(
+          "count",
+          analyst::make_entering_counter(eval_detector(),
+                                         cv::TrackerConfig::sort(20, 2, 0.1),
+                                         sim::EntityClass::kPerson));
+      RunOptions opts;
+      opts.reveal_raw = true;
+      auto r = sys.execute(
+          "SPLIT cam BEGIN 0 END 600 BY TIME 30 STRIDE 0 INTO c;"
+          "PROCESS c USING count TIMEOUT 1 PRODUCING 8 ROWS "
+          "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+          "SELECT COUNT(*) FROM t;",
+          opts);
+      return std::make_pair(r.releases[0].raw, r.releases[0].sensitivity);
+    };
+    auto [raw_base, sens] = run(base);
+    auto [raw_x, sens2] = run(with_x);
+    EXPECT_DOUBLE_EQ(sens, sens2);
+    EXPECT_LE(std::abs(raw_x - raw_base), sens)
+        << "seed " << seed << ": neighbouring outputs differ by more than "
+        << "the sensitivity bound";
+  }
+}
+
+TEST(Integration, MaskedQueryStillCounts) {
+  Privid sys = campus_system(23);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto masked = sys.execute(
+      "SPLIT campus BEGIN 21600 END 23400 BY TIME 30 STRIDE 0 "
+      "WITH MASK benches INTO c;"
+      "PROCESS c USING count_people TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  auto open = sys.execute(
+      "SPLIT campus BEGIN 23400 END 25200 BY TIME 30 STRIDE 0 INTO c;"
+      "PROCESS c USING count_people TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts);
+  // The bench mask buys a smaller rho -> smaller sensitivity.
+  EXPECT_LT(masked.releases[0].sensitivity, open.releases[0].sensitivity);
+  EXPECT_GT(masked.releases[0].raw, 0.0);
+}
+
+TEST(Integration, RedLightQueryExactUnderFullMask) {
+  // Case 4 (Q10-Q12): mask everything except the light -> rho = 0 -> the
+  // release is exact.
+  VideoMeta m;
+  m.camera_id = "cam";
+  m.fps = 10;
+  m.extent = {0, 3600};
+  auto scene = std::make_shared<sim::Scene>(m);
+  scene->add_light(sim::TrafficLight(Box{600, 20, 30, 60}, 75, 90, 5));
+
+  Mask all_but_light(1280, 720, 64, 36);
+  all_but_light.mask_box(Box{0, 0, 1280, 720});
+  // Unmask the light cells.
+  for (int cy = 0; cy < 36; ++cy) {
+    for (int cx = 0; cx < 64; ++cx) {
+      if (all_but_light.cell_box(cx, cy).overlaps(Box{600, 20, 30, 60})) {
+        all_but_light.set_cell(cx, cy, false);
+      }
+    }
+  }
+  Privid sys(5);
+  CameraRegistration reg;
+  reg.meta = m;
+  reg.content.scene = scene;
+  reg.content.seed = 9;
+  reg.policy = {85, 2};
+  reg.masks.emplace("light_only", engine::MaskEntry{all_but_light, {0, 1}});
+  sys.register_camera(std::move(reg));
+  sys.register_executable("red_timer", analyst::make_red_light_timer(0, 1.0));
+
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto r = sys.execute(
+      "SPLIT cam BEGIN 0 END 3600 BY TIME 600 STRIDE 0 "
+      "WITH MASK light_only INTO c;"
+      "PROCESS c USING red_timer TIMEOUT 2 PRODUCING 1 ROWS "
+      "WITH SCHEMA (red_sec:NUMBER=0) INTO t;"
+      "SELECT AVG(range(red_sec, 0, 300)) FROM t;",
+      opts);
+  ASSERT_EQ(r.releases.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.releases[0].sensitivity, 0.0);   // rho = 0
+  EXPECT_DOUBLE_EQ(r.releases[0].value, r.releases[0].raw);  // exact
+  EXPECT_NEAR(r.releases[0].raw, 75.0, 3.0);
+}
+
+TEST(Integration, PortoJoinCountsTaxis) {
+  sim::PortoConfig cfg;
+  cfg.n_days = 14;
+  cfg.n_taxis = 60;
+  cfg.n_cameras = 30;
+  auto porto = std::make_shared<sim::PortoSynth>(cfg);
+
+  Privid sys(6);
+  for (int cam : {10, 27}) {
+    CameraRegistration reg;
+    reg.meta.camera_id = "porto" + std::to_string(cam);
+    reg.meta.fps = 1;
+    reg.meta.extent = {0, 14 * 86400.0};
+    reg.content.porto = porto;
+    reg.content.porto_camera = cam;
+    reg.content.seed = 100 + cam;
+    reg.policy = {porto->camera_rho(cam), 4};
+    reg.epsilon_budget = 20;
+    sys.register_camera(std::move(reg));
+  }
+  sys.register_executable("taxis", analyst::make_taxi_reporter());
+
+  std::string keys;
+  for (int t = 0; t < cfg.n_taxis; ++t) {
+    if (t) keys += ", ";
+    keys += "\"" + sim::PortoSynth::plate_of(t) + "\"";
+  }
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto r = sys.execute(
+      "SPLIT porto10 BEGIN 0 END 1209600 BY TIME 60 STRIDE 0 INTO cA;"
+      "SPLIT porto27 BEGIN 0 END 1209600 BY TIME 60 STRIDE 0 INTO cB;"
+      "PROCESS cA USING taxis TIMEOUT 1 PRODUCING 8 ROWS "
+      "WITH SCHEMA (plate:STRING=\"\", hod:NUMBER=0) INTO tA;"
+      "PROCESS cB USING taxis TIMEOUT 1 PRODUCING 8 ROWS "
+      "WITH SCHEMA (plate:STRING=\"\", hod:NUMBER=0) INTO tB;"
+      "SELECT COUNT(*) FROM "
+      "(SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM tA "
+      " GROUP BY plate WITH KEYS [" + keys + "], day(chunk)) "
+      "JOIN "
+      "(SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM tB "
+      " GROUP BY plate WITH KEYS [" + keys + "], day(chunk)) "
+      "ON plate, day;",
+      opts);
+  ASSERT_EQ(r.releases.size(), 1u);
+  // Ground truth: taxi-days at both cameras.
+  double truth = porto->true_avg_taxis_both(10, 27) * cfg.n_days;
+  EXPECT_NEAR(r.releases[0].raw, truth, std::max(5.0, truth * 0.2));
+}
+
+TEST(Integration, BudgetSharedAcrossQueries) {
+  Privid sys = campus_system(24);
+  const char* q =
+      "SPLIT campus BEGIN 21600 END 23400 BY TIME 30 STRIDE 0 INTO c;"
+      "PROCESS c USING count_people TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (entered:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t CONSUMING 20;";
+  EXPECT_NO_THROW(sys.execute(q));   // budget 50 -> 30 left
+  EXPECT_NO_THROW(sys.execute(q));   // -> 10 left
+  EXPECT_THROW(sys.execute(q), BudgetError);
+}
+
+}  // namespace
+}  // namespace privid

@@ -1,0 +1,340 @@
+// Unit tests for the query language: lexer, parser, validator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "query/lexer.hpp"
+#include "query/parser.hpp"
+#include "query/validator.hpp"
+
+namespace privid::query {
+namespace {
+
+// --------------------------------------------------------------- lexer
+
+TEST(Lexer, BasicTokens) {
+  auto toks = tokenize("SELECT foo, 42 FROM (bar);");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_TRUE(toks[2].is_punct(","));
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[3].number, 42.0);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, DurationSuffixes) {
+  auto toks = tokenize("5sec 10min 12hr 2day 3s");
+  EXPECT_DOUBLE_EQ(toks[0].number, 5.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 600.0);
+  EXPECT_DOUBLE_EQ(toks[2].number, 43200.0);
+  EXPECT_DOUBLE_EQ(toks[3].number, 172800.0);
+  EXPECT_DOUBLE_EQ(toks[4].number, 3.0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(toks[i].kind, TokKind::kDuration);
+}
+
+TEST(Lexer, Strings) {
+  auto toks = tokenize("\"RED CAR\"");
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "RED CAR");
+  EXPECT_THROW(tokenize("\"unterminated"), ParseError);
+}
+
+TEST(Lexer, Comments) {
+  auto toks = tokenize("/* block */ SELECT -- line\n FROM");
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_TRUE(toks[1].is_keyword("FROM"));
+  EXPECT_THROW(tokenize("/* unterminated"), ParseError);
+}
+
+TEST(Lexer, MultiCharPunct) {
+  auto toks = tokenize("a <= b >= c != d");
+  EXPECT_TRUE(toks[1].is_punct("<="));
+  EXPECT_TRUE(toks[3].is_punct(">="));
+  EXPECT_TRUE(toks[5].is_punct("!="));
+}
+
+TEST(Lexer, CaseInsensitiveKeywords) {
+  auto toks = tokenize("select Select SELECT");
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(toks[i].is_keyword("SELECT"));
+}
+
+TEST(Lexer, UnknownCharacterFails) {
+  EXPECT_THROW(tokenize("a @ b"), ParseError);
+  EXPECT_THROW(tokenize("5badunit"), ParseError);
+}
+
+// -------------------------------------------------------------- parser
+
+constexpr const char* kListing1 = R"(
+/* Select 1 month time window from camera, split video into chunks */
+SPLIT camA BEGIN 0 END 2678400 BY TIME 5sec STRIDE 0sec INTO chunksA;
+PROCESS chunksA USING model TIMEOUT 1sec PRODUCING 10 ROWS
+  WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0)
+  INTO tableA;
+/* S1: average speed of all cars */
+SELECT AVG(range(speed, 30, 60)) FROM tableA;
+/* S2: count total cars of each color */
+SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA)
+  GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"];
+)";
+
+TEST(Parser, Listing1RoundTrip) {
+  auto q = parse_query(kListing1);
+  ASSERT_EQ(q.splits.size(), 1u);
+  ASSERT_EQ(q.processes.size(), 1u);
+  ASSERT_EQ(q.selects.size(), 2u);
+
+  const auto& s = q.splits[0];
+  EXPECT_EQ(s.camera, "camA");
+  EXPECT_DOUBLE_EQ(s.begin, 0.0);
+  EXPECT_DOUBLE_EQ(s.end, 2678400.0);
+  EXPECT_DOUBLE_EQ(s.chunk, 5.0);
+  EXPECT_DOUBLE_EQ(s.stride, 0.0);
+  EXPECT_EQ(s.into, "chunksA");
+
+  const auto& p = q.processes[0];
+  EXPECT_EQ(p.executable, "model");
+  EXPECT_EQ(p.max_rows, 10u);
+  ASSERT_EQ(p.schema.size(), 3u);
+  EXPECT_EQ(p.schema[0].name, "plate");
+  EXPECT_EQ(p.schema[0].type, DType::kString);
+  EXPECT_EQ(p.schema[2].type, DType::kNumber);
+  EXPECT_EQ(p.schema[2].default_value, Value(0.0));
+
+  const auto& s1 = q.selects[0];
+  ASSERT_EQ(s1.core.projections.size(), 1u);
+  EXPECT_EQ(s1.core.projections[0].agg, AggFunc::kAvg);
+  ASSERT_TRUE(s1.core.projections[0].range.has_value());
+  EXPECT_DOUBLE_EQ(s1.core.projections[0].range->first, 30.0);
+  EXPECT_DOUBLE_EQ(s1.core.projections[0].range->second, 60.0);
+  EXPECT_EQ(s1.core.projections[0].expr->name, "speed");
+
+  const auto& s2 = q.selects[1];
+  ASSERT_EQ(s2.core.projections.size(), 2u);
+  EXPECT_FALSE(s2.core.projections[0].agg.has_value());
+  EXPECT_EQ(s2.core.projections[1].agg, AggFunc::kCount);
+  ASSERT_EQ(s2.core.group_by.size(), 1u);
+  EXPECT_EQ(s2.core.group_by[0].column, "color");
+  ASSERT_EQ(s2.core.group_by[0].keys.size(), 3u);
+  EXPECT_EQ(s2.core.group_by[0].keys[0], Value("RED"));
+  ASSERT_EQ(s2.core.from->kind, Relation::Kind::kSelect);
+}
+
+TEST(Parser, SplitOptions) {
+  auto q = parse_query(R"(
+    SPLIT cam BEGIN 0 END 100 BY TIME 1 STRIDE -0.5
+      BY REGION crosswalks WITH MASK m1 INTO c;
+    PROCESS c USING e TIMEOUT 1 PRODUCING 1 ROWS
+      WITH SCHEMA (n:NUMBER) INTO t;
+    SELECT COUNT(n) FROM t;
+  )");
+  const auto& s = q.splits[0];
+  EXPECT_DOUBLE_EQ(s.stride, -0.5);
+  EXPECT_EQ(s.region_scheme, "crosswalks");
+  EXPECT_EQ(s.mask_id, "m1");
+}
+
+TEST(Parser, ConsumingDirective) {
+  auto q = parse_query(R"(
+    SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;
+    PROCESS c USING e TIMEOUT 1 PRODUCING 1 ROWS WITH SCHEMA (n:NUMBER)
+      INTO t;
+    SELECT COUNT(n) FROM t CONSUMING 0.25;
+  )");
+  EXPECT_DOUBLE_EQ(q.selects[0].consuming, 0.25);
+}
+
+TEST(Parser, JoinUnionAndBins) {
+  auto q = parse_query(R"(
+    SPLIT camA BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO ca;
+    SPLIT camB BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO cb;
+    PROCESS ca USING e TIMEOUT 1 PRODUCING 5 ROWS
+      WITH SCHEMA (plate:STRING, hod:NUMBER) INTO ta;
+    PROCESS cb USING e TIMEOUT 1 PRODUCING 5 ROWS
+      WITH SCHEMA (plate:STRING, hod:NUMBER) INTO tb;
+    SELECT COUNT(*) FROM
+      (SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM ta
+         GROUP BY plate WITH KEYS ["TX-1"], day(chunk))
+      JOIN
+      (SELECT plate, day(chunk) AS day, COUNT(*) AS n FROM tb
+         GROUP BY plate WITH KEYS ["TX-1"], day(chunk))
+      ON plate, day;
+    SELECT SUM(range(hod, 0, 24)) FROM ta UNION tb;
+  )");
+  ASSERT_EQ(q.selects.size(), 2u);
+  EXPECT_EQ(q.selects[0].core.from->kind, Relation::Kind::kJoin);
+  ASSERT_EQ(q.selects[0].core.from->join_columns.size(), 2u);
+  EXPECT_EQ(q.selects[1].core.from->kind, Relation::Kind::kUnion);
+  // Binned group key.
+  const auto& inner = *q.selects[0].core.from->left;
+  ASSERT_EQ(inner.kind, Relation::Kind::kSelect);
+  ASSERT_EQ(inner.select->group_by.size(), 2u);
+  EXPECT_EQ(inner.select->group_by[1].bin, BinFunc::kDay);
+  EXPECT_EQ(inner.select->group_by[1].column, "chunk");
+}
+
+TEST(Parser, ArgmaxNested) {
+  auto q = parse_query(R"(
+    SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;
+    PROCESS c USING e TIMEOUT 1 PRODUCING 5 ROWS WITH SCHEMA (n:NUMBER)
+      INTO t;
+    SELECT ARGMAX(COUNT(*)) FROM t GROUP BY camera;
+  )");
+  const auto& p = q.selects[0].core.projections[0];
+  EXPECT_EQ(p.agg, AggFunc::kArgmax);
+  EXPECT_EQ(p.argmax_inner, AggFunc::kCount);
+}
+
+TEST(Parser, WhereAndLimit) {
+  auto q = parse_query(R"(
+    SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;
+    PROCESS c USING e TIMEOUT 1 PRODUCING 5 ROWS
+      WITH SCHEMA (color:STRING, speed:NUMBER) INTO t;
+    SELECT COUNT(*) FROM
+      (SELECT speed FROM t WHERE color = "RED" AND speed > 30 LIMIT 100);
+  )");
+  const auto& inner = *q.selects[0].core.from->select;
+  ASSERT_TRUE(inner.where != nullptr);
+  EXPECT_EQ(inner.where->name, "AND");
+  EXPECT_EQ(inner.limit, 100u);
+}
+
+TEST(Parser, RangeKeywordAfterAggregate) {
+  auto q = parse_query(R"(
+    SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;
+    PROCESS c USING e TIMEOUT 1 PRODUCING 5 ROWS WITH SCHEMA (v:NUMBER)
+      INTO t;
+    SELECT SUM(v) RANGE 0 25 FROM t;
+  )");
+  ASSERT_TRUE(q.selects[0].core.projections[0].range.has_value());
+  EXPECT_DOUBLE_EQ(q.selects[0].core.projections[0].range->second, 25.0);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_query("SELECT"), ParseError);
+  EXPECT_THROW(parse_query("SPLIT cam BEGIN 0 END 10 INTO c;"), ParseError);
+  EXPECT_THROW(parse_query("FROB x;"), ParseError);
+  EXPECT_THROW(
+      parse_query("SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+                  "PROCESS c USING e TIMEOUT 1 PRODUCING 0 ROWS "
+                  "WITH SCHEMA (n:NUMBER) INTO t; SELECT COUNT(n) FROM t;"),
+      ParseError);  // PRODUCING 0
+  EXPECT_THROW(
+      parse_query("SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+                  "PROCESS c USING e TIMEOUT 1 PRODUCING 1 ROWS "
+                  "WITH SCHEMA (n:NUMBER) INTO t;"
+                  "SELECT SUM(range(n, 60, 30)) FROM t;"),
+      ParseError);  // inverted range
+}
+
+// ----------------------------------------------------------- validator
+
+ParsedQuery parse_ok(const std::string& selects) {
+  return parse_query(
+      "SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+      "PROCESS c USING e TIMEOUT 1 PRODUCING 5 ROWS "
+      "WITH SCHEMA (color:STRING, speed:NUMBER) INTO t;" +
+      selects);
+}
+
+TEST(Validator, AcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(parse_ok("SELECT COUNT(*) FROM t;")));
+  EXPECT_NO_THROW(
+      validate(parse_ok("SELECT SUM(range(speed, 0, 60)) FROM t;")));
+  EXPECT_NO_THROW(validate(parse_ok(
+      R"(SELECT color, COUNT(*) FROM t GROUP BY color WITH KEYS ["RED"];)")));
+}
+
+TEST(Validator, OuterMustAggregate) {
+  EXPECT_THROW(validate(parse_ok("SELECT speed FROM t;")), ValidationError);
+}
+
+TEST(Validator, SumNeedsRange) {
+  EXPECT_THROW(validate(parse_ok("SELECT SUM(speed) FROM t;")),
+               ValidationError);
+  // COUNT does not need a range (bounded via max_rows).
+  EXPECT_NO_THROW(validate(parse_ok("SELECT COUNT(speed) FROM t;")));
+}
+
+TEST(Validator, UntrustedGroupByNeedsKeys) {
+  EXPECT_THROW(
+      validate(parse_ok("SELECT color, COUNT(*) FROM t GROUP BY color;")),
+      ValidationError);
+  // Trusted columns must NOT declare keys.
+  EXPECT_THROW(
+      validate(parse_ok(
+          R"(SELECT COUNT(*) FROM t GROUP BY chunk WITH KEYS ["a"];)")),
+      ValidationError);
+  // Trusted chunk grouping without keys is fine.
+  EXPECT_NO_THROW(
+      validate(parse_ok("SELECT COUNT(*) FROM t GROUP BY hour(chunk);")));
+}
+
+TEST(Validator, ArgmaxRules) {
+  EXPECT_THROW(validate(parse_ok("SELECT ARGMAX(COUNT(*)) FROM t;")),
+               ValidationError);  // no GROUP BY
+  EXPECT_NO_THROW(validate(
+      parse_ok("SELECT ARGMAX(COUNT(*)) FROM t GROUP BY camera;")));
+}
+
+TEST(Validator, NonAggProjectionMustBeGroupKey) {
+  EXPECT_THROW(
+      validate(parse_ok(
+          R"(SELECT speed, COUNT(*) FROM t GROUP BY color WITH KEYS ["R"];)")),
+      ValidationError);
+}
+
+TEST(Validator, NameResolution) {
+  EXPECT_THROW(validate(parse_ok("SELECT COUNT(*) FROM unknown;")),
+               ValidationError);
+  // PROCESS referencing an unknown chunk set.
+  EXPECT_THROW(
+      validate(parse_query(
+          "SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+          "PROCESS nope USING e TIMEOUT 1 PRODUCING 1 ROWS "
+          "WITH SCHEMA (n:NUMBER) INTO t; SELECT COUNT(*) FROM t;")),
+      ValidationError);
+}
+
+TEST(Validator, ReservedSchemaColumns) {
+  EXPECT_THROW(
+      validate(parse_query(
+          "SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+          "PROCESS c USING e TIMEOUT 1 PRODUCING 1 ROWS "
+          "WITH SCHEMA (chunk:NUMBER) INTO t; SELECT COUNT(*) FROM t;")),
+      ValidationError);
+}
+
+TEST(Validator, RequiresSelect) {
+  EXPECT_THROW(
+      validate(parse_query(
+          "SPLIT cam BEGIN 0 END 10 BY TIME 1 STRIDE 0 INTO c;"
+          "PROCESS c USING e TIMEOUT 1 PRODUCING 1 ROWS "
+          "WITH SCHEMA (n:NUMBER) INTO t;")),
+      ValidationError);
+}
+
+TEST(Validator, HourBinOnlyOnChunk) {
+  EXPECT_THROW(
+      validate(parse_ok("SELECT COUNT(*) FROM t GROUP BY hour(speed);")),
+      ValidationError);
+}
+
+// Parameterized sweep of structurally invalid queries.
+class BadQuery : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadQuery, Rejected) {
+  EXPECT_THROW(validate(parse_ok(GetParam())), ValidationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BadQuery,
+    ::testing::Values(
+        "SELECT AVG(speed) FROM t;",                       // no range
+        "SELECT VAR(speed) FROM t;",                       // no range
+        "SELECT speed FROM t;",                            // bare column
+        "SELECT COUNT(*) FROM t GROUP BY color;",          // keys missing
+        "SELECT SUM(range(speed,0,1)) FROM unknown;"));    // bad table
+
+}  // namespace
+}  // namespace privid::query

@@ -1,0 +1,315 @@
+// Unit tests for the sensitivity module: Eq. 6.2 base deltas and the
+// Fig. 10 propagation rules over relational ASTs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "query/parser.hpp"
+#include "sensitivity/rules.hpp"
+
+namespace privid::sensitivity {
+namespace {
+
+// Builds a resolver with one or two standard tables:
+//   t  — chunk 5 s, max_rows 10, policy (rho 30, K 2), 100 chunks
+//   t2 — chunk 15 s, max_rows 5, policy (rho 45, K 1), 50 chunks
+TableInfo info_t() {
+  TableInfo i;
+  i.chunk_seconds = 5;
+  i.max_rows = 10;
+  i.num_chunks = 100;
+  i.policy = {30, 2};
+  return i;
+}
+
+TableInfo info_t2() {
+  TableInfo i;
+  i.chunk_seconds = 15;
+  i.max_rows = 5;
+  i.num_chunks = 50;
+  i.policy = {45, 1};
+  return i;
+}
+
+SensitivityEngine engine() {
+  return SensitivityEngine([](const std::string& name) -> TableInfo {
+    if (name == "t") return info_t();
+    if (name == "t2") return info_t2();
+    throw privid::LookupError("no table " + name);
+  });
+}
+
+// Parses a single SELECT (with supporting boilerplate) and returns it.
+query::SelectStmt parse_select(const std::string& select) {
+  auto q = query::parse_query(
+      "SPLIT cam BEGIN 0 END 500 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING e TIMEOUT 1 PRODUCING 10 ROWS "
+      "WITH SCHEMA (plate:STRING, color:STRING, speed:NUMBER) INTO t;"
+      "SPLIT cam2 BEGIN 0 END 750 BY TIME 15 STRIDE 0 INTO c2;"
+      "PROCESS c2 USING e TIMEOUT 1 PRODUCING 5 ROWS "
+      "WITH SCHEMA (plate:STRING, hod:NUMBER) INTO t2;" +
+      select);
+  return std::move(q.selects.at(0));
+}
+
+double sensitivity_of(const std::string& select) {
+  auto s = parse_select(select);
+  auto eng = engine();
+  for (const auto& p : s.core.projections) {
+    if (p.agg) return eng.release_sensitivity(p, s.core);
+  }
+  throw privid::ArgumentError("no aggregate in select");
+}
+
+// ---------------------------------------------------------- base delta
+
+TEST(BaseDelta, Eq62) {
+  // max_rows * K * (1 + ceil(rho / c)) = 10 * 2 * (1 + 6) = 140.
+  EXPECT_DOUBLE_EQ(base_delta(info_t()), 140.0);
+  // 5 * 1 * (1 + 3) = 20.
+  EXPECT_DOUBLE_EQ(base_delta(info_t2()), 20.0);
+}
+
+TEST(BaseDelta, RhoZeroMeansNoInfluence) {
+  // A zero-duration event is never visible (Case 4's full mask): delta 0.
+  TableInfo i = info_t();
+  i.policy.rho = 0;
+  EXPECT_DOUBLE_EQ(base_delta(i), 0.0);
+}
+
+TEST(BaseDelta, GridRegionsMultiply) {
+  TableInfo i = info_t();
+  i.regions_per_event = 4;
+  EXPECT_DOUBLE_EQ(base_delta(i), 140.0 * 4);
+}
+
+TEST(BaseDelta, Validation) {
+  TableInfo i = info_t();
+  i.chunk_seconds = 0;
+  EXPECT_THROW(base_delta(i), privid::ArgumentError);
+  i = info_t();
+  i.policy.k = 0;
+  EXPECT_THROW(base_delta(i), privid::ArgumentError);
+}
+
+// ------------------------------------------------------- RangeC
+
+TEST(RangeC, Magnitude) {
+  EXPECT_DOUBLE_EQ((RangeC{0, 60}.magnitude()), 60.0);
+  EXPECT_DOUBLE_EQ((RangeC{30, 60}.magnitude()), 60.0);
+  EXPECT_DOUBLE_EQ((RangeC{-10, 5}.magnitude()), 15.0);
+  EXPECT_DOUBLE_EQ((RangeC{0, 60}.width()), 60.0);
+}
+
+// ------------------------------------------------- aggregate formulas
+
+TEST(Rules, CountIsDelta) {
+  EXPECT_DOUBLE_EQ(sensitivity_of("SELECT COUNT(*) FROM t;"), 140.0);
+  EXPECT_DOUBLE_EQ(sensitivity_of("SELECT COUNT(plate) FROM t;"), 140.0);
+}
+
+TEST(Rules, SumIsDeltaTimesRange) {
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT SUM(range(speed, 0, 60)) FROM t;"),
+      140.0 * 60.0);
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT SUM(range(speed, 30, 60)) FROM t;"),
+      140.0 * 60.0);  // magnitude = max(|lo|,|hi|,hi-lo)
+}
+
+TEST(Rules, AvgDividesBySize) {
+  // Base table size = max_rows * num_chunks = 1000.
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT AVG(range(speed, 0, 60)) FROM t;"),
+      140.0 * 60.0 / 1000.0);
+}
+
+TEST(Rules, VarSquaresNumerator) {
+  double num = 140.0 * 60.0;
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT VAR(range(speed, 0, 60)) FROM t;"),
+      num * num / 1000.0);
+}
+
+TEST(Rules, SumWithoutRangeThrows) {
+  auto s = parse_select("SELECT SUM(speed) RANGE 0 1 FROM t;");
+  // Strip the declared range to simulate an unbound column reaching SUM.
+  s.core.projections[0].range.reset();
+  auto eng = engine();
+  EXPECT_THROW(eng.release_sensitivity(s.core.projections[0], s.core),
+               privid::SensitivityError);
+}
+
+// --------------------------------------------------------- operators
+
+TEST(Rules, LimitCapsSize) {
+  // LIMIT 50 makes AVG's denominator 50 instead of 1000.
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of(
+          "SELECT AVG(range(speed, 0, 60)) FROM t LIMIT 50;"),
+      140.0 * 60.0 / 50.0);
+}
+
+TEST(Rules, WherePreservesDelta) {
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT COUNT(*) FROM t WHERE color = \"RED\";"),
+      140.0);
+}
+
+TEST(Rules, InnerProjectionWithRangeBindsColumn) {
+  // range() inside the inner select binds C~r, so the outer SUM needs no
+  // RANGE of its own.
+  EXPECT_DOUBLE_EQ(
+      sensitivity_of("SELECT SUM(speed) FROM "
+                     "(SELECT range(speed, 0, 60) AS speed FROM t);"),
+      140.0 * 60.0);
+}
+
+TEST(Rules, TransformedColumnDropsRange) {
+  auto s = parse_select(
+      "SELECT SUM(speed2) RANGE 0 10 FROM "
+      "(SELECT speed * 2 AS speed2 FROM t);");
+  s.core.projections[0].range.reset();
+  auto eng = engine();
+  // The inner transform left speed2 unbound: SUM must throw without the
+  // declared range.
+  EXPECT_THROW(eng.release_sensitivity(s.core.projections[0], s.core),
+               privid::SensitivityError);
+}
+
+TEST(Rules, JoinAddsDeltas) {
+  // §6.3: untrusted tables can be primed; the intersection's sensitivity is
+  // the SUM of the two sides, not the min.
+  double d = sensitivity_of(
+      "SELECT COUNT(*) FROM t JOIN t2 ON plate;");
+  EXPECT_DOUBLE_EQ(d, 140.0 + 20.0);
+}
+
+TEST(Rules, UnionAddsDeltas) {
+  double d = sensitivity_of("SELECT COUNT(*) FROM t UNION t;");
+  EXPECT_DOUBLE_EQ(d, 280.0);
+}
+
+TEST(Rules, GroupByKeysBindsSizeForAvg) {
+  // Inner GROUP BY plate WITH KEYS [...] x3 then outer AVG over the
+  // aggregate column with declared range: size = 3.
+  double d = sensitivity_of(
+      "SELECT AVG(n) RANGE 0 100 FROM "
+      "(SELECT plate, COUNT(*) AS n RANGE 0 100 FROM t "
+      " GROUP BY plate WITH KEYS [\"A\", \"B\", \"C\"]);");
+  EXPECT_DOUBLE_EQ(d, 140.0 * 100.0 / 3.0);
+}
+
+TEST(Rules, GroupByPreservesDelta) {
+  double d = sensitivity_of(
+      "SELECT SUM(n) RANGE 0 100 FROM "
+      "(SELECT plate, COUNT(*) AS n RANGE 0 100 FROM t "
+      " GROUP BY plate WITH KEYS [\"A\"]);");
+  EXPECT_DOUBLE_EQ(d, 140.0 * 100.0);
+}
+
+TEST(Rules, TrustedBinGroupBoundsSizeByWindow) {
+  // t's window = 100 chunks x 5 s = 500 s. Grouping by hour(chunk) yields
+  // at most ceil(500/3600) = 1 bin; with 3 plate keys, C~s = 3.
+  double d = sensitivity_of(
+      "SELECT AVG(n) RANGE 0 100 FROM "
+      "(SELECT plate, hour(chunk) AS hour, COUNT(*) AS n RANGE 0 100 FROM t "
+      " GROUP BY plate WITH KEYS [\"A\", \"B\", \"C\"], hour(chunk));");
+  EXPECT_DOUBLE_EQ(d, 140.0 * 100.0 / 3.0);
+}
+
+TEST(Rules, DayBinsMultiplySize) {
+  // A synthetic 10-day table: window bound makes day-binned C~s = keys x 10.
+  SensitivityEngine eng([](const std::string&) -> TableInfo {
+    TableInfo i;
+    i.chunk_seconds = 60;
+    i.max_rows = 2;
+    i.num_chunks = 14400;  // 10 days of 60 s chunks
+    i.policy = {120, 1};
+    return i;
+  });
+  auto s = parse_select(
+      "SELECT AVG(n) RANGE 0 50 FROM "
+      "(SELECT plate, day(chunk) AS day, COUNT(*) AS n RANGE 0 50 FROM t "
+      " GROUP BY plate WITH KEYS [\"A\", \"B\"], day(chunk));");
+  // delta = 2 * 1 * (1 + ceil(120/60)) = 6; size = 2 keys x 10 days = 20.
+  double d = eng.release_sensitivity(s.core.projections[0], s.core);
+  EXPECT_DOUBLE_EQ(d, 6.0 * 50.0 / 20.0);
+}
+
+TEST(Rules, RawChunkGroupingLeavesSizeUnbound) {
+  // Grouping by the raw chunk column has one group per chunk — data-sized
+  // from the constraint system's perspective, so AVG over it must fail.
+  auto s = parse_select(
+      "SELECT AVG(n) RANGE 0 50 FROM "
+      "(SELECT chunk, COUNT(*) AS n RANGE 0 50 FROM t GROUP BY chunk);");
+  auto eng = engine();
+  EXPECT_THROW(eng.release_sensitivity(s.core.projections[0], s.core),
+               privid::SensitivityError);
+}
+
+TEST(Rules, UnionWindowTakesMinimum) {
+  // t window 500 s, t2 window 750 s: union propagates min (conservative).
+  auto s = parse_select(
+      "SELECT AVG(n) RANGE 0 50 FROM "
+      "(SELECT plate, hour(chunk) AS hour, COUNT(*) AS n RANGE 0 50 "
+      " FROM t UNION t2 GROUP BY plate WITH KEYS [\"A\"], hour(chunk));");
+  auto eng = engine();
+  // bins = ceil(500/3600) = 1; size = 1; delta = 140 + 20.
+  EXPECT_DOUBLE_EQ(eng.release_sensitivity(s.core.projections[0], s.core),
+                   160.0 * 50.0 / 1.0);
+}
+
+TEST(Rules, ArgmaxByCameraUsesMaxSingleTableDelta) {
+  // Fig. 10: ARGMAX sensitivity is max_k of the per-group delta. Grouping
+  // by camera partitions a UNION by base table: max(140, 20), not 160.
+  auto s = parse_select(
+      "SELECT ARGMAX(COUNT(*)) FROM t UNION t2 GROUP BY camera;");
+  auto eng = engine();
+  EXPECT_DOUBLE_EQ(eng.release_sensitivity(s.core.projections[0], s.core),
+                   140.0);
+}
+
+TEST(Rules, ArgmaxByUntrustedKeyUsesFullDelta) {
+  auto s = parse_select(
+      "SELECT ARGMAX(COUNT(*)) FROM t UNION t2 "
+      "GROUP BY color WITH KEYS [\"R\", \"B\"];");
+  auto eng = engine();
+  EXPECT_DOUBLE_EQ(eng.release_sensitivity(s.core.projections[0], s.core),
+                   160.0);
+}
+
+TEST(Rules, UnknownTableThrows) {
+  EXPECT_THROW(sensitivity_of("SELECT COUNT(*) FROM nope;"),
+               privid::LookupError);
+}
+
+// Parameterized Eq. 6.2 sweep across (rho, chunk, max_rows, K).
+struct DeltaCase {
+  double rho, chunk;
+  std::size_t max_rows;
+  int k;
+  double expect;
+};
+
+class Eq62Sweep : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(Eq62Sweep, Matches) {
+  auto c = GetParam();
+  TableInfo i;
+  i.chunk_seconds = c.chunk;
+  i.max_rows = c.max_rows;
+  i.policy = {c.rho, c.k};
+  EXPECT_DOUBLE_EQ(base_delta(i), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Eq62Sweep,
+    ::testing::Values(DeltaCase{30, 5, 10, 2, 10 * 2 * 7.0},
+                      DeltaCase{0, 5, 10, 1, 0.0},
+                      DeltaCase{5, 5, 1, 1, 2.0},
+                      DeltaCase{5.1, 5, 1, 1, 3.0},
+                      DeltaCase{600, 600, 25, 2, 25 * 2 * 2.0},
+                      DeltaCase{49, 600, 25, 2, 25 * 2 * 2.0}));
+
+}  // namespace
+}  // namespace privid::sensitivity

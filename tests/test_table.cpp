@@ -1,0 +1,310 @@
+// Unit tests for the table module: values, schemas, tables, relational
+// operators, and aggregation functions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "table/aggregate.hpp"
+#include "table/ops.hpp"
+#include "table/schema.hpp"
+#include "table/table.hpp"
+#include "table/value.hpp"
+
+namespace privid {
+namespace {
+
+Schema car_schema() {
+  return Schema({{"plate", DType::kString, Value(std::string())},
+                 {"color", DType::kString, Value(std::string())},
+                 {"speed", DType::kNumber, Value(0.0)}});
+}
+
+Table car_table() {
+  Table t(car_schema(), TableProvenance{5.0, 10});
+  t.append({Value("AAA-1"), Value("RED"), Value(42.0)});
+  t.append({Value("BBB-2"), Value("WHITE"), Value(55.0)});
+  t.append({Value("CCC-3"), Value("RED"), Value(61.0)});
+  t.append({Value("AAA-1"), Value("RED"), Value(44.0)});
+  return t;
+}
+
+// --------------------------------------------------------------- Value
+
+TEST(Value, TypesAndAccess) {
+  Value n(3.5), s("hi");
+  EXPECT_TRUE(n.is_number());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_DOUBLE_EQ(n.as_number(), 3.5);
+  EXPECT_EQ(s.as_string(), "hi");
+  EXPECT_THROW(n.as_string(), TypeError);
+  EXPECT_THROW(s.as_number(), TypeError);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(3.0).to_string(), "3");
+  EXPECT_EQ(Value(3.25).to_string(), "3.25");
+  EXPECT_EQ(Value("x").to_string(), "x");
+}
+
+TEST(Value, Ordering) {
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(5.0), Value("a"));  // numbers sort before strings
+  EXPECT_EQ(Value(2.0), Value(2.0));
+  EXPECT_FALSE(Value(2.0) == Value("2"));
+}
+
+// -------------------------------------------------------------- Schema
+
+TEST(Schema, LookupAndDefaults) {
+  Schema s = car_schema();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.index_of("speed"), 2u);
+  EXPECT_FALSE(s.find("nope").has_value());
+  EXPECT_THROW(s.index_of("nope"), LookupError);
+  auto row = s.default_row();
+  EXPECT_EQ(row[0], Value(std::string()));
+  EXPECT_EQ(row[2], Value(0.0));
+}
+
+TEST(Schema, RejectsDuplicatesAndBadDefaults) {
+  EXPECT_THROW(Schema({{"a", DType::kNumber, Value(0.0)},
+                       {"a", DType::kNumber, Value(0.0)}}),
+               ArgumentError);
+  EXPECT_THROW(Schema({{"a", DType::kNumber, Value("oops")}}), TypeError);
+}
+
+TEST(Schema, TrustedColumns) {
+  EXPECT_TRUE(Schema::is_trusted_column("chunk"));
+  EXPECT_TRUE(Schema::is_trusted_column("region"));
+  EXPECT_FALSE(Schema::is_trusted_column("plate"));
+}
+
+TEST(Schema, WithColumn) {
+  Schema s = car_schema().with_column({"chunk", DType::kNumber, Value(0.0)});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_THROW(car_schema().with_column({"plate", DType::kString,
+                                         Value(std::string())}),
+               ArgumentError);
+}
+
+// --------------------------------------------------------------- Table
+
+TEST(Table, AppendValidates) {
+  Table t(car_schema());
+  EXPECT_THROW(t.append({Value("x")}), TypeError);  // arity
+  EXPECT_THROW(t.append({Value(1.0), Value("RED"), Value(2.0)}), TypeError);
+  t.append({Value("x"), Value("RED"), Value(2.0)});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.at(0, "color"), Value("RED"));
+}
+
+TEST(Table, ColumnValues) {
+  Table t = car_table();
+  auto speeds = t.column_values("speed");
+  ASSERT_EQ(speeds.size(), 4u);
+  EXPECT_DOUBLE_EQ(speeds[1].as_number(), 55.0);
+}
+
+TEST(Table, ProvenanceCarried) {
+  Table t = car_table();
+  EXPECT_DOUBLE_EQ(t.provenance().chunk_duration, 5.0);
+  EXPECT_EQ(t.provenance().max_rows, 10u);
+}
+
+TEST(Table, ToStringRendersHeader) {
+  std::string s = car_table().to_string(2);
+  EXPECT_NE(s.find("plate"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- ops
+
+TEST(Ops, SelectRows) {
+  Table t = car_table();
+  std::size_t color = t.schema().index_of("color");
+  Table red = select_rows(
+      t, [color](const Row& r) { return r[color] == Value("RED"); });
+  EXPECT_EQ(red.row_count(), 3u);
+}
+
+TEST(Ops, LimitRows) {
+  EXPECT_EQ(limit_rows(car_table(), 2).row_count(), 2u);
+  EXPECT_EQ(limit_rows(car_table(), 100).row_count(), 4u);
+  EXPECT_EQ(limit_rows(car_table(), 0).row_count(), 0u);
+}
+
+TEST(Ops, ProjectPassAndClamp) {
+  Table t = car_table();
+  Table p = project(t, {pass_column(t, "plate"),
+                        range_clamp_column(t, "speed", 45, 60)});
+  EXPECT_EQ(p.schema().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.at(0, "speed").as_number(), 45.0);  // 42 clamped up
+  EXPECT_DOUBLE_EQ(p.at(1, "speed").as_number(), 55.0);
+  EXPECT_DOUBLE_EQ(p.at(2, "speed").as_number(), 60.0);  // 61 clamped down
+}
+
+TEST(Ops, RangeClampRejectsStrings) {
+  Table t = car_table();
+  EXPECT_THROW(range_clamp_column(t, "plate", 0, 1), TypeError);
+  EXPECT_THROW(range_clamp_column(t, "speed", 10, 5), ArgumentError);
+}
+
+TEST(Ops, GroupByKeysIncludesEmptyGroups) {
+  Table t = car_table();
+  auto groups = group_by_keys(t, {"color"},
+                              {{Value("RED"), Value("WHITE"), Value("SILVER")}});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].rows.size(), 3u);  // RED
+  EXPECT_EQ(groups[1].rows.size(), 1u);  // WHITE
+  EXPECT_EQ(groups[2].rows.size(), 0u);  // SILVER: declared but empty
+}
+
+TEST(Ops, GroupByKeysDropsUndeclared) {
+  Table t = car_table();
+  auto groups = group_by_keys(t, {"color"}, {{Value("WHITE")}});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rows.size(), 1u);  // RED rows dropped
+}
+
+TEST(Ops, GroupByKeysCartesianProduct) {
+  Table t = car_table();
+  auto groups = group_by_keys(t, {"color", "plate"},
+                              {{Value("RED"), Value("WHITE")},
+                               {Value("AAA-1"), Value("BBB-2")}});
+  ASSERT_EQ(groups.size(), 4u);
+  // (RED, AAA-1) has 2 rows.
+  EXPECT_EQ(groups[0].rows.size(), 2u);
+  // (WHITE, BBB-2) has 1 row.
+  EXPECT_EQ(groups[3].rows.size(), 1u);
+}
+
+TEST(Ops, GroupByKeysValidation) {
+  Table t = car_table();
+  EXPECT_THROW(group_by_keys(t, {}, {}), ArgumentError);
+  EXPECT_THROW(group_by_keys(t, {"color"}, {{}}), ArgumentError);
+  EXPECT_THROW(group_by_keys(t, {"color"}, {{Value("A")}, {Value("B")}}),
+               ArgumentError);
+}
+
+TEST(Ops, GroupByTrustedDiscoversKeys) {
+  Schema s({{"n", DType::kNumber, Value(0.0)}});
+  Table t(s.with_column({"chunk", DType::kNumber, Value(0.0)}));
+  t.append({Value(1.0), Value(0.0)});
+  t.append({Value(2.0), Value(5.0)});
+  t.append({Value(3.0), Value(0.0)});
+  auto groups = group_by_trusted(t, "chunk");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].rows.size(), 2u);
+  EXPECT_EQ(groups[1].rows.size(), 1u);
+}
+
+TEST(Ops, GroupByTrustedRejectsAnalystColumns) {
+  Table t = car_table();
+  EXPECT_THROW(group_by_trusted(t, "color"), ValidationError);
+}
+
+TEST(Ops, EquijoinMatchesAndRenames) {
+  Table a = car_table();
+  Schema bs({{"plate", DType::kString, Value(std::string())},
+             {"owner", DType::kString, Value(std::string())}});
+  Table b(bs);
+  b.append({Value("AAA-1"), Value("alice")});
+  b.append({Value("ZZZ-9"), Value("zed")});
+  Table j = equijoin(a, b, "plate", "plate");
+  EXPECT_EQ(j.row_count(), 2u);  // two AAA-1 rows in a match one in b
+  EXPECT_TRUE(j.schema().has("plate_r"));
+  EXPECT_EQ(j.at(0, "owner"), Value("alice"));
+}
+
+TEST(Ops, UnionRequiresSameSchema) {
+  Table a = car_table();
+  Table b = car_table();
+  EXPECT_EQ(table_union(a, b).row_count(), 8u);
+  Schema other({{"x", DType::kNumber, Value(0.0)}});
+  EXPECT_THROW(table_union(a, Table(other)), TypeError);
+}
+
+TEST(Ops, DistinctKeepsFirst) {
+  Table t = car_table();
+  Table d = distinct(t);
+  EXPECT_EQ(d.row_count(), 4u);  // all rows differ (speed differs)
+  Table t2(car_schema());
+  t2.append({Value("A"), Value("RED"), Value(1.0)});
+  t2.append({Value("A"), Value("RED"), Value(1.0)});
+  EXPECT_EQ(distinct(t2).row_count(), 1u);
+}
+
+// ------------------------------------------------------------ aggregate
+
+TEST(Aggregate, Names) {
+  EXPECT_EQ(agg_func_name(AggFunc::kCount), "COUNT");
+  EXPECT_EQ(parse_agg_func("avg"), AggFunc::kAvg);
+  EXPECT_EQ(parse_agg_func("SPAN"), AggFunc::kSpan);
+  EXPECT_FALSE(parse_agg_func("median").has_value());
+}
+
+TEST(Aggregate, ConstraintRequirements) {
+  EXPECT_FALSE(needs_range_constraint(AggFunc::kCount));
+  EXPECT_TRUE(needs_range_constraint(AggFunc::kSum));
+  EXPECT_TRUE(needs_size_constraint(AggFunc::kAvg));
+  EXPECT_FALSE(needs_size_constraint(AggFunc::kSum));
+}
+
+TEST(Aggregate, BasicFunctions) {
+  std::vector<Value> v{Value(1.0), Value(2.0), Value(3.0)};
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kCount, v), 3.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kSum, v), 6.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kAvg, v), 2.0);
+  EXPECT_NEAR(aggregate_column(AggFunc::kVar, v), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kMin, v), 1.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kMax, v), 3.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kSpan, v), 2.0);
+}
+
+TEST(Aggregate, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kSum, {}), 0.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kAvg, {}), 0.0);
+  EXPECT_DOUBLE_EQ(aggregate_column(AggFunc::kSpan, {}), 0.0);
+}
+
+TEST(Aggregate, ArgmaxOverGroups) {
+  EXPECT_EQ(argmax_group({1.0, 5.0, 3.0}), 1u);
+  EXPECT_EQ(argmax_group({2.0, 2.0}), 0u);  // ties: first
+  EXPECT_THROW(argmax_group({}), ArgumentError);
+  EXPECT_THROW(aggregate_column(AggFunc::kArgmax, {}), ArgumentError);
+}
+
+TEST(Aggregate, AggregateRows) {
+  Table t = car_table();
+  EXPECT_DOUBLE_EQ(aggregate_rows(AggFunc::kCount, t, "speed", {0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(aggregate_rows(AggFunc::kSum, t, "speed", {0, 2}), 103.0);
+}
+
+// Property: SUM and COUNT are additive over disjoint row partitions.
+class AggregateAdditivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateAdditivity, SumSplitsAdditively) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Value> all;
+  std::vector<Value> part1, part2;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.uniform(-10, 10);
+    all.emplace_back(x);
+    (rng.bernoulli(0.5) ? part1 : part2).emplace_back(x);
+  }
+  double sum_all = aggregate_column(AggFunc::kSum, all);
+  double sum_parts = aggregate_column(AggFunc::kSum, part1) +
+                     aggregate_column(AggFunc::kSum, part2);
+  // Partition is different from `all`'s split, so compare totals instead.
+  std::vector<Value> merged = part1;
+  merged.insert(merged.end(), part2.begin(), part2.end());
+  EXPECT_NEAR(aggregate_column(AggFunc::kSum, merged), sum_all, 1e-9);
+  EXPECT_NEAR(sum_parts, sum_all, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateAdditivity,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace privid

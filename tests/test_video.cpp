@@ -1,0 +1,285 @@
+// Unit tests for the video module: geometry, chunking (Eq. 6.1), masks,
+// region schemes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "video/chunker.hpp"
+#include "video/mask.hpp"
+#include "video/region.hpp"
+#include "video/video.hpp"
+
+namespace privid {
+namespace {
+
+VideoMeta meta_30fps() {
+  VideoMeta m;
+  m.camera_id = "cam";
+  m.fps = 30;
+  m.width = 1280;
+  m.height = 720;
+  m.extent = {0, 600};
+  return m;
+}
+
+// ------------------------------------------------------------ geometry
+
+TEST(Box, AreaAndContains) {
+  Box b{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(b.area(), 1200.0);
+  EXPECT_TRUE(b.contains(10, 20));
+  EXPECT_FALSE(b.contains(40, 20));  // right edge exclusive
+  EXPECT_DOUBLE_EQ(b.cx(), 25.0);
+  EXPECT_DOUBLE_EQ((Box{0, 0, -5, 10}.area()), 0.0);
+}
+
+TEST(Box, Intersection) {
+  Box a{0, 0, 10, 10}, b{5, 5, 10, 10}, c{20, 20, 5, 5};
+  EXPECT_DOUBLE_EQ(a.intersection_area(b), 25.0);
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(Box, Iou) {
+  Box a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(iou(a, Box{20, 20, 5, 5}), 0.0);
+  EXPECT_NEAR(iou(a, Box{0, 0, 10, 20}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(iou(a, Box{0, 0, 0, 0}), 0.0);
+}
+
+TEST(VideoMeta, FrameMapping) {
+  VideoMeta m = meta_30fps();
+  EXPECT_EQ(m.frame_at(0.0), 0);
+  EXPECT_EQ(m.frame_at(1.0), 30);
+  EXPECT_DOUBLE_EQ(m.time_of(60), 2.0);
+  EXPECT_EQ(m.total_frames(), 18000);
+}
+
+TEST(FrameBuffer, FillAndMean) {
+  FrameBuffer f(10, 10, 100);
+  f.fill_box(Box{0, 0, 5, 10}, 0);
+  EXPECT_EQ(f.at(0, 0), 0);
+  EXPECT_EQ(f.at(5, 0), 100);
+  EXPECT_NEAR(f.mean_over(Box{0, 0, 10, 10}), 50.0, 1e-9);
+  EXPECT_THROW(f.at(10, 0), ArgumentError);
+}
+
+// ------------------------------------------------------------- chunker
+
+TEST(Chunker, BackToBackChunks) {
+  auto chunks = make_chunks(meta_30fps(), {0, 60}, {5, 0});
+  ASSERT_EQ(chunks.size(), 12u);
+  EXPECT_EQ(chunks[0].frames, (FrameInterval{0, 150}));
+  EXPECT_EQ(chunks[1].frames, (FrameInterval{150, 300}));
+  EXPECT_DOUBLE_EQ(chunks[3].time.begin, 15.0);
+}
+
+TEST(Chunker, PositiveStrideSkips) {
+  auto chunks = make_chunks(meta_30fps(), {0, 30}, {5, 5});
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_DOUBLE_EQ(chunks[1].time.begin, 10.0);
+}
+
+TEST(Chunker, NegativeStrideOverlaps) {
+  auto chunks = make_chunks(meta_30fps(), {0, 10}, {4, -2});
+  ASSERT_GE(chunks.size(), 4u);
+  EXPECT_DOUBLE_EQ(chunks[1].time.begin, 2.0);
+  EXPECT_TRUE(chunks[0].time.overlaps(chunks[1].time));
+}
+
+TEST(Chunker, TruncatesFinalChunk) {
+  auto chunks = make_chunks(meta_30fps(), {0, 13}, {5, 0});
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_DOUBLE_EQ(chunks[2].time.end, 13.0);
+}
+
+TEST(Chunker, ClipsToRecording) {
+  auto chunks = make_chunks(meta_30fps(), {590, 1000}, {5, 0});
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_DOUBLE_EQ(chunks.back().time.end, 600.0);
+}
+
+TEST(Chunker, Validation) {
+  EXPECT_THROW(make_chunks(meta_30fps(), {0, 10}, {0, 0}), ArgumentError);
+  EXPECT_THROW(make_chunks(meta_30fps(), {0, 10}, {5, -6}), ArgumentError);
+  // 0.013s is not an integer number of frames at 30fps (Appendix D).
+  EXPECT_THROW(make_chunks(meta_30fps(), {0, 10}, {0.013, 0}), ArgumentError);
+  // chunk + stride = 0 frames never advances.
+  EXPECT_THROW(make_chunks(meta_30fps(), {0, 10}, {5, -5}), ArgumentError);
+  EXPECT_TRUE(make_chunks(meta_30fps(), {10, 10}, {5, 0}).empty());
+}
+
+TEST(Chunker, CountMatchesMaterialization) {
+  VideoMeta m = meta_30fps();
+  struct Case {
+    TimeInterval w;
+    ChunkSpec s;
+  };
+  const Case cases[] = {
+      {{0, 60}, {5, 0}},     {{0, 30}, {5, 5}},    {{0, 10}, {4, -2}},
+      {{0, 13}, {5, 0}},     {{590, 1000}, {5, 0}}, {{10, 10}, {5, 0}},
+      {{0, 600}, {0.1, 0}},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(count_chunks(m, c.w, c.s), make_chunks(m, c.w, c.s).size())
+        << "window [" << c.w.begin << "," << c.w.end << ") chunk "
+        << c.s.chunk_seconds;
+  }
+}
+
+TEST(Chunker, MaxChunksSpannedEq61) {
+  // Eq. 6.1: 1 + ceil(rho / c).
+  EXPECT_EQ(max_chunks_spanned(0, 5), 1u);
+  EXPECT_EQ(max_chunks_spanned(5, 5), 2u);
+  EXPECT_EQ(max_chunks_spanned(5.1, 5), 3u);
+  EXPECT_EQ(max_chunks_spanned(30, 5), 7u);
+  EXPECT_THROW(max_chunks_spanned(1, 0), ArgumentError);
+  EXPECT_THROW(max_chunks_spanned(-1, 5), ArgumentError);
+}
+
+// Property: an event of duration rho placed anywhere can never touch more
+// than max_chunks_spanned(rho, c) chunks.
+struct SpanCase {
+  double rho, chunk;
+};
+class ChunkSpanProperty : public ::testing::TestWithParam<SpanCase> {};
+
+TEST_P(ChunkSpanProperty, EventNeverExceedsBound) {
+  auto [rho, chunk] = GetParam();
+  VideoMeta m = meta_30fps();
+  auto chunks = make_chunks(m, {0, 300}, {chunk, 0});
+  std::size_t bound = max_chunks_spanned(rho, chunk);
+  for (double start = 0; start + rho < 290; start += 0.37) {
+    TimeInterval event{start, start + rho};
+    std::size_t touched = 0;
+    for (const auto& c : chunks) {
+      // An event "spans" a chunk if visible in at least one frame of it;
+      // closed-interval overlap including endpoints.
+      if (event.begin <= c.time.end && event.end >= c.time.begin) ++touched;
+    }
+    ASSERT_LE(touched, bound) << "rho=" << rho << " chunk=" << chunk
+                              << " start=" << start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkSpanProperty,
+    ::testing::Values(SpanCase{0.5, 5}, SpanCase{5, 5}, SpanCase{8, 5},
+                      SpanCase{30, 5}, SpanCase{30, 10}, SpanCase{3, 1},
+                      SpanCase{59, 60}));
+
+// ---------------------------------------------------------------- mask
+
+TEST(Mask, EmptyMaskIsAllVisible) {
+  Mask m(1280, 720, 128, 72);
+  EXPECT_EQ(m.masked_cell_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.visible_fraction(Box{100, 100, 50, 50}), 1.0);
+  EXPECT_TRUE(m.visible(Box{0, 0, 10, 10}));
+}
+
+TEST(Mask, MaskBoxCoversCells) {
+  Mask m(100, 100, 10, 10);
+  m.mask_box(Box{0, 0, 20, 20});
+  EXPECT_TRUE(m.cell_masked(0, 0));
+  EXPECT_TRUE(m.cell_masked(1, 1));
+  EXPECT_FALSE(m.cell_masked(2, 2));
+  EXPECT_DOUBLE_EQ(m.visible_fraction(Box{0, 0, 20, 20}), 0.0);
+  EXPECT_FALSE(m.visible(Box{0, 0, 20, 20}));
+}
+
+TEST(Mask, PartialVisibility) {
+  Mask m(100, 100, 10, 10);
+  m.mask_box(Box{0, 0, 50, 100});  // left half
+  Box straddling{40, 40, 20, 20};  // half masked
+  EXPECT_NEAR(m.visible_fraction(straddling), 0.5, 1e-9);
+  EXPECT_TRUE(m.visible(straddling, 0.3));
+  EXPECT_FALSE(m.visible(straddling, 0.6));
+}
+
+TEST(Mask, OffscreenBoxesInvisible) {
+  Mask m(100, 100, 10, 10);
+  EXPECT_DOUBLE_EQ(m.visible_fraction(Box{-50, -50, 20, 20}), 0.0);
+  EXPECT_DOUBLE_EQ(m.visible_fraction(Box{0, 0, 0, 0}), 0.0);
+}
+
+TEST(Mask, Unite) {
+  Mask a(100, 100, 10, 10), b(100, 100, 10, 10);
+  a.mask_box(Box{0, 0, 10, 10});
+  b.mask_box(Box{90, 90, 10, 10});
+  Mask u = a.unite(b);
+  EXPECT_TRUE(u.cell_masked(0, 0));
+  EXPECT_TRUE(u.cell_masked(9, 9));
+  EXPECT_EQ(u.masked_cell_count(), 2u);
+  Mask other(50, 50, 5, 5);
+  EXPECT_THROW(a.unite(other), ArgumentError);
+}
+
+TEST(Mask, ApplyBlacksOutPixels) {
+  // Appendix D: masked pixels are replaced with black.
+  Mask m(100, 100, 10, 10);
+  m.mask_box(Box{0, 0, 30, 30});
+  FrameBuffer f(100, 100, 200);
+  m.apply(f);
+  EXPECT_EQ(f.at(5, 5), 0);
+  EXPECT_EQ(f.at(50, 50), 200);
+}
+
+TEST(Mask, MaskedFraction) {
+  Mask m(100, 100, 10, 10);
+  m.mask_box(Box{0, 0, 100, 50});
+  EXPECT_DOUBLE_EQ(m.masked_fraction(), 0.5);
+}
+
+TEST(Mask, BoundsChecking) {
+  Mask m(100, 100, 10, 10);
+  EXPECT_THROW(m.cell_masked(10, 0), ArgumentError);
+  EXPECT_THROW(m.set_cell(0, -1, true), ArgumentError);
+  EXPECT_THROW(Mask(0, 100, 10, 10), ArgumentError);
+}
+
+// -------------------------------------------------------------- region
+
+TEST(Region, RegionOfByCentre) {
+  RegionScheme s("halves", BoundaryKind::kHard,
+                 {{"left", Box{0, 0, 640, 720}}, {"right", Box{640, 0, 640, 720}}});
+  EXPECT_EQ(s.region_of(Box{100, 100, 50, 50}), 0);
+  EXPECT_EQ(s.region_of(Box{700, 100, 50, 50}), 1);
+  EXPECT_EQ(s.region_of(Box{2000, 0, 10, 10}), -1);
+}
+
+TEST(Region, SoftRequiresSingleFrameChunks) {
+  RegionScheme soft("s", BoundaryKind::kSoft, {{"a", Box{0, 0, 10, 10}}});
+  RegionScheme hard("h", BoundaryKind::kHard, {{"a", Box{0, 0, 10, 10}}});
+  EXPECT_TRUE(soft.requires_single_frame_chunks());
+  EXPECT_FALSE(hard.requires_single_frame_chunks());
+  EXPECT_THROW(RegionScheme("x", BoundaryKind::kSoft, {}), ArgumentError);
+}
+
+TEST(Region, GridOccupancyBounds) {
+  VideoMeta m = meta_30fps();
+  // 128x72 grid -> 10x10 px cells; an object up to 25x15 px.
+  auto grid = RegionScheme::grid(m, 128, 72, 25, 15, 100);
+  EXPECT_TRUE(grid.is_grid());
+  EXPECT_EQ(grid.region_count(), 128u * 72u);
+  // (1 + ceil(25/10)) * (1 + ceil(15/10)) = 4 * 3.
+  EXPECT_EQ(grid.occupied_cells_bound(), 12u);
+  // Over a 1s chunk the object can travel 100 px: (1+ceil(125/10)) x
+  // (1+ceil(115/10)) = 14 x 13.
+  EXPECT_EQ(grid.influenced_cells_bound(1.0), 14u * 13u);
+  EXPECT_GT(grid.influenced_cells_bound(2.0), grid.influenced_cells_bound(1.0));
+}
+
+TEST(Region, GridValidation) {
+  VideoMeta m = meta_30fps();
+  EXPECT_THROW(RegionScheme::grid(m, 0, 10, 5, 5, 1), ArgumentError);
+  EXPECT_THROW(RegionScheme::grid(m, 8, 8, -1, 5, 1), ArgumentError);
+  RegionScheme hard("h", BoundaryKind::kHard, {{"a", Box{0, 0, 10, 10}}});
+  EXPECT_THROW(hard.occupied_cells_bound(), ArgumentError);
+  auto grid = RegionScheme::grid(m, 8, 8, 5, 5, 1);
+  EXPECT_THROW(grid.influenced_cells_bound(0), ArgumentError);
+}
+
+}  // namespace
+}  // namespace privid
