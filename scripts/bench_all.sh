@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the paper-reproduction benches and records one JSON entry per bench
+# (name, wall seconds, exit status, log path) in $OUT_JSON. Invoked by the
+# `bench_all` CMake target; can also be run by hand:
+#
+#   BENCH_DIR=build/bench OUT_JSON=build/BENCH_results.json \
+#     scripts/bench_all.sh bench_fig6_chunk_sweep ...
+set -u
+
+BENCH_DIR="${BENCH_DIR:?set BENCH_DIR to the directory holding bench binaries}"
+OUT_JSON="${OUT_JSON:?set OUT_JSON to the output JSON path}"
+
+# Sub-second timestamps need GNU date (%N); elsewhere fall back to whole
+# seconds rather than writing garbage into the JSON.
+if [[ "$(date +%N)" == *N* ]]; then
+  now() { date +%s; }
+else
+  now() { date +%s.%N; }
+fi
+
+entries=()
+failures=0
+for name in "$@"; do
+  bin="$BENCH_DIR/$name"
+  log="$BENCH_DIR/$name.log"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_all: missing binary $bin" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "bench_all: running $name"
+  start=$(now)
+  "$bin" >"$log" 2>&1
+  status=$?
+  end=$(now)
+  secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+  [[ $status -ne 0 ]] && failures=$((failures + 1))
+  entries+=("    {\"name\": \"$name\", \"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+done
+
+{
+  echo "{"
+  echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"benches\": ["
+  n=${#entries[@]}
+  for i in "${!entries[@]}"; do
+    sep=","
+    [[ $((i + 1)) -eq $n ]] && sep=""
+    echo "${entries[$i]}$sep"
+  done
+  echo "  ]"
+  echo "}"
+} >"$OUT_JSON"
+
+echo "bench_all: wrote $OUT_JSON ($((${#entries[@]})) benches, $failures failures)"
+exit $((failures > 0 ? 1 : 0))

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# The tier-1 verify, exactly as CI runs it (see .github/workflows/ci.yml):
+# configure, build everything, run every test suite. Run from the repo root:
+#
+#   scripts/check_build.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"

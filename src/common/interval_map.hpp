@@ -13,6 +13,12 @@
 //   - segments(): the explicit breakpoint representation, for inspection
 #pragma once
 
+// Segment uses a C++20 defaulted operator==; fail loudly on a wrong -std
+// rather than mid-overload-resolution (MSVC reports via _MSVC_LANG).
+#if !(__cplusplus >= 202002L || (defined(_MSVC_LANG) && _MSVC_LANG >= 202002L))
+#error "privid requires C++20: compile with -std=c++20 (CMake sets this)"
+#endif
+
 #include <cstdint>
 #include <map>
 #include <vector>

@@ -7,6 +7,13 @@
 // (Appendix D); to_frames() enforces that.
 #pragma once
 
+// This header uses C++20 defaulted comparison operators; under -std=c++17
+// the failure would otherwise surface as a confusing overload-resolution
+// error mid-include. Fail loudly instead (MSVC reports via _MSVC_LANG).
+#if !(__cplusplus >= 202002L || (defined(_MSVC_LANG) && _MSVC_LANG >= 202002L))
+#error "privid requires C++20: compile with -std=c++20 (CMake sets this)"
+#endif
+
 #include <cstdint>
 #include <string>
 

@@ -1,0 +1,39 @@
+// Build-contract check, deliberately NOT a gtest binary: it proves the
+// privid.hpp umbrella header compiles standalone (first include, no priming
+// headers) and that the static library links without gtest's main. A header
+// that stops being self-contained, or a library symbol that goes missing,
+// fails this target before it can hide behind the test framework.
+#include "privid.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+static void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "build sanity failed: %s\n", what);
+    std::exit(1);
+  }
+}
+
+int main() {
+  // Touch one symbol per layer so the linker has to pull in the library.
+  privid::Rng rng(42);
+  double u = rng.uniform(0.0, 1.0);
+  check(u >= 0.0 && u < 1.0, "common/rng uniform range");
+
+  privid::TimeInterval a{0, 10};
+  privid::TimeInterval b{5, 20};
+  check(a.intersect(b) == privid::TimeInterval{5, 10},
+        "common/timeutil interval intersection");
+
+  check(privid::mean({1.0, 2.0, 3.0}) == 2.0, "common/stats mean");
+
+  privid::Rng noise_rng(7);
+  double released =
+      privid::LaplaceMechanism::release(100.0, 10.0, 1.0, noise_rng);
+  check(std::isfinite(released), "privacy/laplace release is finite");
+
+  std::puts("build sanity ok");
+  return 0;
+}

@@ -333,7 +333,9 @@ TEST_P(DegradationEmpirical, AdversaryBoundedByEqC3) {
   EXPECT_LE(empirical, bound + 0.01)
       << "eps=" << eps << ": adversary beat the Eq. C.3 bound";
   // Sanity: the attack does better than blind guessing at large eps.
-  if (eps >= 2.0) EXPECT_GT(empirical, alpha);
+  if (eps >= 2.0) {
+    EXPECT_GT(empirical, alpha);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Epsilons, DegradationEmpirical,

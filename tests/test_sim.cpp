@@ -301,7 +301,9 @@ TEST(Porto, VisitsSortedAndWithinWindow) {
   for (std::size_t i = 0; i < vs.size(); ++i) {
     EXPECT_GE(vs[i].start, win.begin);
     EXPECT_LT(vs[i].start, win.end);
-    if (i) EXPECT_LE(vs[i - 1].start, vs[i].start);
+    if (i) {
+      EXPECT_LE(vs[i - 1].start, vs[i].start);
+    }
   }
 }
 
