@@ -57,7 +57,7 @@ int main() {
       int accepted = 0;
       while (accepted < 1000) {
         try {
-          sys.execute(hourly_query(7, 8, eps_q));
+          sys.execute(hourly_query(7, 8, eps_q), bench::run_options());
           ++accepted;
         } catch (const BudgetError&) {
           break;
@@ -70,16 +70,16 @@ int main() {
   std::printf("\nThe rho-margin rule (eps_C = 1, eps_Q = 1, rho = 60 s):\n");
   {
     engine::Privid sys = fresh_system(1.0);
-    sys.execute(hourly_query(7, 8, 1.0));
+    sys.execute(hourly_query(7, 8, 1.0), bench::run_options());
     std::printf("  query over [7h, 8h):            accepted\n");
     try {
-      sys.execute(hourly_query(8, 9, 1.0));
+      sys.execute(hourly_query(8, 9, 1.0), bench::run_options());
       std::printf("  adjacent [8h, 9h):              ACCEPTED (unexpected)\n");
     } catch (const BudgetError&) {
       std::printf("  adjacent [8h, 9h):              denied (margin collides)\n");
     }
     try {
-      sys.execute(hourly_query(8.05, 9, 1.0));
+      sys.execute(hourly_query(8.05, 9, 1.0), bench::run_options());
       std::printf("  rho-disjoint [8h03m, 9h):       accepted (independent "
                   "budget)\n");
     } catch (const BudgetError&) {

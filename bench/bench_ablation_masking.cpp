@@ -89,7 +89,7 @@ int main() {
     if (cfg.use_regions) split += " BY REGION halves";
     split += " INTO c;";
 
-    engine::RunOptions opts;
+    engine::RunOptions opts = bench::run_options();
     opts.reveal_raw = true;
     opts.charge_budget = false;
     auto r = sys.execute(

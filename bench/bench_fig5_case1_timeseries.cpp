@@ -95,7 +95,7 @@ int main() {
     sys.register_executable(
         "counter", analyst::make_entering_counter(c.det, trk, c.cls));
 
-    engine::RunOptions opts;
+    engine::RunOptions opts = bench::run_options();
     opts.reveal_raw = true;
     auto result = sys.execute(
         "SPLIT " + cam + " BEGIN 21600 END " +

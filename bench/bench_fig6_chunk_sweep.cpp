@@ -103,7 +103,7 @@ int main() {
         sys.register_camera(std::move(reg));
         sys.register_executable(
             "counter", analyst::make_entering_counter(c.det, trk, c.cls));
-        engine::RunOptions opts;
+        engine::RunOptions opts = bench::run_options();
         opts.reveal_raw = true;
         opts.charge_budget = false;  // owner-side what-if sweep
         auto result = sys.execute(

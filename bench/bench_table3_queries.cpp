@@ -72,7 +72,7 @@ void run_porto(double* rows_printed) {
            "WITH SCHEMA (plate:STRING=\"\", hod:NUMBER=0) INTO t" + suffix +
            ";";
   };
-  engine::RunOptions opts;
+  engine::RunOptions opts = bench::run_options();
   opts.reveal_raw = true;
 
   // Q4: average working hours via UNION of two cameras.
@@ -150,7 +150,7 @@ void run_trees(const char* qname, const char* video, sim::Scenario scenario,
   sys.register_camera(std::move(reg));
   sys.register_executable("trees", analyst::make_tree_observer(0.02));
 
-  engine::RunOptions opts;
+  engine::RunOptions opts = bench::run_options();
   opts.reveal_raw = true;
   auto r = sys.execute(
       "SPLIT " + cam +
@@ -194,7 +194,7 @@ void run_red_light(const char* qname, const char* video,
   sys.register_camera(std::move(reg));
   sys.register_executable("red_timer", analyst::make_red_light_timer(0, 1.0));
 
-  engine::RunOptions opts;
+  engine::RunOptions opts = bench::run_options();
   opts.reveal_raw = true;
   auto r = sys.execute(
       "SPLIT " + cam +
@@ -232,7 +232,7 @@ void run_q13() {
   sys.register_camera(std::move(reg));
   sys.register_executable("s2n", analyst::make_trajectory_filter(det, trk));
 
-  engine::RunOptions opts;
+  engine::RunOptions opts = bench::run_options();
   opts.reveal_raw = true;
   auto r = sys.execute(
       "SPLIT campus BEGIN 21600 END 64800 BY TIME 600 STRIDE 0 "

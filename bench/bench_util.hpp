@@ -8,13 +8,38 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "engine/executor.hpp"
 
 namespace privid::bench {
+
+// PROCESS-phase parallelism for the bench run, from the PRIVID_NUM_THREADS
+// env var (0 = all hardware threads; unset/empty = 1, the sequential
+// baseline). bench_all runs every bench at both settings so
+// BENCH_results.json records the 1-thread and N-thread timings
+// side by side; releases are bit-identical either way, so accuracy numbers
+// do not move.
+inline std::size_t env_num_threads() {
+  const char* v = std::getenv("PRIVID_NUM_THREADS");
+  if (!v || !*v) return 1;
+  char* end = nullptr;
+  unsigned long n = std::strtoul(v, &end, 10);
+  // Garbage, negatives (strtoul wraps '-1'), and absurd counts all fall
+  // back to the sequential default rather than spawning a bogus pool.
+  if (end == v || *end != '\0' || n > 1024) return 1;
+  return static_cast<std::size_t>(n);
+}
+
+inline engine::RunOptions run_options() {
+  engine::RunOptions opts;
+  opts.num_threads = env_num_threads();
+  return opts;
+}
 
 // The §8.1 accuracy metric: run the query once (raw + sensitivity), then
 // sample the Laplace noise `samples` times and report mean accuracy ± 1

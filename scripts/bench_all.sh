@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Runs the paper-reproduction benches and records one JSON entry per bench
-# (name, wall seconds, exit status, log path) in $OUT_JSON. Invoked by the
-# `bench_all` CMake target; can also be run by hand:
+# Runs the paper-reproduction benches and records JSON entries in $OUT_JSON.
+# Each bench runs twice — PRIVID_NUM_THREADS=1 (the sequential baseline) and
+# PRIVID_NUM_THREADS=0 (all hardware threads) — so BENCH_results.json holds
+# the 1-thread and N-thread timings side by side; releases are bit-identical
+# across the two (see README "Parallel execution"), so only wall time moves.
+# Invoked by the `bench_all` CMake target; can also be run by hand:
 #
 #   BENCH_DIR=build/bench OUT_JSON=build/BENCH_results.json \
 #     scripts/bench_all.sh bench_fig6_chunk_sweep ...
@@ -9,6 +12,8 @@ set -u
 
 BENCH_DIR="${BENCH_DIR:?set BENCH_DIR to the directory holding bench binaries}"
 OUT_JSON="${OUT_JSON:?set OUT_JSON to the output JSON path}"
+
+HW_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 # Sub-second timestamps need GNU date (%N); elsewhere fall back to whole
 # seconds rather than writing garbage into the JSON.
@@ -22,25 +27,31 @@ entries=()
 failures=0
 for name in "$@"; do
   bin="$BENCH_DIR/$name"
-  log="$BENCH_DIR/$name.log"
   if [[ ! -x "$bin" ]]; then
     echo "bench_all: missing binary $bin" >&2
     failures=$((failures + 1))
     continue
   fi
-  echo "bench_all: running $name"
-  start=$(now)
-  "$bin" >"$log" 2>&1
-  status=$?
-  end=$(now)
-  secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
-  [[ $status -ne 0 ]] && failures=$((failures + 1))
-  entries+=("    {\"name\": \"$name\", \"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+  # On a single-core host the two settings coincide; record only one run.
+  modes=(1)
+  [[ "$HW_THREADS" != 1 ]] && modes+=("$HW_THREADS")
+  for threads in "${modes[@]}"; do
+    log="$BENCH_DIR/$name.t$threads.log"
+    echo "bench_all: running $name (threads=$threads)"
+    start=$(now)
+    PRIVID_NUM_THREADS="$threads" "$bin" >"$log" 2>&1
+    status=$?
+    end=$(now)
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+    [[ $status -ne 0 ]] && failures=$((failures + 1))
+    entries+=("    {\"name\": \"$name\", \"threads\": $threads, \"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+  done
 done
 
 {
   echo "{"
   echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"hardware_threads\": $HW_THREADS,"
   echo "  \"benches\": ["
   n=${#entries[@]}
   for i in "${!entries[@]}"; do
@@ -52,5 +63,5 @@ done
   echo "}"
 } >"$OUT_JSON"
 
-echo "bench_all: wrote $OUT_JSON ($((${#entries[@]})) benches, $failures failures)"
+echo "bench_all: wrote $OUT_JSON ($((${#entries[@]})) runs, $failures failures)"
 exit $((failures > 0 ? 1 : 0))

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_results.json against the checked-in baseline.
+
+CI runs this after `cmake --build build --target bench_all`:
+
+    python3 scripts/bench_compare.py build/BENCH_results.json \
+        --baseline bench/bench_baseline.json
+
+Exits non-zero if any figure/table bench run failed, or if any bench's
+wall time regressed more than --tolerance (default 25%) over the baseline.
+Benches below --min-seconds in the baseline are skipped — at that scale the
+timer noise on shared runners exceeds any real regression. Entries present
+on only one side (new bench, or a thread count the baseline host lacked)
+are reported but never fail the job.
+
+Regenerate the baseline after an intentional perf change:
+
+    python3 scripts/bench_compare.py build/BENCH_results.json \
+        --baseline bench/bench_baseline.json --update
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        data = json.load(f)
+    runs = {}
+    for entry in data.get("benches", []):
+        key = "{}@t{}".format(entry["name"], entry.get("threads", 1))
+        runs[key] = entry
+    return data, runs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results", help="BENCH_results.json from bench_all")
+    ap.add_argument("--baseline", default="bench/bench_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown before failing")
+    ap.add_argument("--min-seconds", type=float, default=0.1,
+                    help="skip benches whose baseline is below this")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from these results")
+    args = ap.parse_args()
+
+    data, runs = load_runs(args.results)
+
+    failed_runs = [k for k, e in runs.items() if e.get("exit_status", 0) != 0]
+    for key in failed_runs:
+        print("FAIL  {}: bench exited non-zero".format(key))
+
+    if args.update:
+        baseline = {
+            "note": "regenerate with scripts/bench_compare.py --update",
+            "benches": [
+                {"name": e["name"], "threads": e.get("threads", 1),
+                 "wall_seconds": e["wall_seconds"]}
+                for e in data.get("benches", [])
+            ],
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print("wrote {} ({} entries)".format(args.baseline, len(runs)))
+        return 1 if failed_runs else 0
+
+    try:
+        _, base_runs = load_runs(args.baseline)
+    except FileNotFoundError:
+        print("no baseline at {}; run with --update to create one".format(
+            args.baseline))
+        return 1 if failed_runs else 0
+
+    regressions = []
+    for key, base in sorted(base_runs.items()):
+        cur = runs.get(key)
+        if cur is None:
+            print("skip  {}: not in current results".format(key))
+            continue
+        base_s = base["wall_seconds"]
+        cur_s = cur["wall_seconds"]
+        if base_s < args.min_seconds:
+            print("skip  {}: baseline {:.3f}s below noise floor".format(
+                key, base_s))
+            continue
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        verdict = "ok  "
+        if ratio > 1.0 + args.tolerance:
+            verdict = "FAIL"
+            regressions.append(key)
+        print("{}  {}: {:.3f}s vs baseline {:.3f}s ({:+.1f}%)".format(
+            verdict, key, cur_s, base_s, (ratio - 1.0) * 100))
+    for key in sorted(set(runs) - set(base_runs)):
+        print("new   {}: {:.3f}s (not in baseline)".format(
+            key, runs[key]["wall_seconds"]))
+
+    if regressions:
+        print("\n{} bench(es) regressed more than {:.0f}%".format(
+            len(regressions), args.tolerance * 100))
+    if failed_runs or regressions:
+        return 1
+    print("\nbench_compare: all benches within {:.0f}% of baseline".format(
+        args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

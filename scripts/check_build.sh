@@ -3,11 +3,56 @@
 # configure, build everything, run every test suite. Run from the repo root:
 #
 #   scripts/check_build.sh [build-dir]
+#
+# The CI matrix lines are runnable locally verbatim:
+#
+#   SANITIZE=address scripts/check_build.sh build-asan   # ASan + UBSan
+#   SANITIZE=thread  scripts/check_build.sh build-tsan   # TSan
+#
+# SANITIZE maps onto the PRIVID_SANITIZE CMake option; sanitizer builds are
+# Debug-ish (RelWithDebInfo) so stacks stay readable. TEST_FILTER, when set,
+# is passed to `ctest -R` — the TSan job uses it to run the concurrency-
+# relevant suites (thread pool, executor, engine) rather than the world.
+# CMAKE_CXX_COMPILER_LAUNCHER (e.g. ccache) is forwarded when set.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+SANITIZE="${SANITIZE:-}"
+TEST_FILTER="${TEST_FILTER:-}"
 
-cmake -B "$BUILD_DIR" -S .
+# Always passed (even when empty) so a reused build dir can't keep a stale
+# sanitizer setting from its CMake cache.
+CMAKE_ARGS=("-DPRIVID_SANITIZE=$SANITIZE")
+case "$SANITIZE" in
+  "")
+    # Explicit so a build dir reused after a sanitizer run can't keep that
+    # run's Debug/RelWithDebInfo cached: tier-1 is always Release.
+    CMAKE_ARGS+=("-DCMAKE_BUILD_TYPE=Release")
+    ;;
+  address)
+    # ASan+UBSan ride a Debug build: unoptimized stacks give exact lines.
+    CMAKE_ARGS+=("-DCMAKE_BUILD_TYPE=Debug")
+    ;;
+  thread)
+    # TSan needs the optimizer on or the simulator-driven suites crawl.
+    CMAKE_ARGS+=("-DCMAKE_BUILD_TYPE=RelWithDebInfo")
+    ;;
+  *)
+    echo "check_build.sh: SANITIZE must be empty, 'address' or 'thread'" >&2
+    exit 2
+    ;;
+esac
+if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER_LAUNCHER=${CMAKE_CXX_COMPILER_LAUNCHER}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j "$(nproc)"
+if [[ -n "$TEST_FILTER" ]]; then
+  # --no-tests=error: a filter that matches nothing (e.g. after a suite
+  # rename) must fail the job, not silently race-check zero tests.
+  ctest --output-on-failure -j "$(nproc)" -R "$TEST_FILTER" --no-tests=error
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

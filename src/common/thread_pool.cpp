@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace privid {
+
+namespace {
+// A task that calls parallel_for again must not block on run_mu_ (its own
+// batch holds the lock); it runs the nested loop inline instead.
+thread_local bool t_inside_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_threads) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || max_threads == 1 || t_inside_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> serialize(run_mu_);
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  batch->max_workers =
+      max_threads == 0 ? workers_.size()
+                       : std::min(workers_.size(), max_threads - 1);
+  batch->remaining.store(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  work(*batch);  // the caller participates
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_.wait(lk, [&] {
+    return batch->remaining.load(std::memory_order_acquire) == 0;
+  });
+  batch_ = nullptr;  // workers keep the shared_ptr alive while draining
+  lk.unlock();
+
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    // Respect the batch's participation cap: surplus workers sit it out.
+    if (batch &&
+        batch->joined.fetch_add(1, std::memory_order_relaxed) <
+            batch->max_workers) {
+      work(*batch);
+    }
+  }
+}
+
+void ThreadPool::work(Batch& batch) {
+  t_inside_pool_task = true;
+  for (;;) {
+    std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) break;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(batch.error_mu);
+      if (!batch.first_error || i < batch.first_error_index) {
+        batch.first_error = std::current_exception();
+        batch.first_error_index = i;
+      }
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);  // pair with the caller's wait
+      done_.notify_all();
+    }
+  }
+  t_inside_pool_task = false;
+}
+
+}  // namespace privid

@@ -1,0 +1,90 @@
+// Shared worker pool for data-parallel engine phases.
+//
+// The executor's PROCESS phase is embarrassingly parallel: every
+// chunk x region sandbox invocation is a pure function of its ChunkView
+// with a private random tape (engine/sandbox.hpp), so invocations can run
+// in any order on any thread. The pool deliberately has no work stealing
+// and no futures — parallel_for hands out indices from a shared atomic
+// counter and every participant writes into caller-owned, pre-sized slots,
+// so results are byte-identical to the sequential order no matter how the
+// scheduler interleaves tasks.
+//
+// Determinism contract: parallel_for(n, fn) calls fn(i) exactly once for
+// every i in [0, n); fn must only write state owned by index i. Under that
+// contract the observable outcome is independent of the worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace privid {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` background threads. The calling thread also executes
+  // tasks inside parallel_for, so total parallelism is workers + 1;
+  // for_threads(n) below sizes a pool for "n threads of compute".
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  // Total compute threads a parallel_for uses (workers + the caller).
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
+  // Runs fn(0), ..., fn(n-1), each exactly once, distributed over the
+  // workers and the calling thread; blocks until all complete. Concurrent
+  // parallel_for calls from different threads are serialized. A nested
+  // call from inside a task runs inline on the calling thread (no
+  // deadlock, same results). If any fn(i) throws, the exception with the
+  // lowest index is rethrown after the batch drains — matching what a
+  // sequential loop would have surfaced first.
+  //
+  // `max_threads` caps the compute threads participating in THIS batch
+  // (0 = no cap). A pool sized for the largest request can serve smaller
+  // requests without respawning workers: surplus workers simply sit the
+  // batch out. The cap never changes results — only resource use.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_threads = 0);
+
+  // Resolves a RunOptions-style thread count: 0 means "all hardware
+  // threads" (at least 1), anything else is taken literally.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t max_workers = 0;            // worker join cap (caller extra)
+    std::atomic<std::size_t> joined{0};     // workers that claimed a slot
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = 0;
+  };
+
+  void worker_loop();
+  void work(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                  // guards batch_, generation_, stop_
+  std::condition_variable wake_;   // workers wait for a new batch / stop
+  std::condition_variable done_;   // caller waits for batch completion
+  std::shared_ptr<Batch> batch_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::mutex run_mu_;              // serializes parallel_for callers
+};
+
+}  // namespace privid

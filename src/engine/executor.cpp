@@ -25,8 +25,10 @@ using sensitivity::SensitivityEngine;
 using sensitivity::TableInfo;
 
 Executor::Executor(std::map<std::string, CameraState>* cameras,
-                   const ExecutableRegistry* registry, Rng* noise_rng)
-    : cameras_(cameras), registry_(registry), noise_rng_(noise_rng) {
+                   const ExecutableRegistry* registry, Rng* noise_rng,
+                   ThreadPool* pool)
+    : cameras_(cameras), registry_(registry), noise_rng_(noise_rng),
+      pool_(pool) {
   if (!cameras || !registry || !noise_rng) {
     throw ArgumentError("Executor requires cameras, registry and rng");
   }
@@ -96,7 +98,6 @@ sensitivity::TableInfo Executor::table_info(const ProcessStmt& p,
 Executor::BoundTable Executor::run_process(const ProcessStmt& p,
                                            const SplitStmt& s,
                                            const RunOptions& opts) {
-  (void)opts;
   ResolvedSplit rs = resolve_split(s);
   CameraState& cam = *rs.cam;
   const Executable& exe = registry_->get(p.executable);
@@ -122,18 +123,40 @@ Executor::BoundTable Executor::run_process(const ProcessStmt& p,
 
   SandboxPolicy sandbox{p.timeout, p.max_rows, analyst_schema};
   std::size_t n_regions = rs.scheme ? rs.scheme->region_count() : 1;
-  for (const auto& chunk : chunks) {
-    for (std::size_t r = 0; r < n_regions; ++r) {
-      const Region* region = rs.scheme ? &rs.scheme->region(r) : nullptr;
-      ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
-                     chunk.frames, rs.mask, region);
-      auto rows = run_sandboxed(exe, view, sandbox);
-      for (auto& row : rows) {
-        row.emplace_back(chunk.time.begin);               // chunk
-        if (rs.scheme) row.emplace_back(region->name);    // region
-        row.emplace_back(s.camera);                       // camera
-        bound.data.append(std::move(row));
-      }
+  const std::size_t n_tasks = chunks.size() * n_regions;
+
+  // One task per chunk x region, in the sequential nesting order (chunks
+  // outer, regions inner). Each sandbox invocation is a pure function of
+  // its ChunkView with a private per-chunk tape, so tasks can run on any
+  // thread; task i writes only slot i and the table is assembled from the
+  // slots in order, making the result bit-identical to num_threads = 1.
+  auto run_one = [&](std::size_t task) {
+    const auto& chunk = chunks[task / n_regions];
+    const std::size_t r = task % n_regions;
+    const Region* region = rs.scheme ? &rs.scheme->region(r) : nullptr;
+    ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
+                   chunk.frames, rs.mask, region);
+    auto rows = run_sandboxed(exe, view, sandbox);
+    for (auto& row : rows) {
+      row.emplace_back(chunk.time.begin);               // chunk
+      if (rs.scheme) row.emplace_back(region->name);    // region
+      row.emplace_back(s.camera);                       // camera
+    }
+    return rows;
+  };
+
+  std::size_t n_threads = ThreadPool::resolve_threads(opts.num_threads);
+  if (pool_ != nullptr && n_threads > 1 && n_tasks > 1) {
+    std::vector<std::vector<Row>> slots(n_tasks);
+    pool_->parallel_for(n_tasks,
+                        [&](std::size_t i) { slots[i] = run_one(i); },
+                        n_threads);
+    for (auto& slot : slots) {
+      for (auto& row : slot) bound.data.append(std::move(row));
+    }
+  } else {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      for (auto& row : run_one(i)) bound.data.append(std::move(row));
     }
   }
   return bound;

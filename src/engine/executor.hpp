@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "engine/registry.hpp"
 #include "engine/sandbox.hpp"
 #include "privacy/budget.hpp"
@@ -60,6 +61,12 @@ struct RunOptions {
   // Skip the budget ledger (owner-side what-if runs, e.g. parameter
   // sweeps). Analyst-facing deployments keep this true.
   bool charge_budget = true;
+  // PROCESS-phase parallelism: chunk x region sandbox invocations fan out
+  // across this many threads. 0 = all hardware threads, 1 = the sequential
+  // path. Results are bit-identical regardless of the value: each task owns
+  // a pre-sized output slot and its private per-chunk random tape, and the
+  // rows are assembled in sequential order (see common/thread_pool.hpp).
+  std::size_t num_threads = 1;
 };
 
 struct Release {
@@ -108,8 +115,11 @@ struct QueryPlan {
 
 class Executor {
  public:
+  // `pool` (optional, non-owning) serves RunOptions::num_threads > 1; when
+  // null every query runs on the calling thread regardless of the option.
   Executor(std::map<std::string, CameraState>* cameras,
-           const ExecutableRegistry* registry, Rng* noise_rng);
+           const ExecutableRegistry* registry, Rng* noise_rng,
+           ThreadPool* pool = nullptr);
 
   QueryResult run(const query::ParsedQuery& q, const RunOptions& opts);
 
@@ -149,6 +159,7 @@ class Executor {
   std::map<std::string, CameraState>* cameras_;
   const ExecutableRegistry* registry_;
   Rng* noise_rng_;
+  ThreadPool* pool_;
 };
 
 }  // namespace privid::engine

@@ -42,8 +42,21 @@ QueryResult Privid::execute(const std::string& query_text, RunOptions opts) {
   return execute(query::parse_query(query_text), opts);
 }
 
+ThreadPool* Privid::pool_for(std::size_t num_threads) {
+  std::size_t n = ThreadPool::resolve_threads(num_threads);
+  if (n <= 1) return nullptr;  // sequential path, pool untouched
+  // Grow-only: the pool is sized for the largest request seen (caller
+  // participates, so n threads of compute means n - 1 workers); smaller
+  // requests are honored per batch via parallel_for's max_threads cap
+  // rather than by respawning workers.
+  if (!pool_ || pool_->parallelism() < n) {
+    pool_ = std::make_unique<ThreadPool>(n - 1);
+  }
+  return pool_.get();
+}
+
 QueryResult Privid::execute(const query::ParsedQuery& q, RunOptions opts) {
-  Executor exec(&cameras_, &registry_, &noise_rng_);
+  Executor exec(&cameras_, &registry_, &noise_rng_, pool_for(opts.num_threads));
   return exec.run(q, opts);
 }
 

@@ -76,9 +76,15 @@ class Privid {
   const VideoMeta& camera_meta(const std::string& camera) const;
 
  private:
+  // Lazily-created shared worker pool serving every query (ad-hoc and
+  // standing) whose RunOptions::num_threads resolves to > 1. Re-created
+  // only when a query asks for a different thread count.
+  ThreadPool* pool_for(std::size_t num_threads);
+
   std::map<std::string, CameraState> cameras_;
   ExecutableRegistry registry_;
   Rng noise_rng_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace privid::engine

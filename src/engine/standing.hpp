@@ -31,6 +31,9 @@ class StandingQuery {
     std::string query_template;
     Seconds start = 0;      // first period begins here
     Seconds period = 3600;  // one release batch per period
+    // Applied to every period's execution; opts.num_threads > 1 fans each
+    // period's PROCESS phase out over the system's shared thread pool with
+    // bit-identical releases (see RunOptions::num_threads).
     RunOptions opts;
   };
 

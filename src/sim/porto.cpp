@@ -108,8 +108,10 @@ void PortoSynth::taxi_day_visits(int taxi, int day, int camera,
 const std::vector<TaxiVisit>& PortoSynth::day_visits(int camera,
                                                      int day) const {
   auto key = std::make_pair(camera, day);
+  std::unique_lock<std::mutex> lk(cache_mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
+  lk.unlock();  // generation is deterministic; only touch the map locked
   std::vector<TaxiVisit> out;
   for (int taxi = 0; taxi < cfg_.n_taxis; ++taxi) {
     taxi_day_visits(taxi, day, camera, &out);
@@ -118,6 +120,9 @@ const std::vector<TaxiVisit>& PortoSynth::day_visits(int camera,
             [](const TaxiVisit& a, const TaxiVisit& b) {
               return a.start < b.start;
             });
+  lk.lock();
+  // A racing thread may have inserted the (identical, deterministic) value
+  // already; emplace keeps the first copy either way.
   return cache_.emplace(key, std::move(out)).first->second;
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,6 +83,10 @@ class PortoSynth {
   // taxi -> habitual route (sorted camera ids)
   std::vector<std::vector<int>> routes_;
   std::vector<double> camera_weight_;
+  // Guarded by cache_mu_ so concurrent PROCESS tasks can share one synth;
+  // returned references stay valid after unlock (map nodes are stable and
+  // entries are never modified once inserted).
+  mutable std::mutex cache_mu_;
   mutable std::map<std::pair<int, int>, std::vector<TaxiVisit>> cache_;
 };
 

@@ -7,6 +7,40 @@
 
 namespace privid::sim {
 
+Scene::Scene(const Scene& other)
+    : meta_(other.meta_), entities_(other.entities_), lights_(other.lights_),
+      trees_(other.trees_), buckets_(other.buckets_),
+      indexed_entity_count_(other.indexed_entity_count_.load()),
+      empty_bucket_(other.empty_bucket_) {}
+
+Scene::Scene(Scene&& other) noexcept
+    : meta_(std::move(other.meta_)), entities_(std::move(other.entities_)),
+      lights_(std::move(other.lights_)), trees_(std::move(other.trees_)),
+      buckets_(std::move(other.buckets_)),
+      indexed_entity_count_(other.indexed_entity_count_.load()),
+      empty_bucket_(std::move(other.empty_bucket_)) {
+  other.indexed_entity_count_.store(0);
+}
+
+Scene& Scene::operator=(const Scene& other) {
+  if (this != &other) *this = Scene(other);
+  return *this;
+}
+
+Scene& Scene::operator=(Scene&& other) noexcept {
+  if (this != &other) {
+    meta_ = std::move(other.meta_);
+    entities_ = std::move(other.entities_);
+    lights_ = std::move(other.lights_);
+    trees_ = std::move(other.trees_);
+    buckets_ = std::move(other.buckets_);
+    indexed_entity_count_.store(other.indexed_entity_count_.load());
+    empty_bucket_ = std::move(other.empty_bucket_);
+    other.indexed_entity_count_.store(0);
+  }
+  return *this;
+}
+
 void Scene::build_index() const {
   Seconds span = meta_.extent.duration();
   std::size_t n_buckets =
@@ -28,11 +62,18 @@ void Scene::build_index() const {
       }
     }
   }
-  indexed_entity_count_ = entities_.size();
+  indexed_entity_count_.store(entities_.size(), std::memory_order_release);
 }
 
 const std::vector<std::size_t>& Scene::candidates_at(Seconds t) const {
-  if (indexed_entity_count_ != entities_.size()) build_index();
+  if (indexed_entity_count_.load(std::memory_order_acquire) !=
+      entities_.size()) {
+    std::lock_guard<std::mutex> lk(index_mu_);
+    if (indexed_entity_count_.load(std::memory_order_relaxed) !=
+        entities_.size()) {
+      build_index();
+    }
+  }
   double rel = (t - meta_.extent.begin) / kBucketSeconds;
   auto b = static_cast<std::ptrdiff_t>(std::floor(rel));
   if (b < 0 || b >= static_cast<std::ptrdiff_t>(buckets_.size())) {

@@ -6,8 +6,10 @@
 // mask-aware variants (§7.1: durations *as observable through a mask*).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/entity.hpp"
@@ -21,6 +23,15 @@ namespace privid::sim {
 class Scene {
  public:
   explicit Scene(VideoMeta meta) : meta_(std::move(meta)) {}
+
+  // The index mutex is not copyable/movable; these transfer the scene data
+  // (and any already-built index) and give the destination a fresh mutex.
+  // Moving or copying a scene that other threads are querying is a bug in
+  // the caller, exactly as it would be for any container.
+  Scene(const Scene& other);
+  Scene(Scene&& other) noexcept;
+  Scene& operator=(const Scene& other);
+  Scene& operator=(Scene&& other) noexcept;
 
   const VideoMeta& meta() const { return meta_; }
 
@@ -80,10 +91,14 @@ class Scene {
   std::vector<Tree> trees_;
 
   // Lazily built bucket index: bucket b covers
-  // [extent.begin + b*kBucketSeconds, +kBucketSeconds).
+  // [extent.begin + b*kBucketSeconds, +kBucketSeconds). Safe to query from
+  // concurrent PROCESS tasks: the build is guarded by index_mu_ and
+  // published through the atomic count (double-checked), after which the
+  // buckets are read-only until entities are added again.
   static constexpr Seconds kBucketSeconds = 60.0;
+  mutable std::mutex index_mu_;
   mutable std::vector<std::vector<std::size_t>> buckets_;
-  mutable std::size_t indexed_entity_count_ = 0;
+  mutable std::atomic<std::size_t> indexed_entity_count_{0};
   mutable std::vector<std::size_t> empty_bucket_;
 };
 
