@@ -35,6 +35,11 @@ inline std::size_t env_num_threads() {
   return static_cast<std::size_t>(n);
 }
 
+// RunOptions::cache is left at kDefault, which resolves from the
+// PRIVID_CACHE env var ("off" when unset) — bench_all uses that to replay
+// cache-sensitive benches at off and shared, and CI's cache-equivalence
+// job to byte-diff bench output across modes. Caching never moves
+// accuracy numbers; only wall time.
 inline engine::RunOptions run_options() {
   engine::RunOptions opts;
   opts.num_threads = env_num_threads();

@@ -12,6 +12,8 @@ set -u
 
 BENCH_DIR="${BENCH_DIR:?set BENCH_DIR to the directory holding bench binaries}"
 OUT_JSON="${OUT_JSON:?set OUT_JSON to the output JSON path}"
+# Benches that honor PRIVID_CACHE and should be recorded at off AND shared.
+CACHE_BENCHES="${CACHE_BENCHES:-bench_standing_cache}"
 
 HW_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
@@ -35,16 +37,34 @@ for name in "$@"; do
   # On a single-core host the two settings coincide; record only one run.
   modes=(1)
   [[ "$HW_THREADS" != 1 ]] && modes+=("$HW_THREADS")
+  # Cache-sensitive benches additionally run at PRIVID_CACHE=off and
+  # =shared, recording a "cache" field per entry, so the chunk-cache hit
+  # path is trend-tracked (and regression-gated by bench_compare.py) like
+  # every other timing. Other benches inherit the caller's PRIVID_CACHE.
+  # Add new cache-sensitive benches to CACHE_BENCHES (and give them
+  # off/shared entries in bench/bench_baseline.json).
+  cache_modes=("")
+  for cb in $CACHE_BENCHES; do
+    [[ "$name" == "$cb" ]] && cache_modes=("off" "shared")
+  done
   for threads in "${modes[@]}"; do
-    log="$BENCH_DIR/$name.t$threads.log"
-    echo "bench_all: running $name (threads=$threads)"
-    start=$(now)
-    PRIVID_NUM_THREADS="$threads" "$bin" >"$log" 2>&1
-    status=$?
-    end=$(now)
-    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
-    [[ $status -ne 0 ]] && failures=$((failures + 1))
-    entries+=("    {\"name\": \"$name\", \"threads\": $threads, \"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+    for cache in "${cache_modes[@]}"; do
+      log="$BENCH_DIR/$name.t$threads${cache:+.$cache}.log"
+      echo "bench_all: running $name (threads=$threads${cache:+, cache=$cache})"
+      start=$(now)
+      if [[ -n "$cache" ]]; then
+        PRIVID_NUM_THREADS="$threads" PRIVID_CACHE="$cache" "$bin" >"$log" 2>&1
+      else
+        PRIVID_NUM_THREADS="$threads" "$bin" >"$log" 2>&1
+      fi
+      status=$?
+      end=$(now)
+      secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+      [[ $status -ne 0 ]] && failures=$((failures + 1))
+      cache_field=""
+      [[ -n "$cache" ]] && cache_field="\"cache\": \"$cache\", "
+      entries+=("    {\"name\": \"$name\", \"threads\": $threads, ${cache_field}\"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+    done
   done
 done
 

@@ -24,13 +24,21 @@ import json
 import sys
 
 
+def run_key(entry):
+    # Cache-sensitive benches carry a "cache" field (off/shared) so the
+    # cold and warm paths are tracked as distinct series.
+    key = "{}@t{}".format(entry["name"], entry.get("threads", 1))
+    if "cache" in entry:
+        key += "@{}".format(entry["cache"])
+    return key
+
+
 def load_runs(path):
     with open(path) as f:
         data = json.load(f)
     runs = {}
     for entry in data.get("benches", []):
-        key = "{}@t{}".format(entry["name"], entry.get("threads", 1))
-        runs[key] = entry
+        runs[run_key(entry)] = entry
     return data, runs
 
 
@@ -56,8 +64,8 @@ def main():
         baseline = {
             "note": "regenerate with scripts/bench_compare.py --update",
             "benches": [
-                {"name": e["name"], "threads": e.get("threads", 1),
-                 "wall_seconds": e["wall_seconds"]}
+                {k: e[k] for k in ("name", "threads", "cache", "wall_seconds")
+                 if k in e}
                 for e in data.get("benches", [])
             ],
         }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 verify, exactly as CI runs it (see .github/workflows/ci.yml):
-# configure, build everything, run every test suite. Run from the repo root:
+# format gate, configure, build everything, run every test suite. Run from
+# the repo root:
 #
 #   scripts/check_build.sh [build-dir]
 #
@@ -8,18 +9,73 @@
 #
 #   SANITIZE=address scripts/check_build.sh build-asan   # ASan + UBSan
 #   SANITIZE=thread  scripts/check_build.sh build-tsan   # TSan
+#   CXX=clang++      scripts/check_build.sh build-clang  # compiler leg
+#   FORMAT=require FORMAT_ONLY=1 scripts/check_build.sh  # format gate only
 #
 # SANITIZE maps onto the PRIVID_SANITIZE CMake option; sanitizer builds are
 # Debug-ish (RelWithDebInfo) so stacks stay readable. TEST_FILTER, when set,
 # is passed to `ctest -R` — the TSan job uses it to run the concurrency-
 # relevant suites (thread pool, executor, engine) rather than the world.
-# CMAKE_CXX_COMPILER_LAUNCHER (e.g. ccache) is forwarded when set.
+# CXX, when set, picks the compiler (-DCMAKE_CXX_COMPILER) so the gcc and
+# clang CI legs share this script. CMAKE_CXX_COMPILER_LAUNCHER (e.g.
+# ccache) is forwarded when set, and its hit-rate stats are printed at the
+# end of the run. PRIVID_CACHE (off/shared/per-query) flows through to the
+# test processes — the CI cache-equivalence job replays suites under
+# different cache modes this way.
+#
+# FORMAT controls the clang-format gate (pinned to clang-format-18 because
+# formatting drifts across majors):
+#   check   (default) run the gate if clang-format-18 is installed; print a
+#           loud notice — never a silent skip — when it is not
+#   require run the gate; FAIL FAST if clang-format-18 is missing (CI)
+#   skip    don't run the gate
+# FORMAT_ONLY=1 exits right after the gate (the CI format job).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SANITIZE="${SANITIZE:-}"
 TEST_FILTER="${TEST_FILTER:-}"
+FORMAT="${FORMAT:-check}"
+FORMAT_ONLY="${FORMAT_ONLY:-}"
 
+# ------------------------------------------------------------ format gate
+run_format_gate() {
+  if ! command -v clang-format-18 >/dev/null 2>&1; then
+    case "$FORMAT" in
+      require)
+        echo "check_build.sh: FATAL: clang-format-18 not found but" \
+             "FORMAT=require — install it (apt-get install clang-format-18)" \
+             "or rerun with FORMAT=skip" >&2
+        exit 2
+        ;;
+      *)
+        echo "check_build.sh: NOTICE: clang-format-18 not found;" \
+             "SKIPPING the format gate (CI will still enforce it —" \
+             "set FORMAT=require to fail fast here instead)" >&2
+        return 0
+        ;;
+    esac
+  fi
+  echo "check_build.sh: running clang-format gate ($(clang-format-18 --version))"
+  find src tests bench examples \
+    \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+    xargs -0 clang-format-18 --dry-run -Werror
+}
+
+case "$FORMAT" in
+  check|require) run_format_gate ;;
+  skip) ;;
+  *)
+    echo "check_build.sh: FORMAT must be 'check', 'require' or 'skip'" >&2
+    exit 2
+    ;;
+esac
+if [[ -n "$FORMAT_ONLY" ]]; then
+  echo "check_build.sh: FORMAT_ONLY set; stopping after the format gate"
+  exit 0
+fi
+
+# ------------------------------------------------------- configure flags
 # Always passed (even when empty) so a reused build dir can't keep a stale
 # sanitizer setting from its CMake cache.
 CMAKE_ARGS=("-DPRIVID_SANITIZE=$SANITIZE")
@@ -42,17 +98,37 @@ case "$SANITIZE" in
     exit 2
     ;;
 esac
+if [[ -n "${CXX:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")
+fi
 if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
   CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER_LAUNCHER=${CMAKE_CXX_COMPILER_LAUNCHER}")
 fi
 
+# --------------------------------------------------------- build and test
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-cd "$BUILD_DIR"
-if [[ -n "$TEST_FILTER" ]]; then
-  # --no-tests=error: a filter that matches nothing (e.g. after a suite
-  # rename) must fail the job, not silently race-check zero tests.
-  ctest --output-on-failure -j "$(nproc)" -R "$TEST_FILTER" --no-tests=error
-else
-  ctest --output-on-failure -j "$(nproc)"
+(
+  cd "$BUILD_DIR"
+  if [[ -n "$TEST_FILTER" ]]; then
+    # --no-tests=error: a filter that matches nothing (e.g. after a suite
+    # rename) must fail the job, not silently race-check zero tests.
+    ctest --output-on-failure -j "$(nproc)" -R "$TEST_FILTER" --no-tests=error
+  else
+    ctest --output-on-failure -j "$(nproc)"
+  fi
+)
+
+# ------------------------------------------------------------ ccache stats
+# Printed at the end of every job so cache efficacy is visible in the log;
+# a cold cache on a PR that should have hit warns that the CI cache key or
+# the launcher forwarding broke.
+if [[ "${CMAKE_CXX_COMPILER_LAUNCHER:-}" == *ccache* ]]; then
+  if command -v ccache >/dev/null 2>&1; then
+    echo "check_build.sh: ccache stats for this run:"
+    ccache -s | grep -Ei "hit|miss|cache size" || ccache -s
+  else
+    echo "check_build.sh: CMAKE_CXX_COMPILER_LAUNCHER mentions ccache but" \
+         "no ccache binary is on PATH — builds ran unlaunched" >&2
+  fi
 fi

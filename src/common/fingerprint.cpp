@@ -1,0 +1,64 @@
+#include "common/fingerprint.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace privid {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+// Lane 1 uses the standard FNV-1a offset basis; lane 2 a distinct basis so
+// the lanes decorrelate despite sharing the byte stream.
+constexpr std::uint64_t kBasisHi = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kBasisLo = 0x9AE16A3B2F90404Full;
+
+// Field type tags: framing bytes that keep differently-typed values with
+// identical payloads (and adjacent variable-length fields) from colliding.
+constexpr std::uint8_t kTagU64 = 0x01;
+constexpr std::uint8_t kTagI64 = 0x02;
+constexpr std::uint8_t kTagF64 = 0x03;
+constexpr std::uint8_t kTagStr = 0x04;
+}  // namespace
+
+FingerprintBuilder::FingerprintBuilder() : hi_(kBasisHi), lo_(kBasisLo) {}
+
+FingerprintBuilder& FingerprintBuilder::add_bytes(const void* data,
+                                                  std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi_ = (hi_ ^ p[i]) * kFnvPrime;
+    // Lane 2 sees each byte rotated through the running lane-1 state, so
+    // the two lanes never collapse into one 64-bit hash in disguise.
+    lo_ = (lo_ ^ (p[i] + (hi_ >> 56))) * kFnvPrime;
+  }
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::tag(std::uint8_t t) {
+  return add_bytes(&t, 1);
+}
+
+FingerprintBuilder& FingerprintBuilder::add(std::uint64_t v) {
+  tag(kTagU64);
+  return add_bytes(&v, sizeof(v));
+}
+
+FingerprintBuilder& FingerprintBuilder::add(std::int64_t v) {
+  tag(kTagI64);
+  return add_bytes(&v, sizeof(v));
+}
+
+FingerprintBuilder& FingerprintBuilder::add(double v) {
+  tag(kTagF64);
+  auto bits = std::bit_cast<std::uint64_t>(v);
+  return add_bytes(&bits, sizeof(bits));
+}
+
+FingerprintBuilder& FingerprintBuilder::add(const std::string& s) {
+  tag(kTagStr);
+  std::uint64_t n = s.size();
+  add_bytes(&n, sizeof(n));
+  return add_bytes(s.data(), s.size());
+}
+
+}  // namespace privid

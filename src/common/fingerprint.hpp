@@ -1,0 +1,66 @@
+// 128-bit content fingerprints for cache keys.
+//
+// The chunk-output cache (engine/chunk_cache.hpp) keys cached PROCESS rows
+// by a fingerprint of everything that determines them: the canonicalized
+// PROCESS program, the camera identity and content epoch, and the chunk
+// coordinates. A FingerprintBuilder folds typed fields in order — the
+// encoding is length-prefixed and type-tagged, so ("ab", "c") and
+// ("a", "bc") never collide, and neither do a string and the double whose
+// bytes it happens to share.
+//
+// Two independent 64-bit FNV-1a lanes give a 128-bit digest: not
+// cryptographic, but at cache sizes (<< 2^32 entries) an accidental
+// collision — which would serve one chunk's rows for another and silently
+// corrupt releases — is vanishingly unlikely. Future batching/sharding
+// layers should key off this same utility rather than invent new hashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace privid {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+// For unordered_map keying (engine/chunk_cache.hpp). The lanes are already
+// well mixed; folding them is enough.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+// Order-sensitive builder. Copyable: a common pattern is to build a base
+// fingerprint once per query and fork a copy per chunk.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder();
+
+  // Raw bytes, no framing: building block for the typed adders below.
+  FingerprintBuilder& add_bytes(const void* data, std::size_t n);
+
+  FingerprintBuilder& add(std::uint64_t v);
+  FingerprintBuilder& add(std::int64_t v);
+  // Exact bit pattern — 0.0 and -0.0 fingerprint differently, NaNs by
+  // payload. Cache keys must distinguish what the executor distinguishes.
+  FingerprintBuilder& add(double v);
+  // Length-prefixed, so adjacent strings cannot alias.
+  FingerprintBuilder& add(const std::string& s);
+  FingerprintBuilder& add(bool v) { return add(std::uint64_t{v}); }
+
+  Fingerprint digest() const { return {hi_, lo_}; }
+
+ private:
+  FingerprintBuilder& tag(std::uint8_t t);
+
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+};
+
+}  // namespace privid

@@ -1,0 +1,103 @@
+#include "engine/chunk_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace privid::engine {
+
+CacheMode resolve_cache_mode(CacheMode mode) {
+  if (mode != CacheMode::kDefault) return mode;
+  const char* v = std::getenv("PRIVID_CACHE");
+  if (!v || !*v) return CacheMode::kOff;
+  if (std::strcmp(v, "shared") == 0) return CacheMode::kShared;
+  if (std::strcmp(v, "per-query") == 0 || std::strcmp(v, "per_query") == 0) {
+    return CacheMode::kPerQuery;
+  }
+  return CacheMode::kOff;
+}
+
+ChunkCache::ChunkCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+std::size_t ChunkCache::rows_bytes(const std::vector<Row>& rows) {
+  std::size_t bytes = sizeof(Entry);
+  for (const Row& row : rows) {
+    bytes += sizeof(Row) + row.size() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.is_string()) bytes += v.as_string().size();
+    }
+  }
+  return bytes;
+}
+
+bool ChunkCache::lookup(const Fingerprint& key, std::vector<Row>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  *out = it->second->rows;
+  return true;
+}
+
+void ChunkCache::insert(const Fingerprint& key, const std::vector<Row>& rows) {
+  // The row deep-copy happens before the lock so concurrent cold-path
+  // workers serialize only on the pointer splices, not on payload copies.
+  Entry entry{key, rows, rows_bytes(rows)};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry.bytes > byte_budget_) return;  // would evict all for nothing
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: deterministic keys mean the value can only be identical,
+    // but replacing keeps the cache correct even if a caller misuses it.
+    stats_.bytes -= it->second->bytes;
+    stats_.bytes += entry.bytes;
+    *it->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(std::move(entry));
+    index_[key] = lru_.begin();
+    stats_.bytes += lru_.front().bytes;
+    stats_.entries = index_.size();
+  }
+  evict_to_budget_locked();
+}
+
+void ChunkCache::evict_to_budget_locked() {
+  while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = index_.size();
+}
+
+CacheStats ChunkCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ChunkCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+void ChunkCache::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  evict_to_budget_locked();
+}
+
+void ChunkCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace privid::engine

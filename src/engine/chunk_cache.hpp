@@ -1,0 +1,111 @@
+// Chunk-output cache: memoized PROCESS results for repeated and standing
+// queries.
+//
+// Standing queries (§6.1) and overlapping ad-hoc windows re-run the same
+// deterministic per-chunk PROCESS work — each sandbox invocation is a pure
+// function of its ChunkView with a private per-chunk random tape (see
+// engine/sandbox.hpp), so its row output can be memoized exactly like a
+// DAG executor memoizes pure node outputs. The cache stores the
+// *sandboxed* rows (post-coercion, pre-trusted-columns) keyed by a
+// fingerprint of everything that determines them:
+//
+//   (canonical PROCESS program + executable version, camera id, camera
+//    content seed, camera content epoch, chunk index, chunk frame/time
+//    coordinates, mask id, region)
+//
+// Because noise is drawn at release (SELECT) time from the system RNG and
+// the per-chunk tape is keyed by chunk index, serving cached rows leaves
+// releases, sensitivities and budget-ledger charges byte-identical to an
+// uncached run — the same argument that makes the parallel PROCESS phase
+// bit-identical (README "Parallel execution") makes the cached one.
+//
+// Invalidation: owner-side changes that can alter chunk content (mask
+// (re)registration, camera re-tuning) bump the camera's content epoch,
+// which is folded into every key — stale entries are never served and age
+// out of the LRU. Re-registering an executable bumps its registry version
+// with the same effect.
+//
+// The cache is bounded by a byte budget and evicts least-recently-used
+// entries; lookup/insert are mutex-guarded so concurrent PROCESS tasks
+// (RunOptions::num_threads > 1) can share it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.hpp"
+#include "table/table.hpp"
+
+namespace privid::engine {
+
+// RunOptions::cache values. kDefault resolves from the PRIVID_CACHE
+// environment variable ("off", "shared", "per-query"; unset means off) so
+// whole test/bench suites can be replayed under a different cache mode
+// without code changes — CI's cache-equivalence job relies on this.
+enum class CacheMode { kDefault, kOff, kShared, kPerQuery };
+
+// Resolves kDefault against PRIVID_CACHE; other values pass through.
+// Unrecognized env text resolves to kOff (never crash a deployment over a
+// typo; the run is merely uncached).
+CacheMode resolve_cache_mode(CacheMode mode);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  // entries evicted to respect the budget
+  std::size_t bytes = 0;        // current estimated footprint
+  std::size_t entries = 0;      // current entry count
+};
+
+class ChunkCache {
+ public:
+  // Default budget: 64 MiB holds ~years of small-row standing-query
+  // output; owner deployments size it via set_byte_budget.
+  static constexpr std::size_t kDefaultByteBudget = 64u << 20;
+
+  explicit ChunkCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  // On hit copies the rows into *out, refreshes recency and returns true;
+  // on miss returns false. Counts one hit or miss either way.
+  bool lookup(const Fingerprint& key, std::vector<Row>* out);
+
+  // Inserts (or refreshes) the rows under `key`, then evicts LRU entries
+  // until the budget holds. Rows larger than the whole budget are not
+  // cached at all — inserting them would only churn every other entry.
+  void insert(const Fingerprint& key, const std::vector<Row>& rows);
+
+  CacheStats stats() const;
+
+  std::size_t byte_budget() const;
+  // Shrinks/grows the budget; shrinking evicts down immediately.
+  void set_byte_budget(std::size_t bytes);
+
+  // Drops every entry (budget and cumulative counters are kept).
+  void clear();
+
+  // Estimated footprint of one cached value: cell payloads plus container
+  // overhead. An estimate is fine — the budget bounds memory order, not
+  // allocator bytes.
+  static std::size_t rows_bytes(const std::vector<Row>& rows);
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    std::vector<Row> rows;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t byte_budget_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace privid::engine

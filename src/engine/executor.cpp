@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "engine/relexec.hpp"
 #include "privacy/gaussian.hpp"
 #include "privacy/laplace.hpp"
@@ -26,13 +28,49 @@ using sensitivity::TableInfo;
 
 Executor::Executor(std::map<std::string, CameraState>* cameras,
                    const ExecutableRegistry* registry, Rng* noise_rng,
-                   ThreadPool* pool)
+                   ThreadPool* pool, ChunkCache* shared_cache)
     : cameras_(cameras), registry_(registry), noise_rng_(noise_rng),
-      pool_(pool) {
+      pool_(pool), shared_cache_(shared_cache) {
   if (!cameras || !registry || !noise_rng) {
     throw ArgumentError("Executor requires cameras, registry and rng");
   }
 }
+
+namespace {
+
+// Fingerprint of everything that determines one PROCESS statement's
+// per-chunk rows except the chunk coordinates themselves: the canonical
+// program (executable name + registry version, timeout, max_rows, declared
+// schema) and the content source (camera identity, seed, content epoch,
+// mask, region scheme, chunk duration). Window begin/end and stride are
+// deliberately absent — they only select which chunks exist; each chunk's
+// own coordinates are folded per task, so overlapping windows share
+// entries for the chunks they have in common.
+FingerprintBuilder process_fingerprint(const ProcessStmt& p,
+                                       const SplitStmt& s,
+                                       const CameraState& cam,
+                                       std::uint64_t exe_version) {
+  FingerprintBuilder fp;
+  fp.add(p.executable).add(exe_version);
+  fp.add(p.timeout).add(static_cast<std::uint64_t>(p.max_rows));
+  fp.add(static_cast<std::uint64_t>(p.schema.size()));
+  for (const auto& col : p.schema) {
+    fp.add(col.name).add(static_cast<std::uint64_t>(col.type));
+    if (col.default_value.is_number()) {
+      fp.add(col.default_value.as_number());
+    } else {
+      fp.add(col.default_value.as_string());
+    }
+  }
+  fp.add(s.camera).add(cam.content.seed).add(cam.content_epoch);
+  fp.add(static_cast<std::int64_t>(cam.content.porto_camera));
+  fp.add(s.mask_id ? *s.mask_id : std::string());
+  fp.add(s.region_scheme ? *s.region_scheme : std::string());
+  fp.add(s.chunk);
+  return fp;
+}
+
+}  // namespace
 
 Executor::ResolvedSplit Executor::resolve_split(const SplitStmt& s) const {
   auto cam_it = cameras_->find(s.camera);
@@ -97,7 +135,8 @@ sensitivity::TableInfo Executor::table_info(const ProcessStmt& p,
 
 Executor::BoundTable Executor::run_process(const ProcessStmt& p,
                                            const SplitStmt& s,
-                                           const RunOptions& opts) {
+                                           const RunOptions& opts,
+                                           ChunkCache* cache) {
   ResolvedSplit rs = resolve_split(s);
   CameraState& cam = *rs.cam;
   const Executable& exe = registry_->get(p.executable);
@@ -125,18 +164,45 @@ Executor::BoundTable Executor::run_process(const ProcessStmt& p,
   std::size_t n_regions = rs.scheme ? rs.scheme->region_count() : 1;
   const std::size_t n_tasks = chunks.size() * n_regions;
 
+  // Base cache key for this PROCESS statement; each task forks it and adds
+  // its own chunk/region coordinates.
+  FingerprintBuilder base_key;
+  if (cache != nullptr) {
+    base_key =
+        process_fingerprint(p, s, cam, registry_->version(p.executable));
+  }
+
   // One task per chunk x region, in the sequential nesting order (chunks
   // outer, regions inner). Each sandbox invocation is a pure function of
   // its ChunkView with a private per-chunk tape, so tasks can run on any
   // thread; task i writes only slot i and the table is assembled from the
   // slots in order, making the result bit-identical to num_threads = 1.
+  // The same purity makes the chunk cache exact: a cached task's sandbox
+  // rows are byte-identical to recomputed ones, and the trusted columns
+  // are appended outside the cache either way.
   auto run_one = [&](std::size_t task) {
     const auto& chunk = chunks[task / n_regions];
     const std::size_t r = task % n_regions;
     const Region* region = rs.scheme ? &rs.scheme->region(r) : nullptr;
-    ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
-                   chunk.frames, rs.mask, region);
-    auto rows = run_sandboxed(exe, view, sandbox);
+    std::vector<Row> rows;
+    Fingerprint key;
+    bool cached = false;
+    if (cache != nullptr) {
+      FingerprintBuilder task_key = base_key;
+      task_key.add(static_cast<std::uint64_t>(chunk.index));
+      task_key.add(chunk.time.begin).add(chunk.time.end);
+      task_key.add(static_cast<std::int64_t>(chunk.frames.begin));
+      task_key.add(static_cast<std::int64_t>(chunk.frames.end));
+      task_key.add(region ? region->name : std::string());
+      key = task_key.digest();
+      cached = cache->lookup(key, &rows);
+    }
+    if (!cached) {
+      ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
+                     chunk.frames, rs.mask, region);
+      rows = run_sandboxed(exe, view, sandbox);
+      if (cache != nullptr) cache->insert(key, rows);
+    }
     for (auto& row : rows) {
       row.emplace_back(chunk.time.begin);               // chunk
       if (rs.scheme) row.emplace_back(region->name);    // region
@@ -422,12 +488,40 @@ QueryResult Executor::run(const ParsedQuery& q, const RunOptions& opts) {
   std::map<std::string, const SplitStmt*> splits;
   for (const auto& s : q.splits) splits[s.into] = &s;
 
+  // Resolve the cache serving this run. kPerQuery deduplicates only within
+  // the query (several PROCESS statements over the same chunk set) and is
+  // discarded with the run.
+  ChunkCache* cache = nullptr;
+  std::optional<ChunkCache> per_query;
+  switch (resolve_cache_mode(opts.cache)) {
+    case CacheMode::kOff:
+      break;
+    case CacheMode::kShared:
+      cache = shared_cache_;
+      break;
+    case CacheMode::kPerQuery:
+      per_query.emplace();
+      cache = &*per_query;
+      break;
+    case CacheMode::kDefault:
+      break;  // unreachable: resolve_cache_mode never returns kDefault
+  }
+  const CacheStats before = cache ? cache->stats() : CacheStats{};
+
   QueryResult result;
   std::map<std::string, BoundTable> tables;
   for (const auto& p : q.processes) {
     const SplitStmt* s = splits.at(p.chunk_set);
-    tables.emplace(p.into, run_process(p, *s, opts));
+    tables.emplace(p.into, run_process(p, *s, opts, cache));
     result.table_rows[p.into] = tables.at(p.into).data.row_count();
+  }
+  if (cache != nullptr) {
+    const CacheStats after = cache->stats();
+    result.cache.hits = after.hits - before.hits;
+    result.cache.misses = after.misses - before.misses;
+    result.cache.evictions = after.evictions - before.evictions;
+    result.cache.bytes = after.bytes;
+    result.cache.entries = after.entries;
   }
   for (const auto& s : q.selects) {
     run_select(s, tables, opts, &result);

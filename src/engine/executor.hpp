@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/chunk_cache.hpp"
 #include "engine/registry.hpp"
 #include "engine/sandbox.hpp"
 #include "privacy/budget.hpp"
@@ -47,6 +48,11 @@ struct CameraState {
   std::map<std::string, MaskEntry> masks;
   std::map<std::string, RegionScheme> regions;
   std::unique_ptr<BudgetLedger> ledger;  // created at registration
+  // Bumped by owner-side changes that can alter what PROCESS sees for a
+  // chunk (mask (re)registration, camera re-tuning). The chunk-output
+  // cache folds it into every key, so a bump atomically invalidates all of
+  // this camera's cached rows without scanning the cache.
+  std::uint64_t content_epoch = 0;
 };
 
 struct RunOptions {
@@ -67,6 +73,14 @@ struct RunOptions {
   // a pre-sized output slot and its private per-chunk random tape, and the
   // rows are assembled in sequential order (see common/thread_pool.hpp).
   std::size_t num_threads = 1;
+  // Chunk-output caching (see engine/chunk_cache.hpp): kOff recomputes
+  // every chunk, kShared consults the executor's shared cache (the Privid
+  // facade passes its process-wide one), kPerQuery uses a throwaway cache
+  // that only deduplicates within this query (identical chunk sets feeding
+  // several PROCESS statements). kDefault resolves from the PRIVID_CACHE
+  // env var, off when unset. Caching never changes results: releases,
+  // sensitivities and budget charges are byte-identical in every mode.
+  CacheMode cache = CacheMode::kDefault;
 };
 
 struct Release {
@@ -84,6 +98,11 @@ struct Release {
 struct QueryResult {
   std::vector<Release> releases;
   std::map<std::string, std::size_t> table_rows;  // diagnostics
+  // Chunk-cache activity attributable to this run (all-zero when the run
+  // was uncached). For a shared cache the hit/miss/eviction deltas are
+  // exact only while queries run one at a time; bytes/entries are the
+  // cache's state right after the run.
+  CacheStats cache;
 };
 
 // Dry-run planning: what a query would cost and whether it would be
@@ -117,9 +136,12 @@ class Executor {
  public:
   // `pool` (optional, non-owning) serves RunOptions::num_threads > 1; when
   // null every query runs on the calling thread regardless of the option.
+  // `shared_cache` (optional, non-owning) serves CacheMode::kShared; when
+  // null a kShared run degrades to uncached (kPerQuery still works — the
+  // executor owns that cache for the duration of the run).
   Executor(std::map<std::string, CameraState>* cameras,
            const ExecutableRegistry* registry, Rng* noise_rng,
-           ThreadPool* pool = nullptr);
+           ThreadPool* pool = nullptr, ChunkCache* shared_cache = nullptr);
 
   QueryResult run(const query::ParsedQuery& q, const RunOptions& opts);
 
@@ -149,7 +171,8 @@ class Executor {
                                     const ResolvedSplit& rs) const;
 
   BoundTable run_process(const query::ProcessStmt& p,
-                         const query::SplitStmt& s, const RunOptions& opts);
+                         const query::SplitStmt& s, const RunOptions& opts,
+                         ChunkCache* cache);
   void run_select(const query::SelectStmt& s,
                   const std::map<std::string, BoundTable>& tables,
                   const RunOptions& opts, QueryResult* out);
@@ -160,6 +183,7 @@ class Executor {
   const ExecutableRegistry* registry_;
   Rng* noise_rng_;
   ThreadPool* pool_;
+  ChunkCache* shared_cache_;
 };
 
 }  // namespace privid::engine

@@ -5,7 +5,8 @@
 
 namespace privid::engine {
 
-Privid::Privid(std::uint64_t noise_seed) : noise_rng_(noise_seed) {}
+Privid::Privid(std::uint64_t noise_seed)
+    : noise_rng_(noise_seed), cache_(std::make_unique<ChunkCache>()) {}
 
 void Privid::register_camera(CameraRegistration reg) {
   const std::string id = reg.meta.camera_id;  // copy: reg.meta is moved below
@@ -34,6 +35,34 @@ void Privid::register_executable(const std::string& name, Executable exe) {
   registry_.add(name, std::move(exe));
 }
 
+void Privid::register_mask(const std::string& camera,
+                           const std::string& mask_id, MaskEntry entry) {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) {
+    throw LookupError("unknown camera '" + camera + "'");
+  }
+  if (mask_id.empty()) throw ArgumentError("mask id must be non-empty");
+  if (entry.policy.rho < 0 || entry.policy.k < 1) {
+    throw ArgumentError("mask policy requires rho >= 0 and K >= 1");
+  }
+  auto& cam = it->second;
+  cam.masks.insert_or_assign(mask_id, std::move(entry));
+  ++cam.content_epoch;  // invalidate this camera's cached chunk outputs
+}
+
+void Privid::retune_camera(const std::string& camera,
+                           sensitivity::Policy policy) {
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) {
+    throw LookupError("unknown camera '" + camera + "'");
+  }
+  if (policy.rho < 0 || policy.k < 1) {
+    throw ArgumentError("camera policy requires rho >= 0 and K >= 1");
+  }
+  it->second.policy = policy;
+  ++it->second.content_epoch;
+}
+
 bool Privid::has_camera(const std::string& id) const {
   return cameras_.count(id) != 0;
 }
@@ -56,7 +85,8 @@ ThreadPool* Privid::pool_for(std::size_t num_threads) {
 }
 
 QueryResult Privid::execute(const query::ParsedQuery& q, RunOptions opts) {
-  Executor exec(&cameras_, &registry_, &noise_rng_, pool_for(opts.num_threads));
+  Executor exec(&cameras_, &registry_, &noise_rng_, pool_for(opts.num_threads),
+                cache_.get());
   return exec.run(q, opts);
 }
 

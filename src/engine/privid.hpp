@@ -45,6 +45,18 @@ class Privid {
   void register_camera(CameraRegistration reg);
   void register_executable(const std::string& name, Executable exe);
 
+  // Publishes (or replaces) a mask after camera registration. Bumps the
+  // camera's content epoch: every chunk-cache entry for this camera is
+  // invalidated, because a replaced mask changes what PROCESS sees.
+  void register_mask(const std::string& camera, const std::string& mask_id,
+                     MaskEntry entry);
+  // Owner-side re-tuning: replaces the camera's unmasked (ρ, K) policy and
+  // bumps the content epoch. The epoch bump is deliberately conservative —
+  // re-tuning usually accompanies detector/content changes, and a stale
+  // cached row is a correctness bug while a recomputed one is only a
+  // cache miss.
+  void retune_camera(const std::string& camera, sensitivity::Policy policy);
+
   bool has_camera(const std::string& id) const;
 
   // Parses, validates and executes a query. Throws ParseError /
@@ -75,6 +87,14 @@ class Privid {
 
   const VideoMeta& camera_meta(const std::string& camera) const;
 
+  // The process-wide chunk-output cache, shared by every query this
+  // instance executes with CacheMode::kShared (standing queries included).
+  // Exposed so owners can size it (set_byte_budget) or drop it wholesale.
+  ChunkCache& chunk_cache() { return *cache_; }
+  // Cumulative hit/miss/eviction counters and current footprint of the
+  // shared cache — the observability hook tests and benches assert on.
+  CacheStats cache_stats() const { return cache_->stats(); }
+
  private:
   // Lazily-created shared worker pool serving every query (ad-hoc and
   // standing) whose RunOptions::num_threads resolves to > 1. Re-created
@@ -85,6 +105,7 @@ class Privid {
   ExecutableRegistry registry_;
   Rng noise_rng_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ChunkCache> cache_;
 };
 
 }  // namespace privid::engine

@@ -6,7 +6,9 @@ namespace privid::engine {
 
 void ExecutableRegistry::add(const std::string& name, Executable exe) {
   if (!exe) throw ArgumentError("null executable '" + name + "'");
-  exes_[name] = std::move(exe);
+  Slot& slot = exes_[name];
+  slot.exe = std::move(exe);
+  ++slot.version;
 }
 
 bool ExecutableRegistry::has(const std::string& name) const {
@@ -18,7 +20,12 @@ const Executable& ExecutableRegistry::get(const std::string& name) const {
   if (it == exes_.end()) {
     throw LookupError("no executable named '" + name + "'");
   }
-  return it->second;
+  return it->second.exe;
+}
+
+std::uint64_t ExecutableRegistry::version(const std::string& name) const {
+  auto it = exes_.find(name);
+  return it == exes_.end() ? 0 : it->second.version;
 }
 
 }  // namespace privid::engine

@@ -2,6 +2,7 @@
 // statement and the analyst-supplied chunk-processing function.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -11,14 +12,22 @@ namespace privid::engine {
 
 class ExecutableRegistry {
  public:
-  // Registers (or replaces) an executable under `name`.
+  // Registers (or replaces) an executable under `name`. Each add bumps the
+  // name's version: the chunk-output cache folds it into its keys, so
+  // replacing an executable can never serve the old function's cached rows.
   void add(const std::string& name, Executable exe);
   bool has(const std::string& name) const;
   const Executable& get(const std::string& name) const;  // throws LookupError
+  // Monotonic per-name registration counter; 0 for unknown names.
+  std::uint64_t version(const std::string& name) const;
   std::size_t size() const { return exes_.size(); }
 
  private:
-  std::map<std::string, Executable> exes_;
+  struct Slot {
+    Executable exe;
+    std::uint64_t version = 0;
+  };
+  std::map<std::string, Slot> exes_;
 };
 
 }  // namespace privid::engine

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/privid.hpp"
+#include "query/ast.hpp"
 
 namespace privid::engine {
 
@@ -50,11 +51,35 @@ class StandingQuery {
   Seconds next_due() const { return cursor_ + spec_.period; }
   std::size_t periods_executed() const { return executed_; }
 
+  // True when the template was parsed once at construction and each period
+  // merely rebinds the SPLIT windows (the fast path). False when a
+  // placeholder appears somewhere other than a SPLIT BEGIN/END — then each
+  // period substitutes and re-parses the text, as the original
+  // implementation always did. Exposed for tests.
+  bool plan_hoisted() const { return hoisted_; }
+
  private:
+  // One SPLIT field fed by a placeholder: splits[split_index].{begin|end}
+  // receives the period's {BEGIN} or {END} value.
+  struct WindowBinding {
+    std::size_t split_index = 0;
+    bool field_is_begin = true;  // which SplitStmt field to rebind
+    bool takes_begin = true;     // which placeholder feeds it
+  };
+  void hoist_template();
+
   Privid* system_;
   Spec spec_;
   Seconds cursor_;
   std::size_t executed_ = 0;
+
+  // The hoisted plan: the template parsed once, with the placeholder-fed
+  // SPLIT fields recorded so advance() rebinds them per period instead of
+  // re-substituting and re-parsing the text. Parsing once is what lets the
+  // chunk cache see one canonical PROCESS program across all periods.
+  bool hoisted_ = false;
+  query::ParsedQuery plan_;
+  std::vector<WindowBinding> bindings_;
 };
 
 // Replaces every "{BEGIN}" / "{END}" in `text` (exposed for tests).

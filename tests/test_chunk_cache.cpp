@@ -1,0 +1,539 @@
+// Chunk-output cache tests: fingerprint framing, LRU eviction at the byte
+// budget, hit/miss stats, epoch invalidation on mask re-registration and
+// re-tuning, and the core guarantee — releases, sensitivities and
+// budget-ledger charges are bit-identical with the cache off vs. shared
+// (and per-query) at any thread count, on grouped, keyed and standing
+// queries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "engine/chunk_cache.hpp"
+#include "engine/privid.hpp"
+#include "engine/standing.hpp"
+#include "sim/scenarios.hpp"
+
+namespace privid::engine {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+// Deterministic scene: `n` people crossing one at a time, each visible for
+// 10 s, one every 20 s starting at t = 5 (same shape as test_engine.cpp).
+std::shared_ptr<sim::Scene> staircase_scene(int n) {
+  VideoMeta m;
+  m.camera_id = "cam";
+  m.fps = 10;
+  m.width = 1280;
+  m.height = 720;
+  m.extent = {0, 20.0 * n + 20};
+  auto s = std::make_shared<sim::Scene>(m);
+  for (int i = 0; i < n; ++i) {
+    sim::Entity e;
+    e.id = i + 1;
+    e.cls = sim::EntityClass::kPerson;
+    e.appearance_feature.assign(8, 0.1);
+    double t0 = 5.0 + 20.0 * i;
+    e.appearances.push_back(sim::Trajectory::linear(
+        t0, t0 + 10, Box{0, 300, 60, 120}, Box{1200, 300, 60, 120}));
+    s->add_entity(e);
+  }
+  return s;
+}
+
+Executable counting_exe() {
+  return [](const ChunkView& view) {
+    ExecOutput out;
+    cv::DetectorConfig det;
+    det.base_detect_prob = 0.98;
+    det.false_positives_per_frame = 0;
+    double mid = view.time().begin + view.time().duration() / 2;
+    for (const auto& d : view.detect(det, mid)) {
+      (void)d;
+      out.rows.push_back({Value(1.0)});
+    }
+    out.simulated_runtime = 0.1;
+    return out;
+  };
+}
+
+// Emits one string-keyed row per chunk so keyed GROUP BY queries have
+// something to group on; the parity key exercises per-chunk determinism.
+Executable parity_exe() {
+  return [](const ChunkView& view) {
+    ExecOutput out;
+    out.rows.push_back(
+        {Value(view.chunk_index() % 2 == 0 ? "even" : "odd"), Value(1.0)});
+    out.simulated_runtime = 0.1;
+    return out;
+  };
+}
+
+Privid make_system(int n_people = 5, double rho = 10, int k = 1,
+                   double budget = 100, std::uint64_t noise_seed = 7) {
+  Privid sys(noise_seed);
+  auto scene = staircase_scene(n_people);
+  CameraRegistration reg;
+  reg.meta = scene->meta();
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {rho, k};
+  reg.epsilon_budget = budget;
+  Mask top(1280, 720, 64, 36);
+  top.mask_box(Box{0, 0, 1280, 120});
+  reg.masks.emplace("top_strip", MaskEntry{top, {rho / 2, k}});
+  sys.register_camera(std::move(reg));
+  sys.register_executable("count", counting_exe());
+  sys.register_executable("parity", parity_exe());
+  return sys;
+}
+
+constexpr const char* kGroupedQuery =
+    "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 INTO c;"
+    "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+    "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+    "SELECT COUNT(*) FROM t GROUP BY hour(chunk);";
+
+constexpr const char* kKeyedQuery =
+    "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 INTO c;"
+    "PROCESS c USING parity TIMEOUT 1 PRODUCING 1 ROWS "
+    "WITH SCHEMA (side:STRING=\"even\", n:NUMBER=0) INTO t;"
+    "SELECT side, COUNT(*) FROM t GROUP BY side WITH KEYS "
+    "[\"even\", \"odd\"];";
+
+void expect_releases_identical(const std::vector<Release>& a,
+                               const std::vector<Release>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].group_key, b[i].group_key);
+    EXPECT_EQ(a[i].value, b[i].value);  // bit-identical, not approximate
+    EXPECT_EQ(a[i].raw, b[i].raw);
+    EXPECT_EQ(a[i].sensitivity, b[i].sensitivity);
+    EXPECT_EQ(a[i].epsilon, b[i].epsilon);
+    EXPECT_EQ(a[i].argmax_key, b[i].argmax_key);
+  }
+}
+
+Fingerprint key_of(std::uint64_t i) {
+  FingerprintBuilder fp;
+  fp.add(i);
+  return fp.digest();
+}
+
+// A cached value whose footprint is dominated by `payload` string bytes.
+std::vector<Row> rows_with_payload(std::size_t payload) {
+  return {Row{Value(std::string(payload, 'x'))}};
+}
+
+// -------------------------------------------------------- fingerprints
+
+TEST(Fingerprint, FramingPreventsAliasing) {
+  FingerprintBuilder ab_c, a_bc;
+  ab_c.add(std::string("ab")).add(std::string("c"));
+  a_bc.add(std::string("a")).add(std::string("bc"));
+  EXPECT_FALSE(ab_c.digest() == a_bc.digest());
+
+  // Same payload bits, different types.
+  FingerprintBuilder as_u64, as_f64;
+  as_u64.add(std::uint64_t{0});
+  as_f64.add(0.0);
+  EXPECT_FALSE(as_u64.digest() == as_f64.digest());
+}
+
+TEST(Fingerprint, OrderAndValueSensitive) {
+  FingerprintBuilder ab, ba;
+  ab.add(std::uint64_t{1}).add(std::uint64_t{2});
+  ba.add(std::uint64_t{2}).add(std::uint64_t{1});
+  EXPECT_FALSE(ab.digest() == ba.digest());
+  EXPECT_EQ(key_of(42), key_of(42));
+  EXPECT_FALSE(key_of(42) == key_of(43));
+}
+
+// -------------------------------------------------------- cache basics
+
+TEST(ChunkCache, HitMissStats) {
+  ChunkCache cache(1 << 20);
+  std::vector<Row> out;
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+  cache.insert(key_of(1), rows_with_payload(16));
+  EXPECT_TRUE(cache.lookup(key_of(1), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].as_string(), std::string(16, 'x'));
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 16u);
+}
+
+TEST(ChunkCache, LruEvictionAtByteBudget) {
+  // Budget sized for exactly two payload-1KiB entries.
+  const std::size_t entry = ChunkCache::rows_bytes(rows_with_payload(1024));
+  ChunkCache cache(2 * entry);
+  cache.insert(key_of(1), rows_with_payload(1024));
+  cache.insert(key_of(2), rows_with_payload(1024));
+  std::vector<Row> out;
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));  // 1 is now most recent
+  cache.insert(key_of(3), rows_with_payload(1024));
+
+  EXPECT_FALSE(cache.lookup(key_of(2), &out));  // LRU victim
+  EXPECT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_TRUE(cache.lookup(key_of(3), &out));
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.bytes, 2 * entry);
+}
+
+TEST(ChunkCache, OversizeValueIsNotCached) {
+  ChunkCache cache(64);
+  cache.insert(key_of(1), rows_with_payload(4096));
+  std::vector<Row> out;
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ChunkCache, ShrinkingBudgetEvictsDown) {
+  ChunkCache cache(1 << 20);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    cache.insert(key_of(i), rows_with_payload(1024));
+  }
+  EXPECT_EQ(cache.stats().entries, 8u);
+  cache.set_byte_budget(3 * ChunkCache::rows_bytes(rows_with_payload(1024)));
+  EXPECT_LE(cache.stats().entries, 3u);
+  EXPECT_GE(cache.stats().evictions, 5u);
+  // The survivors are the most recently inserted.
+  std::vector<Row> out;
+  EXPECT_TRUE(cache.lookup(key_of(7), &out));
+  EXPECT_FALSE(cache.lookup(key_of(0), &out));
+}
+
+TEST(ChunkCache, ClearKeepsCounters) {
+  ChunkCache cache(1 << 20);
+  cache.insert(key_of(1), rows_with_payload(8));
+  std::vector<Row> out;
+  EXPECT_TRUE(cache.lookup(key_of(1), &out));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // cumulative counters survive
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+}
+
+TEST(ChunkCache, EnvResolution) {
+  EXPECT_EQ(resolve_cache_mode(CacheMode::kOff), CacheMode::kOff);
+  EXPECT_EQ(resolve_cache_mode(CacheMode::kShared), CacheMode::kShared);
+  EXPECT_EQ(resolve_cache_mode(CacheMode::kPerQuery), CacheMode::kPerQuery);
+  // kDefault follows PRIVID_CACHE; with the variable unset it must be off.
+  if (!std::getenv("PRIVID_CACHE")) {
+    EXPECT_EQ(resolve_cache_mode(CacheMode::kDefault), CacheMode::kOff);
+  }
+}
+
+// ------------------------------------------------- facade integration
+
+TEST(ChunkCache, SharedModeHitsOnRepeatedQuery) {
+  Privid sys = make_system();
+  RunOptions opts;
+  opts.cache = CacheMode::kShared;
+  auto cold = sys.execute(kGroupedQuery, opts);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, 20u);  // 100 s / 5 s chunks
+  auto warm = sys.execute(kGroupedQuery, opts);
+  EXPECT_EQ(warm.cache.hits, 20u);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  CacheStats s = sys.cache_stats();
+  EXPECT_EQ(s.hits, 20u);
+  EXPECT_EQ(s.misses, 20u);
+  EXPECT_EQ(s.entries, 20u);
+}
+
+TEST(ChunkCache, PerQueryModeDeduplicatesWithinOneQuery) {
+  // Two PROCESS statements over the same chunk set and executable: the
+  // second is served from the per-query cache, and nothing leaks into the
+  // facade's shared cache.
+  constexpr const char* kTwoProcess =
+      "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t1;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t2;"
+      "SELECT COUNT(*) FROM t1; SELECT COUNT(*) FROM t2;";
+  Privid cached = make_system();
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.cache = CacheMode::kPerQuery;
+  auto result = cached.execute(kTwoProcess, opts);
+  EXPECT_EQ(result.cache.misses, 20u);
+  EXPECT_EQ(result.cache.hits, 20u);
+  EXPECT_EQ(cached.cache_stats().entries, 0u);  // shared cache untouched
+
+  Privid uncached = make_system();
+  RunOptions off = opts;
+  off.cache = CacheMode::kOff;
+  expect_releases_identical(uncached.execute(kTwoProcess, off).releases,
+                            result.releases);
+}
+
+// --------------------------------------------------- the core guarantee
+
+// Releases (raw, sensitivity *and* noise), table rows and ledger charges
+// must be byte-identical with the cache off vs. shared, cold and warm, at
+// 1 and 4 and all-hardware threads, on grouped and keyed queries.
+TEST(CacheEquivalence, BitIdenticalOffVsSharedAcrossThreads) {
+  for (const char* query : {kGroupedQuery, kKeyedQuery}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                std::size_t{0}}) {
+      Privid off_sys = make_system();
+      Privid shared_sys = make_system();
+      RunOptions off;
+      off.reveal_raw = true;
+      off.num_threads = threads;
+      off.cache = CacheMode::kOff;
+      RunOptions shared = off;
+      shared.cache = CacheMode::kShared;
+
+      // Same query twice on each system: the second shared run is warm.
+      auto off1 = off_sys.execute(query, off);
+      auto off2 = off_sys.execute(query, off);
+      auto shared1 = shared_sys.execute(query, shared);
+      auto shared2 = shared_sys.execute(query, shared);
+      EXPECT_GT(shared2.cache.hits, 0u);
+      EXPECT_EQ(shared2.cache.misses, 0u);
+
+      expect_releases_identical(off1.releases, shared1.releases);
+      expect_releases_identical(off2.releases, shared2.releases);
+      EXPECT_EQ(off1.table_rows, shared1.table_rows);
+      EXPECT_EQ(off2.table_rows, shared2.table_rows);
+      // Ledger charges are identical too: same remaining budget everywhere.
+      for (FrameIndex f : {0, 250, 500, 999}) {
+        EXPECT_EQ(off_sys.remaining_budget("cam", f),
+                  shared_sys.remaining_budget("cam", f));
+      }
+    }
+  }
+}
+
+TEST(CacheEquivalence, MaskedQueryIdenticalAndCached) {
+  constexpr const char* kMasked =
+      "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 WITH MASK top_strip "
+      "INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  Privid off_sys = make_system();
+  Privid shared_sys = make_system();
+  RunOptions off;
+  off.reveal_raw = true;
+  off.cache = CacheMode::kOff;
+  RunOptions shared = off;
+  shared.cache = CacheMode::kShared;
+  // Unmasked then masked: the mask id is part of the key, so the masked
+  // run must not reuse unmasked rows.
+  auto off_plain = off_sys.execute(kGroupedQuery, off);
+  auto off_masked = off_sys.execute(kMasked, off);
+  auto shared_plain = shared_sys.execute(kGroupedQuery, shared);
+  auto shared_masked = shared_sys.execute(kMasked, shared);
+  EXPECT_EQ(shared_masked.cache.hits, 0u);  // distinct key space
+  expect_releases_identical(off_plain.releases, shared_plain.releases);
+  expect_releases_identical(off_masked.releases, shared_masked.releases);
+}
+
+// ------------------------------------------------------- invalidation
+
+TEST(CacheInvalidation, MaskReRegistrationBumpsEpoch) {
+  constexpr const char* kMasked =
+      "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 WITH MASK top_strip "
+      "INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  Privid sys = make_system();
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.cache = CacheMode::kShared;
+  auto before = sys.execute(kMasked, opts);
+  EXPECT_GT(before.releases[0].raw, 0.0);  // people visible at y=300
+
+  // Replace top_strip with a mask that blocks the whole frame: cached rows
+  // for the old mask must not be served.
+  Mask full(1280, 720, 64, 36);
+  full.mask_box(Box{0, 0, 1280, 720});
+  sys.register_mask("cam", "top_strip", MaskEntry{full, {5, 1}});
+  auto after = sys.execute(kMasked, opts);
+  EXPECT_EQ(after.cache.hits, 0u);  // epoch bumped -> all misses
+  EXPECT_EQ(after.cache.misses, 20u);
+  EXPECT_EQ(after.releases[0].raw, 0.0);  // fully masked: nothing seen
+
+  // Unknown camera / bad policy are rejected.
+  EXPECT_THROW(sys.register_mask("nope", "m", MaskEntry{full, {5, 1}}),
+               LookupError);
+  EXPECT_THROW(sys.register_mask("cam", "m", MaskEntry{full, {-1, 1}}),
+               ArgumentError);
+}
+
+TEST(CacheInvalidation, RetuneCameraBumpsEpoch) {
+  Privid sys = make_system();
+  RunOptions opts;
+  opts.cache = CacheMode::kShared;
+  sys.execute(kGroupedQuery, opts);
+  auto warm = sys.execute(kGroupedQuery, opts);
+  EXPECT_EQ(warm.cache.hits, 20u);
+  sys.retune_camera("cam", {12, 1});
+  auto after = sys.execute(kGroupedQuery, opts);
+  EXPECT_EQ(after.cache.hits, 0u);
+  EXPECT_EQ(after.cache.misses, 20u);
+  EXPECT_THROW(sys.retune_camera("nope", {5, 1}), LookupError);
+}
+
+TEST(CacheInvalidation, ExecutableReplacementBumpsVersion) {
+  constexpr const char* kFlatCount =
+      "SPLIT cam BEGIN 0 END 100 BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;";
+  Privid sys = make_system();
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.cache = CacheMode::kShared;
+  auto before = sys.execute(kFlatCount, opts);
+  ASSERT_EQ(before.releases.size(), 1u);
+  EXPECT_GT(before.releases[0].raw, 0.0);
+  // Replace "count" with an executable that reports nothing: the cached
+  // rows of the old function must be unreachable under the new version.
+  sys.register_executable("count", [](const ChunkView&) {
+    ExecOutput out;
+    out.simulated_runtime = 0.1;
+    return out;
+  });
+  auto after = sys.execute(kFlatCount, opts);
+  EXPECT_EQ(after.cache.hits, 0u);
+  ASSERT_EQ(after.releases.size(), 1u);
+  EXPECT_EQ(after.releases[0].raw, 0.0);
+}
+
+// ---------------------------------------------------- standing queries
+
+constexpr const char* kStandingTemplate =
+    "SPLIT cam BEGIN {BEGIN} END {END} BY TIME 5 STRIDE 0 INTO c;"
+    "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+    "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+    "SELECT COUNT(*) FROM t;";
+
+TEST(StandingCache, WarmReplayServesEveryChunkFromCache) {
+  Privid sys = make_system(5, 10, 1, /*budget=*/50);
+  StandingQuery::Spec spec;
+  spec.query_template = kStandingTemplate;
+  spec.period = 30;
+  spec.opts.reveal_raw = true;
+  spec.opts.cache = CacheMode::kShared;
+
+  StandingQuery cold(&sys, spec);
+  auto cold_releases = cold.advance(90);  // three periods, 6 chunks each
+  ASSERT_EQ(cold_releases.size(), 3u);
+  CacheStats after_cold = sys.cache_stats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_EQ(after_cold.misses, 18u);
+
+  // A second standing query over the same history (re-deployment replay)
+  // pays zero PROCESS work: every chunk is served from the cache, and the
+  // raw aggregates match the cold run exactly.
+  StandingQuery warm(&sys, spec);
+  auto warm_releases = warm.advance(90);
+  ASSERT_EQ(warm_releases.size(), 3u);
+  CacheStats after_warm = sys.cache_stats();
+  EXPECT_EQ(after_warm.hits, 18u);
+  EXPECT_EQ(after_warm.misses, 18u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(warm_releases[i].raw, cold_releases[i].raw);
+    EXPECT_EQ(warm_releases[i].sensitivity, cold_releases[i].sensitivity);
+  }
+}
+
+TEST(StandingCache, OffVsSharedStandingBitIdentical) {
+  // Twin systems, same seed, same advance() sequence: one cached, one not.
+  // Everything the analyst sees — noise included — must be bit-identical,
+  // and so must the ledger.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Privid off_sys = make_system(5, 10, 1, 50);
+    Privid shared_sys = make_system(5, 10, 1, 50);
+    StandingQuery::Spec spec;
+    spec.query_template = kStandingTemplate;
+    spec.period = 30;
+    spec.opts.reveal_raw = true;
+    spec.opts.num_threads = threads;
+
+    spec.opts.cache = CacheMode::kOff;
+    StandingQuery off_q(&off_sys, spec);
+    spec.opts.cache = CacheMode::kShared;
+    StandingQuery shared_q(&shared_sys, spec);
+
+    for (Seconds now : {30.0, 90.0}) {
+      auto a = off_q.advance(now);
+      auto b = shared_q.advance(now);
+      expect_releases_identical(a, b);
+    }
+    for (FrameIndex f : {0, 450, 899}) {
+      EXPECT_EQ(off_sys.remaining_budget("cam", f),
+                shared_sys.remaining_budget("cam", f));
+    }
+  }
+}
+
+TEST(StandingCache, TemplateParseIsHoisted) {
+  Privid sys = make_system(5, 10, 1, 50);
+  StandingQuery::Spec spec;
+  spec.query_template = kStandingTemplate;
+  spec.period = 30;
+  StandingQuery hoisted(&sys, spec);
+  EXPECT_TRUE(hoisted.plan_hoisted());
+  EXPECT_EQ(hoisted.advance(60).size(), 2u);
+}
+
+TEST(StandingCache, PlaceholderOutsideSplitFallsBackAndStaysCorrect) {
+  // {END} also appears in a WHERE literal: the hoisted plan cannot model
+  // that, so the per-period substitute-and-parse path must take over and
+  // produce the same releases as an equivalent hand-substituted query.
+  Privid sys = make_system(5, 10, 1, 50, /*noise_seed=*/21);
+  StandingQuery::Spec spec;
+  spec.query_template =
+      "SPLIT cam BEGIN {BEGIN} END {END} BY TIME 5 STRIDE 0 INTO c;"
+      "PROCESS c USING count TIMEOUT 1 PRODUCING 3 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t WHERE seen < {END};";
+  spec.period = 30;
+  spec.opts.reveal_raw = true;
+  StandingQuery fallback(&sys, spec);
+  EXPECT_FALSE(fallback.plan_hoisted());
+  auto releases = fallback.advance(60);
+  ASSERT_EQ(releases.size(), 2u);
+
+  Privid ref = make_system(5, 10, 1, 50, /*noise_seed=*/21);
+  RunOptions opts;
+  opts.reveal_raw = true;
+  auto r1 = ref.execute(substitute_window(spec.query_template, 0, 30), opts);
+  auto r2 = ref.execute(substitute_window(spec.query_template, 30, 60), opts);
+  EXPECT_EQ(releases[0].value, r1.releases[0].value);
+  EXPECT_EQ(releases[1].value, r2.releases[0].value);
+}
+
+TEST(StandingCache, MalformedTemplateStillThrowsAtAdvance) {
+  Privid sys = make_system(2);
+  StandingQuery::Spec spec;
+  spec.query_template = "{BEGIN} {END} not a query";
+  spec.period = 10;
+  StandingQuery q(&sys, spec);  // constructor must not throw
+  EXPECT_FALSE(q.plan_hoisted());
+  EXPECT_THROW(q.advance(10), Error);
+}
+
+}  // namespace
+}  // namespace privid::engine
