@@ -13,7 +13,7 @@ set -u
 BENCH_DIR="${BENCH_DIR:?set BENCH_DIR to the directory holding bench binaries}"
 OUT_JSON="${OUT_JSON:?set OUT_JSON to the output JSON path}"
 # Benches that honor PRIVID_CACHE and should be recorded at off AND shared.
-CACHE_BENCHES="${CACHE_BENCHES:-bench_standing_cache}"
+CACHE_BENCHES="${CACHE_BENCHES:-bench_standing_cache bench_service_concurrency}"
 
 HW_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 

@@ -6,12 +6,16 @@ CI runs this after `cmake --build build --target bench_all`:
     python3 scripts/bench_compare.py build/BENCH_results.json \
         --baseline bench/bench_baseline.json
 
-Exits non-zero if any figure/table bench run failed, or if any bench's
-wall time regressed more than --tolerance (default 25%) over the baseline.
-Benches below --min-seconds in the baseline are skipped — at that scale the
-timer noise on shared runners exceeds any real regression. Entries present
-on only one side (new bench, or a thread count the baseline host lacked)
-are reported but never fail the job.
+Exits non-zero if any figure/table bench run failed, if any bench's wall
+time regressed more than --tolerance (default 25%) over the baseline, or
+if a baseline entry is missing from the new results — a bench that stops
+running is lost coverage, not a pass, so it fails loudly (drop it from the
+baseline with --update if the removal was intentional). Entries present
+only in the new results (a brand-new bench, or an extra thread count on a
+bigger host) are reported but never fail the job.
+Benches below --min-seconds in the baseline are skipped for the timing
+gate — at that scale the timer noise on shared runners exceeds any real
+regression — but must still be present in the results.
 
 Regenerate the baseline after an intentional perf change:
 
@@ -83,10 +87,14 @@ def main():
         return 1 if failed_runs else 0
 
     regressions = []
+    missing = []
     for key, base in sorted(base_runs.items()):
         cur = runs.get(key)
         if cur is None:
-            print("skip  {}: not in current results".format(key))
+            print("FAIL  {}: in baseline but missing from results — bench "
+                  "coverage was lost (if intentional, regenerate the "
+                  "baseline with --update)".format(key))
+            missing.append(key)
             continue
         base_s = base["wall_seconds"]
         cur_s = cur["wall_seconds"]
@@ -108,7 +116,10 @@ def main():
     if regressions:
         print("\n{} bench(es) regressed more than {:.0f}%".format(
             len(regressions), args.tolerance * 100))
-    if failed_runs or regressions:
+    if missing:
+        print("\n{} baseline bench(es) missing from results".format(
+            len(missing)))
+    if failed_runs or regressions or missing:
         return 1
     print("\nbench_compare: all benches within {:.0f}% of baseline".format(
         args.tolerance * 100))

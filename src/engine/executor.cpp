@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
 #include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
@@ -28,9 +28,10 @@ using sensitivity::TableInfo;
 
 Executor::Executor(std::map<std::string, CameraState>* cameras,
                    const ExecutableRegistry* registry, Rng* noise_rng,
-                   ThreadPool* pool, ChunkCache* shared_cache)
+                   ThreadPool* pool, ChunkCache* shared_cache,
+                   SingleFlight* inflight)
     : cameras_(cameras), registry_(registry), noise_rng_(noise_rng),
-      pool_(pool), shared_cache_(shared_cache) {
+      pool_(pool), shared_cache_(shared_cache), inflight_(inflight) {
   if (!cameras || !registry || !noise_rng) {
     throw ArgumentError("Executor requires cameras, registry and rng");
   }
@@ -70,9 +71,42 @@ FingerprintBuilder process_fingerprint(const ProcessStmt& p,
   return fp;
 }
 
+// A SELECT's per-frame ledger charge: ε x #aggregate projections x
+// Π|WITH KEYS| (see the header comment). Shared by the run path, the
+// planner and admission so the three can never disagree.
+double select_charge_per_frame(const SelectStmt& s, double default_epsilon) {
+  double eps = s.consuming > 0 ? s.consuming : default_epsilon;
+  std::size_t n_aggs = 0;
+  for (const auto& p : s.core.projections) {
+    if (p.agg) ++n_aggs;
+  }
+  double key_product = 1;
+  for (const auto& g : s.core.group_by) {
+    if (!g.keys.empty()) key_product *= static_cast<double>(g.keys.size());
+  }
+  return eps * static_cast<double>(n_aggs) * key_product;
+}
+
+void collect_table_refs(const query::Relation& rel,
+                        std::vector<std::string>* out) {
+  switch (rel.kind) {
+    case query::Relation::Kind::kTableRef:
+      out->push_back(rel.table);
+      return;
+    case query::Relation::Kind::kSelect:
+      collect_table_refs(*rel.select->from, out);
+      return;
+    case query::Relation::Kind::kJoin:
+    case query::Relation::Kind::kUnion:
+      collect_table_refs(*rel.left, out);
+      collect_table_refs(*rel.right, out);
+      return;
+  }
+}
+
 }  // namespace
 
-Executor::ResolvedSplit Executor::resolve_split(const SplitStmt& s) const {
+ResolvedSplit Executor::resolve_split(const SplitStmt& s) const {
   auto cam_it = cameras_->find(s.camera);
   if (cam_it == cameras_->end()) {
     throw LookupError("unknown camera '" + s.camera + "'");
@@ -133,140 +167,242 @@ sensitivity::TableInfo Executor::table_info(const ProcessStmt& p,
   return info;
 }
 
-Executor::BoundTable Executor::run_process(const ProcessStmt& p,
-                                           const SplitStmt& s,
-                                           const RunOptions& opts,
-                                           ChunkCache* cache) {
-  ResolvedSplit rs = resolve_split(s);
-  CameraState& cam = *rs.cam;
-  const Executable& exe = registry_->get(p.executable);
-  auto chunks = make_chunks(cam.meta, rs.window, ChunkSpec{s.chunk, s.stride});
+PreparedQuery Executor::prepare(const ParsedQuery& q, const RunOptions& opts) {
+  query::validate(q);
 
-  // Analyst schema + trusted columns.
-  std::vector<Column> cols;
-  for (const auto& c : p.schema) cols.push_back({c.name, c.type, c.default_value});
-  Schema analyst_schema(cols);
-  cols.push_back({kChunkColumn, DType::kNumber, Value(0.0)});
-  if (rs.scheme) {
-    cols.push_back({kRegionColumn, DType::kString, Value(std::string())});
+  PreparedQuery pq;
+  pq.cameras_ = cameras_;
+  pq.noise_rng_ = noise_rng_;
+  pq.q_ = &q;
+  pq.opts_ = opts;
+  pq.opts_.cache = resolve_cache_mode(opts.cache);
+  pq.inflight_ = inflight_;
+
+  // Resolve the cache serving this run. kPerQuery deduplicates only within
+  // the query (several PROCESS statements over the same chunk set) and is
+  // discarded with the run.
+  switch (pq.opts_.cache) {
+    case CacheMode::kOff:
+      break;
+    case CacheMode::kShared:
+      pq.cache_ = shared_cache_;
+      break;
+    case CacheMode::kPerQuery:
+      pq.per_query_cache_ = std::make_unique<ChunkCache>();
+      pq.cache_ = pq.per_query_cache_.get();
+      break;
+    case CacheMode::kDefault:
+      break;  // unreachable: resolve_cache_mode never returns kDefault
   }
-  cols.push_back({"camera", DType::kString, Value(std::string())});
+  pq.before_ = pq.cache_ ? pq.cache_->stats() : CacheStats{};
 
-  BoundTable bound;
-  bound.camera = s.camera;
-  bound.frames = rs.frames;
-  bound.info = table_info(p, s, rs);
-  bound.data = Table(Schema(cols),
-                     TableProvenance{s.chunk, p.max_rows,
-                                     bound.info.regions_per_event});
+  // Bind SPLITs by chunk-set name and resolve one phase per PROCESS.
+  std::map<std::string, const SplitStmt*> splits;
+  for (const auto& s : q.splits) splits[s.into] = &s;
 
-  SandboxPolicy sandbox{p.timeout, p.max_rows, analyst_schema};
-  std::size_t n_regions = rs.scheme ? rs.scheme->region_count() : 1;
-  const std::size_t n_tasks = chunks.size() * n_regions;
+  pq.phases_.reserve(q.processes.size());  // snapshot pointers need stability
+  for (const auto& p : q.processes) {
+    PreparedQuery::Phase ph;
+    ph.p = &p;
+    ph.s = splits.at(p.chunk_set);
+    ph.rs = resolve_split(*ph.s);
+    CameraState& cam = *ph.rs.cam;
+    ph.exe = registry_->get(p.executable);  // snapshot (see Phase)
+    if (ph.rs.mask != nullptr) ph.mask = *ph.rs.mask;
+    ph.chunks = make_chunks(cam.meta, ph.rs.window,
+                            ChunkSpec{ph.s->chunk, ph.s->stride});
+    ph.n_regions = ph.rs.scheme ? ph.rs.scheme->region_count() : 1;
 
-  // Base cache key for this PROCESS statement; each task forks it and adds
-  // its own chunk/region coordinates.
-  FingerprintBuilder base_key;
-  if (cache != nullptr) {
-    base_key =
-        process_fingerprint(p, s, cam, registry_->version(p.executable));
+    // Analyst schema + trusted columns.
+    std::vector<Column> cols;
+    for (const auto& c : p.schema) {
+      cols.push_back({c.name, c.type, c.default_value});
+    }
+    ph.sandbox = SandboxPolicy{p.timeout, p.max_rows, Schema(cols)};
+    cols.push_back({kChunkColumn, DType::kNumber, Value(0.0)});
+    if (ph.rs.scheme) {
+      cols.push_back({kRegionColumn, DType::kString, Value(std::string())});
+    }
+    cols.push_back({"camera", DType::kString, Value(std::string())});
+
+    BoundTable bound;
+    bound.camera = ph.s->camera;
+    bound.frames = ph.rs.frames;
+    bound.info = table_info(p, *ph.s, ph.rs);
+    bound.data = Table(Schema(cols),
+                       TableProvenance{ph.s->chunk, p.max_rows,
+                                       bound.info.regions_per_event});
+    auto [it, inserted] = pq.tables_.emplace(p.into, std::move(bound));
+    (void)inserted;  // validate() rejects duplicate INTO names
+    ph.bound = &it->second;
+
+    // Tasks need keys when either a cache serves this run or a
+    // single-flight registry dedups it across concurrent runs.
+    ph.keyed = pq.cache_ != nullptr || pq.inflight_ != nullptr;
+    if (ph.keyed) {
+      ph.base_key =
+          process_fingerprint(p, *ph.s, cam, registry_->version(p.executable));
+    }
+    pq.phases_.push_back(std::move(ph));
+    // Re-point the resolved mask at this phase's own snapshot (the vector
+    // was reserved above, so the element address is final).
+    PreparedQuery::Phase& stored = pq.phases_.back();
+    if (stored.mask) stored.rs.mask = &*stored.mask;
   }
-
-  // One task per chunk x region, in the sequential nesting order (chunks
-  // outer, regions inner). Each sandbox invocation is a pure function of
-  // its ChunkView with a private per-chunk tape, so tasks can run on any
-  // thread; task i writes only slot i and the table is assembled from the
-  // slots in order, making the result bit-identical to num_threads = 1.
-  // The same purity makes the chunk cache exact: a cached task's sandbox
-  // rows are byte-identical to recomputed ones, and the trusted columns
-  // are appended outside the cache either way.
-  auto run_one = [&](std::size_t task) {
-    const auto& chunk = chunks[task / n_regions];
-    const std::size_t r = task % n_regions;
-    const Region* region = rs.scheme ? &rs.scheme->region(r) : nullptr;
-    std::vector<Row> rows;
-    Fingerprint key;
-    bool cached = false;
-    if (cache != nullptr) {
-      FingerprintBuilder task_key = base_key;
-      task_key.add(static_cast<std::uint64_t>(chunk.index));
-      task_key.add(chunk.time.begin).add(chunk.time.end);
-      task_key.add(static_cast<std::int64_t>(chunk.frames.begin));
-      task_key.add(static_cast<std::int64_t>(chunk.frames.end));
-      task_key.add(region ? region->name : std::string());
-      key = task_key.digest();
-      cached = cache->lookup(key, &rows);
-    }
-    if (!cached) {
-      ChunkView view(&cam.content, &cam.meta, chunk.index, chunk.time,
-                     chunk.frames, rs.mask, region);
-      rows = run_sandboxed(exe, view, sandbox);
-      if (cache != nullptr) cache->insert(key, rows);
-    }
-    for (auto& row : rows) {
-      row.emplace_back(chunk.time.begin);               // chunk
-      if (rs.scheme) row.emplace_back(region->name);    // region
-      row.emplace_back(s.camera);                       // camera
-    }
-    return rows;
-  };
-
-  std::size_t n_threads = ThreadPool::resolve_threads(opts.num_threads);
-  if (pool_ != nullptr && n_threads > 1 && n_tasks > 1) {
-    std::vector<std::vector<Row>> slots(n_tasks);
-    pool_->parallel_for(n_tasks,
-                        [&](std::size_t i) { slots[i] = run_one(i); },
-                        n_threads);
-    for (auto& slot : slots) {
-      for (auto& row : slot) bound.data.append(std::move(row));
-    }
-  } else {
-    for (std::size_t i = 0; i < n_tasks; ++i) {
-      for (auto& row : run_one(i)) bound.data.append(std::move(row));
-    }
-  }
-  return bound;
+  return pq;
 }
 
-void Executor::collect_table_refs(const query::Relation& rel,
-                                  std::vector<std::string>* out) {
-  switch (rel.kind) {
-    case query::Relation::Kind::kTableRef:
-      out->push_back(rel.table);
-      return;
-    case query::Relation::Kind::kSelect:
-      collect_table_refs(*rel.select->from, out);
-      return;
-    case query::Relation::Kind::kJoin:
-    case query::Relation::Kind::kUnion:
-      collect_table_refs(*rel.left, out);
-      collect_table_refs(*rel.right, out);
-      return;
-  }
+std::size_t PreparedQuery::task_count(std::size_t phase) const {
+  const Phase& ph = phases_.at(phase);
+  return ph.chunks.size() * ph.n_regions;
 }
 
-void Executor::run_select(const SelectStmt& s,
-                          const std::map<std::string, BoundTable>& tables,
-                          const RunOptions& opts, QueryResult* out) {
+std::size_t PreparedQuery::total_tasks() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) n += task_count(i);
+  return n;
+}
+
+// One task per chunk x region, in the sequential nesting order (chunks
+// outer, regions inner). Each sandbox invocation is a pure function of its
+// ChunkView with a private per-chunk tape, so tasks can run on any thread;
+// task i's rows land in slot i and assemble() appends the slots in order,
+// making the result bit-identical to a sequential run. The same purity
+// makes the chunk cache and single-flight exact: a cached or shared task's
+// sandbox rows are byte-identical to recomputed ones, and the trusted
+// columns are appended outside both either way.
+std::vector<Row> PreparedQuery::run_task(std::size_t phase,
+                                         std::size_t task) const {
+  const Phase& ph = phases_.at(phase);
+  const auto& chunk = ph.chunks[task / ph.n_regions];
+  const std::size_t r = task % ph.n_regions;
+  const Region* region = ph.rs.scheme ? &ph.rs.scheme->region(r) : nullptr;
+
+  std::vector<Row> rows;
+  Fingerprint key;
+  bool have_rows = false;
+  if (ph.keyed) {
+    FingerprintBuilder task_key = ph.base_key;
+    task_key.add(static_cast<std::uint64_t>(chunk.index));
+    task_key.add(chunk.time.begin).add(chunk.time.end);
+    task_key.add(static_cast<std::int64_t>(chunk.frames.begin));
+    task_key.add(static_cast<std::int64_t>(chunk.frames.end));
+    task_key.add(region ? region->name : std::string());
+    key = task_key.digest();
+    if (cache_ != nullptr) have_rows = cache_->lookup(key, &rows);
+  }
+  if (!have_rows) {
+    auto compute = [&]() {
+      ChunkView view(&ph.rs.cam->content, &ph.rs.cam->meta, chunk.index,
+                     chunk.time, chunk.frames, ph.rs.mask, region);
+      std::vector<Row> fresh = run_sandboxed(ph.exe, view, ph.sandbox);
+      if (cache_ != nullptr) cache_->insert(key, fresh);
+      return fresh;
+    };
+    if (inflight_ != nullptr) {
+      // Close the miss->join window: a task that missed the cache, then
+      // lost the CPU while the previous leader finished and retired its
+      // flight, would otherwise become a fresh leader and recompute rows
+      // the cache now holds. Re-checking inside the flight keeps "each
+      // keyed task computes at most once per cache lifetime" exact.
+      auto compute_in_flight = [&]() {
+        std::vector<Row> cached;
+        if (cache_ != nullptr && cache_->lookup(key, &cached)) return cached;
+        return compute();
+      };
+      if (!inflight_->run(key, compute_in_flight, &rows) &&
+          cache_ != nullptr) {
+        // Follower: the leader inserted into *its* cache inside compute;
+        // if ours is a different one (per-query mode), remember the rows
+        // here too. In shared mode this merely refreshes recency.
+        cache_->insert(key, rows);
+      }
+    } else {
+      rows = compute();
+    }
+  }
+  for (auto& row : rows) {
+    row.emplace_back(chunk.time.begin);                  // chunk
+    if (ph.rs.scheme) row.emplace_back(region->name);    // region
+    row.emplace_back(ph.s->camera);                      // camera
+  }
+  return rows;
+}
+
+void PreparedQuery::assemble(std::size_t phase,
+                             std::vector<std::vector<Row>>&& slots) {
+  Phase& ph = phases_.at(phase);
+  if (ph.assembled) {
+    throw ArgumentError("PreparedQuery: phase assembled twice");
+  }
+  if (slots.size() != task_count(phase)) {
+    throw ArgumentError("PreparedQuery: assemble expects one slot per task");
+  }
+  for (auto& slot : slots) {
+    for (auto& row : slot) ph.bound->data.append(std::move(row));
+  }
+  ph.assembled = true;
+}
+
+std::vector<CameraCharge> PreparedQuery::admission_charges() const {
+  std::vector<CameraCharge> out;
+  for (const auto& s : q_->selects) {
+    double charge = select_charge_per_frame(s, opts_.default_epsilon);
+    std::vector<std::string> refs;
+    collect_table_refs(*s.core.from, &refs);
+    std::set<std::string> seen;
+    for (const auto& ref : refs) {
+      auto it = tables_.find(ref);
+      if (it == tables_.end()) {
+        throw LookupError("unknown table '" + ref + "'");
+      }
+      const BoundTable& bt = it->second;
+      if (!seen.insert(bt.camera).second) continue;
+      const CameraState& cam = cameras_->at(bt.camera);
+      FrameIndex margin = to_frames_round(bt.info.policy.rho, cam.meta.fps);
+      out.push_back(CameraCharge{bt.camera, bt.frames, margin, charge});
+    }
+  }
+  return out;
+}
+
+QueryResult PreparedQuery::finish() {
+  for (const auto& ph : phases_) {
+    if (!ph.assembled) {
+      throw ArgumentError("PreparedQuery: finish before every phase assembled");
+    }
+  }
+  QueryResult result;
+  for (const auto& [name, bt] : tables_) {
+    result.table_rows[name] = bt.data.row_count();
+  }
+  if (cache_ != nullptr) {
+    const CacheStats after = cache_->stats();
+    result.cache.hits = after.hits - before_.hits;
+    result.cache.misses = after.misses - before_.misses;
+    result.cache.evictions = after.evictions - before_.evictions;
+    result.cache.bytes = after.bytes;
+    result.cache.entries = after.entries;
+  }
+  for (const auto& s : q_->selects) {
+    run_select(s, &result);
+  }
+  return result;
+}
+
+void PreparedQuery::run_select(const SelectStmt& s, QueryResult* out) {
+  const RunOptions& opts = opts_;
   // Sensitivity over the AST.
   SensitivityEngine sens([&](const std::string& name) -> TableInfo {
-    auto it = tables.find(name);
-    if (it == tables.end()) throw LookupError("unknown table '" + name + "'");
+    auto it = tables_.find(name);
+    if (it == tables_.end()) throw LookupError("unknown table '" + name + "'");
     return it->second.info;
   });
 
   double eps = s.consuming > 0 ? s.consuming : opts.default_epsilon;
-
-  // Number of same-frame releases: aggregate projections x declared keys.
-  std::size_t n_aggs = 0;
-  for (const auto& p : s.core.projections) {
-    if (p.agg) ++n_aggs;
-  }
-  double key_product = 1;
-  for (const auto& g : s.core.group_by) {
-    if (!g.keys.empty()) key_product *= static_cast<double>(g.keys.size());
-  }
-  double charge = eps * static_cast<double>(n_aggs) * key_product;
+  // Same-frame releases (aggregate projections x declared keys) priced by
+  // the shared helper, so run/plan/admission charge identically.
+  double charge = select_charge_per_frame(s, opts.default_epsilon);
 
   // Budget check + charge, per involved camera (Alg. 1 lines 1-5).
   std::vector<std::string> refs;
@@ -280,7 +416,7 @@ void Executor::run_select(const SelectStmt& s,
     };
     std::vector<Charge> charges;
     for (const auto& ref : refs) {
-      const BoundTable& bt = tables.at(ref);
+      const BoundTable& bt = tables_.at(ref);
       if (!seen_cameras.insert(bt.camera).second) continue;
       CameraState& cam = cameras_->at(bt.camera);
       FrameIndex margin = to_frames_round(bt.info.policy.rho, cam.meta.fps);
@@ -296,7 +432,7 @@ void Executor::run_select(const SelectStmt& s,
 
   // Evaluate the outer input table (FROM + WHERE + LIMIT).
   TableMap tmap;
-  for (const auto& [name, bt] : tables) tmap[name] = &bt.data;
+  for (const auto& [name, bt] : tables_) tmap[name] = &bt.data;
   Table input = eval_relation(*s.core.from, tmap);
   if (s.core.where) {
     const auto& schema = input.schema();
@@ -460,7 +596,7 @@ QueryPlan Executor::plan(const ParsedQuery& q, const RunOptions& opts) const {
       if (!g.keys.empty()) key_product *= static_cast<double>(g.keys.size());
     }
     sp.same_frame_releases = static_cast<double>(n_aggs) * key_product;
-    sp.charge_per_frame = eps * sp.same_frame_releases;
+    sp.charge_per_frame = select_charge_per_frame(sel, opts.default_epsilon);
 
     std::vector<std::string> refs;
     collect_table_refs(*sel.core.from, &refs);
@@ -471,6 +607,8 @@ QueryPlan Executor::plan(const ParsedQuery& q, const RunOptions& opts) const {
       sp.cameras.push_back(pt.camera);
       const CameraState& cam = cameras_->at(pt.camera);
       FrameIndex margin = to_frames_round(pt.policy.rho, cam.meta.fps);
+      sp.charges.push_back(
+          CameraCharge{pt.camera, pt.frames, margin, sp.charge_per_frame});
       if (!cam.ledger->can_charge(pt.frames, margin, sp.charge_per_frame)) {
         sp.admissible = false;
       }
@@ -482,51 +620,23 @@ QueryPlan Executor::plan(const ParsedQuery& q, const RunOptions& opts) const {
 }
 
 QueryResult Executor::run(const ParsedQuery& q, const RunOptions& opts) {
-  query::validate(q);
-
-  // Bind SPLITs by chunk-set name.
-  std::map<std::string, const SplitStmt*> splits;
-  for (const auto& s : q.splits) splits[s.into] = &s;
-
-  // Resolve the cache serving this run. kPerQuery deduplicates only within
-  // the query (several PROCESS statements over the same chunk set) and is
-  // discarded with the run.
-  ChunkCache* cache = nullptr;
-  std::optional<ChunkCache> per_query;
-  switch (resolve_cache_mode(opts.cache)) {
-    case CacheMode::kOff:
-      break;
-    case CacheMode::kShared:
-      cache = shared_cache_;
-      break;
-    case CacheMode::kPerQuery:
-      per_query.emplace();
-      cache = &*per_query;
-      break;
-    case CacheMode::kDefault:
-      break;  // unreachable: resolve_cache_mode never returns kDefault
+  PreparedQuery pq = prepare(q, opts);
+  std::size_t n_threads = ThreadPool::resolve_threads(opts.num_threads);
+  for (std::size_t phase = 0; phase < pq.phase_count(); ++phase) {
+    const std::size_t n_tasks = pq.task_count(phase);
+    std::vector<std::vector<Row>> slots(n_tasks);
+    if (pool_ != nullptr && n_threads > 1 && n_tasks > 1) {
+      pool_->parallel_for(
+          n_tasks, [&](std::size_t i) { slots[i] = pq.run_task(phase, i); },
+          n_threads);
+    } else {
+      for (std::size_t i = 0; i < n_tasks; ++i) {
+        slots[i] = pq.run_task(phase, i);
+      }
+    }
+    pq.assemble(phase, std::move(slots));
   }
-  const CacheStats before = cache ? cache->stats() : CacheStats{};
-
-  QueryResult result;
-  std::map<std::string, BoundTable> tables;
-  for (const auto& p : q.processes) {
-    const SplitStmt* s = splits.at(p.chunk_set);
-    tables.emplace(p.into, run_process(p, *s, opts, cache));
-    result.table_rows[p.into] = tables.at(p.into).data.row_count();
-  }
-  if (cache != nullptr) {
-    const CacheStats after = cache->stats();
-    result.cache.hits = after.hits - before.hits;
-    result.cache.misses = after.misses - before.misses;
-    result.cache.evictions = after.evictions - before.evictions;
-    result.cache.bytes = after.bytes;
-    result.cache.entries = after.entries;
-  }
-  for (const auto& s : q.selects) {
-    run_select(s, tables, opts, &result);
-  }
-  return result;
+  return pq.finish();
 }
 
 }  // namespace privid::engine

@@ -15,10 +15,20 @@
 // Releases grouped over *trusted* chunk bins partition the window in time,
 // so they share one charge (the Theorem E.2 cross-bin argument); releases
 // keyed by analyst columns all cover the same frames and therefore add.
+//
+// Two entry points share the same machinery:
+//   - run() executes a query synchronously (fanning the PROCESS phase over
+//     the thread pool when RunOptions::num_threads > 1);
+//   - prepare() exposes the task-granular pipeline — a PreparedQuery whose
+//     chunk-level tasks an external scheduler (service/scheduler.hpp) can
+//     interleave with other queries' tasks. run() is exactly
+//     prepare + run every task + assemble + finish, so the two paths
+//     produce byte-identical releases, sensitivities and ledger charges.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,9 +37,11 @@
 #include "engine/chunk_cache.hpp"
 #include "engine/registry.hpp"
 #include "engine/sandbox.hpp"
+#include "engine/single_flight.hpp"
 #include "privacy/budget.hpp"
 #include "query/ast.hpp"
 #include "sensitivity/constraints.hpp"
+#include "video/chunker.hpp"
 #include "video/region.hpp"
 
 namespace privid::engine {
@@ -65,7 +77,9 @@ struct RunOptions {
   // bench uses it to compute the paper's accuracy metrics.
   bool reveal_raw = false;
   // Skip the budget ledger (owner-side what-if runs, e.g. parameter
-  // sweeps). Analyst-facing deployments keep this true.
+  // sweeps). Analyst-facing deployments keep this true. The query service
+  // also clears it on the execution path — admission control charges the
+  // full query cost at submit time instead (service/admission.hpp).
   bool charge_budget = true;
   // PROCESS-phase parallelism: chunk x region sandbox invocations fan out
   // across this many threads. 0 = all hardware threads, 1 = the sequential
@@ -117,6 +131,15 @@ struct ReleasePlan {
   double noise_scale = 0;   // Laplace b = sensitivity / epsilon
 };
 
+// The ledger charge one SELECT makes against one camera — the unit the
+// admission controller reserves at submit time and refunds on abort.
+struct CameraCharge {
+  std::string camera;
+  FrameInterval frames;   // charged interval (camera frame space)
+  FrameIndex margin = 0;  // ρ widening, checked but not charged
+  double epsilon = 0;     // charge_per_frame of the owning SELECT
+};
+
 struct SelectPlan {
   std::vector<ReleasePlan> releases;   // one per aggregate projection
   // Releases that consume budget on the same frames: aggregates x declared
@@ -124,12 +147,130 @@ struct SelectPlan {
   double same_frame_releases = 1;
   double charge_per_frame = 0;
   std::vector<std::string> cameras;
+  // The concrete ledger charges this SELECT would make, one per distinct
+  // camera — exactly what Executor::run charges, so reserving these at
+  // admission time and running with charge_budget = false leaves the
+  // ledger byte-identical to a direct run.
+  std::vector<CameraCharge> charges;
   bool admissible = true;              // budget check at plan time
 };
 
 struct QueryPlan {
   std::vector<SelectPlan> selects;
   bool admissible = true;
+};
+
+// Everything a SPLIT statement resolves to. Internal to the executor
+// pipeline; at namespace scope so PreparedQuery can hold one per phase.
+struct ResolvedSplit {
+  CameraState* cam = nullptr;
+  const Mask* mask = nullptr;
+  const RegionScheme* scheme = nullptr;
+  sensitivity::Policy policy;
+  TimeInterval window;
+  FrameInterval frames;
+};
+
+// A PROCESS statement's output table bound to its camera facts.
+struct BoundTable {
+  Table data;
+  sensitivity::TableInfo info;
+  std::string camera;
+  FrameInterval frames;  // the split window, camera frame space
+};
+
+class Executor;
+
+// A query decomposed into chunk-level tasks: the task-granular entry point
+// the multi-analyst scheduler drives. Usage contract:
+//
+//   PreparedQuery pq = executor.prepare(q, opts);
+//   for each phase p:                      // phases are independent —
+//     for each task t in [0, task_count):  // tasks of all phases may run
+//       slots[t] = pq.run_task(p, t);      // concurrently, in any order,
+//     pq.assemble(p, std::move(slots));    // on any thread
+//   QueryResult r = pq.finish();           // single-threaded
+//
+// run_task is thread-safe and pure per (phase, task): it owns no shared
+// mutable state beyond the (mutex-guarded) chunk cache and single-flight
+// registry, so any interleaving with other queries' tasks yields the same
+// rows. assemble appends slot outputs in sequential task order, which is
+// what makes the final table — and everything derived from it — byte-
+// identical to a sequential run. finish runs the SELECT phase: sensitivity,
+// budget (when opts.charge_budget), aggregation and noise from the Rng the
+// executor was built with.
+//
+// Lifetimes: the ParsedQuery, camera map, registry, rng, caches and
+// single-flight registry passed to the Executor must outlive this object.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) noexcept = default;
+  PreparedQuery& operator=(PreparedQuery&&) noexcept = default;
+
+  std::size_t phase_count() const { return phases_.size(); }
+  std::size_t task_count(std::size_t phase) const;
+  std::size_t total_tasks() const;
+
+  // Runs one chunk x region sandbox task (cache lookup, single-flight,
+  // compute) and returns its rows with the trusted columns appended.
+  std::vector<Row> run_task(std::size_t phase, std::size_t task) const;
+
+  // Binds the phase's task outputs (slot i = run_task(phase, i)) into its
+  // table, in sequential task order. Must be called exactly once per phase.
+  void assemble(std::size_t phase, std::vector<std::vector<Row>>&& slots);
+
+  // Runs the SELECT phase over the assembled tables and returns the
+  // result. Throws ArgumentError if a phase was never assembled.
+  QueryResult finish();
+
+  // The ledger charges admission control must reserve for this query: one
+  // CameraCharge per (SELECT, distinct camera) in execution order —
+  // byte-for-byte what finish() charges when opts.charge_budget is set,
+  // computed from the already-resolved phases (no second SPLIT
+  // resolution or sensitivity pass).
+  std::vector<CameraCharge> admission_charges() const;
+
+ private:
+  friend class Executor;
+  PreparedQuery() = default;
+
+  struct Phase {
+    const query::ProcessStmt* p = nullptr;
+    const query::SplitStmt* s = nullptr;
+    ResolvedSplit rs;
+    std::vector<Chunk> chunks;
+    std::size_t n_regions = 1;
+    // Snapshots taken at prepare time, so owner-side mutations between
+    // scheduler rounds (register_mask replacing the mask in place,
+    // register_executable swapping the function) cannot make a query's
+    // later tasks see different inputs than its earlier ones — every task
+    // runs against the registration state the query was admitted under,
+    // matching the content epoch folded into its cache keys. rs.mask is
+    // re-pointed at the snapshot.
+    Executable exe;
+    std::optional<Mask> mask;
+    SandboxPolicy sandbox;
+    // Base cache/single-flight key for this PROCESS statement (set when
+    // `keyed`); each task forks it and adds its own chunk/region
+    // coordinates.
+    FingerprintBuilder base_key;
+    bool keyed = false;
+    BoundTable* bound = nullptr;  // into tables_ (map nodes are stable)
+    bool assembled = false;
+  };
+
+  void run_select(const query::SelectStmt& s, QueryResult* out);
+
+  std::map<std::string, CameraState>* cameras_ = nullptr;
+  Rng* noise_rng_ = nullptr;
+  const query::ParsedQuery* q_ = nullptr;
+  RunOptions opts_;                              // cache mode resolved
+  ChunkCache* cache_ = nullptr;                  // null when uncached
+  std::unique_ptr<ChunkCache> per_query_cache_;  // owns kPerQuery storage
+  SingleFlight* inflight_ = nullptr;
+  CacheStats before_;
+  std::vector<Phase> phases_;
+  std::map<std::string, BoundTable> tables_;  // keyed by INTO name
 };
 
 class Executor {
@@ -139,51 +280,36 @@ class Executor {
   // `shared_cache` (optional, non-owning) serves CacheMode::kShared; when
   // null a kShared run degrades to uncached (kPerQuery still works — the
   // executor owns that cache for the duration of the run).
+  // `inflight` (optional, non-owning) single-flights identical chunk tasks
+  // across concurrent queries sharing the registry (the query service
+  // passes one per service); when null every miss computes.
   Executor(std::map<std::string, CameraState>* cameras,
            const ExecutableRegistry* registry, Rng* noise_rng,
-           ThreadPool* pool = nullptr, ChunkCache* shared_cache = nullptr);
+           ThreadPool* pool = nullptr, ChunkCache* shared_cache = nullptr,
+           SingleFlight* inflight = nullptr);
 
   QueryResult run(const query::ParsedQuery& q, const RunOptions& opts);
+
+  // Decomposes the query into chunk-level tasks without running any (see
+  // PreparedQuery). Validates and resolves every SPLIT up front, so the
+  // same failures run() would hit during PROCESS surface here instead.
+  PreparedQuery prepare(const query::ParsedQuery& q, const RunOptions& opts);
 
   // Validates and costs the query without executing it (see QueryPlan).
   QueryPlan plan(const query::ParsedQuery& q, const RunOptions& opts) const;
 
  private:
-  struct BoundTable {
-    Table data;
-    sensitivity::TableInfo info;
-    std::string camera;
-    FrameInterval frames;  // the split window, camera frame space
-  };
-
-  // Everything a SPLIT statement resolves to, shared by run and plan.
-  struct ResolvedSplit {
-    CameraState* cam = nullptr;
-    const Mask* mask = nullptr;
-    const RegionScheme* scheme = nullptr;
-    sensitivity::Policy policy;
-    TimeInterval window;
-    FrameInterval frames;
-  };
   ResolvedSplit resolve_split(const query::SplitStmt& s) const;
   sensitivity::TableInfo table_info(const query::ProcessStmt& p,
                                     const query::SplitStmt& s,
                                     const ResolvedSplit& rs) const;
-
-  BoundTable run_process(const query::ProcessStmt& p,
-                         const query::SplitStmt& s, const RunOptions& opts,
-                         ChunkCache* cache);
-  void run_select(const query::SelectStmt& s,
-                  const std::map<std::string, BoundTable>& tables,
-                  const RunOptions& opts, QueryResult* out);
-  static void collect_table_refs(const query::Relation& rel,
-                                 std::vector<std::string>* out);
 
   std::map<std::string, CameraState>* cameras_;
   const ExecutableRegistry* registry_;
   Rng* noise_rng_;
   ThreadPool* pool_;
   ChunkCache* shared_cache_;
+  SingleFlight* inflight_;
 };
 
 }  // namespace privid::engine

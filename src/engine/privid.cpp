@@ -6,7 +6,40 @@
 namespace privid::engine {
 
 Privid::Privid(std::uint64_t noise_seed)
-    : noise_rng_(noise_seed), cache_(std::make_unique<ChunkCache>()) {}
+    : noise_rng_(noise_seed), noise_seed_(noise_seed),
+      cache_(std::make_unique<ChunkCache>()) {}
+
+Privid::Privid(Privid&& other) noexcept : noise_rng_(0) {
+  // A live service holds raw pointers to other's cameras_/registry_
+  // members, whose addresses do not travel with the move — transferring
+  // it would hand back a dangling service. Drain and drop it instead
+  // (the documented precondition is to move before serving queries).
+  other.service_.reset();
+  cameras_ = std::move(other.cameras_);
+  registry_ = std::move(other.registry_);
+  noise_rng_ = std::move(other.noise_rng_);
+  noise_seed_ = other.noise_seed_;
+  pool_ = std::move(other.pool_);
+  cache_ = std::move(other.cache_);
+}
+
+Privid& Privid::operator=(Privid&& other) noexcept {
+  if (this != &other) {
+    // Drain and destroy both facades' services *before* the members they
+    // point into (camera maps, shared caches) are overwritten or
+    // orphaned — otherwise in-flight queries would race the replacement
+    // (see the move constructor for why other's cannot be transferred).
+    service_.reset();
+    other.service_.reset();
+    cameras_ = std::move(other.cameras_);
+    registry_ = std::move(other.registry_);
+    noise_rng_ = std::move(other.noise_rng_);
+    noise_seed_ = other.noise_seed_;
+    pool_ = std::move(other.pool_);
+    cache_ = std::move(other.cache_);
+  }
+  return *this;
+}
 
 void Privid::register_camera(CameraRegistration reg) {
   const std::string id = reg.meta.camera_id;  // copy: reg.meta is moved below
@@ -28,11 +61,11 @@ void Privid::register_camera(CameraRegistration reg) {
   state.masks = std::move(reg.masks);
   state.regions = std::move(reg.regions);
   state.ledger = std::make_unique<BudgetLedger>(reg.epsilon_budget);
-  cameras_.emplace(id, std::move(state));
+  with_owner_lock([&] { cameras_.emplace(id, std::move(state)); });
 }
 
 void Privid::register_executable(const std::string& name, Executable exe) {
-  registry_.add(name, std::move(exe));
+  with_owner_lock([&] { registry_.add(name, std::move(exe)); });
 }
 
 void Privid::register_mask(const std::string& camera,
@@ -45,9 +78,11 @@ void Privid::register_mask(const std::string& camera,
   if (entry.policy.rho < 0 || entry.policy.k < 1) {
     throw ArgumentError("mask policy requires rho >= 0 and K >= 1");
   }
-  auto& cam = it->second;
-  cam.masks.insert_or_assign(mask_id, std::move(entry));
-  ++cam.content_epoch;  // invalidate this camera's cached chunk outputs
+  with_owner_lock([&] {
+    auto& cam = it->second;
+    cam.masks.insert_or_assign(mask_id, std::move(entry));
+    ++cam.content_epoch;  // invalidate this camera's cached chunk outputs
+  });
 }
 
 void Privid::retune_camera(const std::string& camera,
@@ -59,8 +94,10 @@ void Privid::retune_camera(const std::string& camera,
   if (policy.rho < 0 || policy.k < 1) {
     throw ArgumentError("camera policy requires rho >= 0 and K >= 1");
   }
-  it->second.policy = policy;
-  ++it->second.content_epoch;
+  with_owner_lock([&] {
+    it->second.policy = policy;
+    ++it->second.content_epoch;
+  });
 }
 
 bool Privid::has_camera(const std::string& id) const {
@@ -72,13 +109,23 @@ QueryResult Privid::execute(const std::string& query_text, RunOptions opts) {
 }
 
 ThreadPool* Privid::pool_for(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  return pool_for_locked(num_threads);
+}
+
+ThreadPool* Privid::pool_for_locked(std::size_t num_threads) {
   std::size_t n = ThreadPool::resolve_threads(num_threads);
   if (n <= 1) return nullptr;  // sequential path, pool untouched
   // Grow-only: the pool is sized for the largest request seen (caller
   // participates, so n threads of compute means n - 1 workers); smaller
   // requests are honored per batch via parallel_for's max_threads cap
-  // rather than by respawning workers.
+  // rather than by respawning workers. Once the query service borrows the
+  // pool it can never be replaced — a larger execute() request is then
+  // capped at the current size instead of dangling the service's pointer.
+  // service_mu_ (held by every caller) makes the service_/pool_ decision
+  // atomic against a concurrent first submit() creating the service.
   if (!pool_ || pool_->parallelism() < n) {
+    if (pool_ && service_) return pool_.get();
     pool_ = std::make_unique<ThreadPool>(n - 1);
   }
   return pool_.get();
@@ -117,7 +164,55 @@ void Privid::restore_budget(const std::string& camera, std::istream& is) {
     throw ArgumentError(
         "restored ledger's epsilon does not match camera '" + camera + "'");
   }
-  *it->second.ledger = std::move(restored);
+  with_owner_lock([&] { *it->second.ledger = std::move(restored); });
+}
+
+bool Privid::has_service() const { return service_ptr() != nullptr; }
+
+service::QueryService& Privid::service() {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (!service_) {
+    service::QueryService::Config config;
+    config.noise_seed = noise_seed_;
+    // Lend the facade's pool so execute() and the service share one set
+    // of workers (ROADMAP: one engine pool, not one per subsystem).
+    service_ = std::make_unique<service::QueryService>(
+        &cameras_, &registry_, cache_.get(), config,
+        pool_for_locked(config.num_threads));
+  }
+  return *service_;
+}
+
+service::QueryService& Privid::configure_service(
+    service::QueryService::Config config) {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_) {
+    throw ArgumentError(
+        "configure_service must be called before the service is first used");
+  }
+  if (config.noise_seed == 0) config.noise_seed = noise_seed_;
+  service_ = std::make_unique<service::QueryService>(
+      &cameras_, &registry_, cache_.get(), config,
+      pool_for_locked(config.num_threads));
+  return *service_;
+}
+
+service::QueryTicket Privid::submit(const std::string& analyst,
+                                    const std::string& query_text,
+                                    RunOptions opts) {
+  return service().submit(analyst, query_text, opts);
+}
+
+service::QueryState Privid::poll(const service::QueryTicket& ticket) const {
+  service::QueryService* svc = service_ptr();
+  if (!svc) throw ArgumentError("no query service: nothing submitted");
+  return svc->poll(ticket);
+}
+
+QueryResult Privid::wait(const service::QueryTicket& ticket) const {
+  service::QueryService* svc = service_ptr();
+  if (!svc) throw ArgumentError("no query service: nothing submitted");
+  return svc->wait(ticket);
 }
 
 double Privid::remaining_budget(const std::string& camera,

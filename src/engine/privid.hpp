@@ -21,9 +21,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "engine/executor.hpp"
+#include "service/service.hpp"
 
 namespace privid::engine {
 
@@ -39,6 +42,14 @@ struct CameraRegistration {
 class Privid {
  public:
   explicit Privid(std::uint64_t noise_seed = 0xD1CEull);
+
+  // Movable so factory helpers can build-and-return a configured system.
+  // The source must be quiescent; a query service on either side is
+  // drained and discarded by the move (it holds pointers into its
+  // facade's camera map, which do not travel) — move right after
+  // registration, before serving queries.
+  Privid(Privid&& other) noexcept;
+  Privid& operator=(Privid&& other) noexcept;
 
   // Owner-side registration. Throws ArgumentError on duplicates / invalid
   // parameters.
@@ -72,6 +83,36 @@ class Privid {
   QueryPlan plan(const std::string& query_text, RunOptions opts = {}) const;
   QueryPlan plan(const query::ParsedQuery& q, RunOptions opts = {}) const;
 
+  // ---- Multi-analyst query service (async path) ----
+  //
+  // The service front door: per-analyst sessions, admission control
+  // (budget reserved atomically at submit; rejection throws BudgetError
+  // from submit, nothing charged), weighted fair-share scheduling of
+  // chunk tasks, and in-flight dedup of identical chunk work (see
+  // service/service.hpp). Owner-side mutations on this facade
+  // (register_mask, retune_camera, restore_budget, ...) serialize against
+  // in-flight service queries via the service's owner mutex.
+  //
+  // service() lazily creates the service with a default config (all
+  // hardware threads, shared cache, this facade's noise seed); call
+  // configure_service first to choose differently. Note the service's
+  // per-query noise streams are deliberately not execute()'s process-wide
+  // stream — see service/session.hpp.
+  service::QueryService& service();
+  // Creates the service with `config` (noise_seed 0 inherits this
+  // facade's). Throws ArgumentError if the service already exists.
+  service::QueryService& configure_service(
+      service::QueryService::Config config);
+  bool has_service() const;
+
+  // Async convenience wrappers: submit under `analyst` (session created on
+  // first use, weight 1.0), poll the ticket, or block for the result.
+  service::QueryTicket submit(const std::string& analyst,
+                              const std::string& query_text,
+                              RunOptions opts = {});
+  service::QueryState poll(const service::QueryTicket& ticket) const;
+  QueryResult wait(const service::QueryTicket& ticket) const;
+
   // Budget persistence: a restarted deployment that forgets past charges
   // silently voids the privacy guarantee, so ledgers are serializable.
   // save_budget writes one camera's ledger; restore_budget replaces it
@@ -98,14 +139,42 @@ class Privid {
  private:
   // Lazily-created shared worker pool serving every query (ad-hoc and
   // standing) whose RunOptions::num_threads resolves to > 1. Re-created
-  // only when a query asks for a different thread count.
+  // only when a query asks for a larger thread count — and never once the
+  // query service has borrowed it. pool_for locks service_mu_; the
+  // _locked variant is for callers already holding it.
   ThreadPool* pool_for(std::size_t num_threads);
+  ThreadPool* pool_for_locked(std::size_t num_threads);
+
+  // The service pointer under its creation lock (null until first use).
+  // Two analysts making their first submit() concurrently must not race
+  // the lazy construction; the pointer is stable once set (the service
+  // lives until ~Privid), so callers may use it after the lock drops.
+  service::QueryService* service_ptr() const {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    return service_.get();
+  }
+
+  // Runs `fn` under the service's exclusive owner lock when the service
+  // exists (owner-side mutations must not race in-flight queries).
+  template <typename Fn>
+  void with_owner_lock(Fn&& fn) {
+    if (service::QueryService* svc = service_ptr()) {
+      std::unique_lock<std::shared_mutex> lock(svc->owner_mutex());
+      fn();
+    } else {
+      fn();
+    }
+  }
 
   std::map<std::string, CameraState> cameras_;
   ExecutableRegistry registry_;
   Rng noise_rng_;
+  std::uint64_t noise_seed_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ChunkCache> cache_;
+  mutable std::mutex service_mu_;  // guards service_ creation and pool_
+                                   // create/replace decisions
+  std::unique_ptr<service::QueryService> service_;
 };
 
 }  // namespace privid::engine

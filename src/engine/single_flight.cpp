@@ -1,0 +1,82 @@
+#include "engine/single_flight.hpp"
+
+#include <utility>
+
+namespace privid::engine {
+
+bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
+                       std::vector<Row>* out) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<Flight>();
+    flight = it->second;
+    leader = inserted;
+  }
+
+  if (leader) {
+    // Publish only after compute returns — compute also inserts into the
+    // chunk cache (see PreparedQuery::run_task), so by the time the flight
+    // is retired the cache already covers the key and a late arrival hits
+    // one or the other, never neither.
+    try {
+      std::vector<Row> rows = compute();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        flights_.erase(key);
+        ++stats_.leaders;
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->rows = rows;
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      *out = std::move(rows);
+      return true;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        flights_.erase(key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->failed = true;
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      throw;
+    }
+  }
+
+  bool leader_failed = false;
+  {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    leader_failed = flight->failed;
+    if (!leader_failed) *out = flight->rows;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (leader_failed) {
+      ++stats_.fallbacks;
+    } else {
+      ++stats_.followers;
+    }
+  }
+  if (leader_failed) {
+    // The leader failed; compute independently so one analyst's crash
+    // cannot fail another analyst's query.
+    *out = compute();
+  }
+  return false;
+}
+
+SingleFlightStats SingleFlight::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace privid::engine

@@ -1,0 +1,71 @@
+// Single-flight execution of identical in-flight chunk work.
+//
+// The chunk cache (engine/chunk_cache.hpp) deduplicates PROCESS work
+// *across time*: a chunk computed once is served from memory afterwards.
+// It does nothing for work that is identical and *concurrent* — N analysts
+// asking overlapping questions about the same camera all miss the cold
+// cache together and would each pay the full sandbox cost. SingleFlight
+// closes that gap: tasks are keyed by the same common/fingerprint scheme
+// the cache uses, the first arrival for a key becomes the leader and
+// computes (inserting into the cache inside its flight, so there is no
+// window where neither the flight nor the cache covers the key), and every
+// concurrent arrival for the same key blocks and receives the leader's
+// rows instead of recomputing. Composed with the cache — lookup first,
+// single-flight the miss — N identical concurrent queries pay ~1x the
+// PROCESS cost.
+//
+// Failure: if the leader's computation throws, waiting followers fall back
+// to computing individually (returning the leader's error to an unrelated
+// query would couple failure domains across analysts).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.hpp"
+#include "table/table.hpp"
+
+namespace privid::engine {
+
+struct SingleFlightStats {
+  std::uint64_t leaders = 0;     // calls that computed
+  std::uint64_t followers = 0;   // calls served by a concurrent leader
+  std::uint64_t fallbacks = 0;   // followers that recomputed after a
+                                 // leader failure
+};
+
+class SingleFlight {
+ public:
+  using Compute = std::function<std::vector<Row>()>;
+
+  // Runs `compute` under single-flight for `key`: if no flight for `key`
+  // is active this call leads (computes, publishes, returns true); if one
+  // is, this call blocks until the leader finishes and receives its rows
+  // (returns false). `compute` must be a pure function of `key` — two
+  // callers with equal keys must accept each other's rows.
+  bool run(const Fingerprint& key, const Compute& compute,
+           std::vector<Row>* out);
+
+  SingleFlightStats stats() const;
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::vector<Row> rows;
+  };
+
+  mutable std::mutex mu_;  // guards flights_ and stats_
+  std::unordered_map<Fingerprint, std::shared_ptr<Flight>, FingerprintHash>
+      flights_;
+  SingleFlightStats stats_;
+};
+
+}  // namespace privid::engine

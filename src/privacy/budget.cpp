@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -16,8 +17,20 @@ BudgetLedger::BudgetLedger(double epsilon_per_frame)
   }
 }
 
-bool BudgetLedger::can_charge(FrameInterval interval, FrameIndex margin,
-                              double epsilon) const {
+BudgetLedger::BudgetLedger(BudgetLedger&& other) noexcept
+    : epsilon_(other.epsilon_), spent_(std::move(other.spent_)) {}
+
+BudgetLedger& BudgetLedger::operator=(BudgetLedger&& other) noexcept {
+  if (this != &other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    epsilon_ = other.epsilon_;
+    spent_ = std::move(other.spent_);
+  }
+  return *this;
+}
+
+bool BudgetLedger::can_charge_locked(FrameInterval interval, FrameIndex margin,
+                                     double epsilon) const {
   if (interval.empty()) throw ArgumentError("can_charge: empty interval");
   if (margin < 0) throw ArgumentError("can_charge: negative margin");
   if (epsilon <= 0) throw ArgumentError("can_charge: non-positive epsilon");
@@ -27,9 +40,16 @@ bool BudgetLedger::can_charge(FrameInterval interval, FrameIndex margin,
   return epsilon_ - max_spent >= epsilon - 1e-12;
 }
 
+bool BudgetLedger::can_charge(FrameInterval interval, FrameIndex margin,
+                              double epsilon) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return can_charge_locked(interval, margin, epsilon);
+}
+
 void BudgetLedger::charge(FrameInterval interval, FrameIndex margin,
                           double epsilon) {
-  if (!can_charge(interval, margin, epsilon)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!can_charge_locked(interval, margin, epsilon)) {
     throw BudgetError("insufficient budget over [" +
                       std::to_string(interval.begin - margin) + ", " +
                       std::to_string(interval.end + margin) + ") for epsilon " +
@@ -38,17 +58,43 @@ void BudgetLedger::charge(FrameInterval interval, FrameIndex margin,
   spent_.add(interval.begin, interval.end, epsilon);
 }
 
+bool BudgetLedger::try_reserve(FrameInterval interval, FrameIndex margin,
+                               double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!can_charge_locked(interval, margin, epsilon)) return false;
+  spent_.add(interval.begin, interval.end, epsilon);
+  return true;
+}
+
+void BudgetLedger::refund(FrameInterval interval, double epsilon) {
+  if (interval.empty()) throw ArgumentError("refund: empty interval");
+  if (epsilon <= 0) throw ArgumentError("refund: non-positive epsilon");
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every frame must have at least `epsilon` spent, or this refund does not
+  // correspond to a prior charge (double refund / wrong interval).
+  if (spent_.min_over(interval.begin, interval.end) < epsilon - 1e-12) {
+    throw ArgumentError("refund of epsilon " + std::to_string(epsilon) +
+                        " over [" + std::to_string(interval.begin) + ", " +
+                        std::to_string(interval.end) +
+                        ") exceeds what was charged");
+  }
+  spent_.add(interval.begin, interval.end, -epsilon);
+}
+
 double BudgetLedger::remaining(FrameIndex frame) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return epsilon_ - spent_.value_at(frame);
 }
 
 double BudgetLedger::min_remaining(FrameInterval interval) const {
   if (interval.empty()) throw ArgumentError("min_remaining: empty interval");
+  std::lock_guard<std::mutex> lock(mu_);
   return epsilon_ - spent_.max_over(interval.begin, interval.end);
 }
 
 double BudgetLedger::total_consumed(FrameInterval over) const {
   if (over.empty()) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
   return spent_.sum_over(over.begin, over.end);
 }
 
@@ -56,6 +102,7 @@ BudgetLedger::BudgetLedger(double epsilon_per_frame, IntervalMap spent)
     : epsilon_(epsilon_per_frame), spent_(std::move(spent)) {}
 
 void BudgetLedger::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
   os.precision(17);
   os << "privid-budget-v1\n";
   os << "epsilon " << epsilon_ << "\n";

@@ -8,12 +8,21 @@
 // The margin guarantees no single ≤ρ event segment can straddle two
 // temporally disjoint queries with independent budgets (Appendix E.2).
 //
+// Concurrency: every operation is atomic under an internal mutex, so the
+// multi-analyst query service can hit one camera's ledger from many
+// threads. try_reserve is the admission primitive — check + charge in one
+// critical section, so two analysts racing for the last ε serialize and
+// exactly one wins. A reservation *is* a charge; "commit" is the absence
+// of a refund (see service/admission.hpp), and refund exactly reverses a
+// prior charge when the admitted query later aborts.
+//
 // Backed by an IntervalMap so cost is O(log n) per query, independent of
 // video length.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 
 #include "common/interval_map.hpp"
 #include "common/timeutil.hpp"
@@ -25,6 +34,12 @@ class BudgetLedger {
   // `epsilon_per_frame`: the global per-frame allocation ε_C for the camera.
   explicit BudgetLedger(double epsilon_per_frame);
 
+  // Movable so restored ledgers can replace live ones (restore_budget) and
+  // load() can return by value. The source must be quiescent — moving a
+  // ledger that other threads are charging is a caller bug.
+  BudgetLedger(BudgetLedger&& other) noexcept;
+  BudgetLedger& operator=(BudgetLedger&& other) noexcept;
+
   // True iff every frame in [interval.begin - margin, interval.end + margin)
   // has at least `epsilon` remaining.
   bool can_charge(FrameInterval interval, FrameIndex margin,
@@ -34,6 +49,20 @@ class BudgetLedger {
   // BudgetError if can_charge would be false — callers must check first,
   // but the ledger re-verifies to keep the invariant unconditional.
   void charge(FrameInterval interval, FrameIndex margin, double epsilon);
+
+  // Atomic check-and-charge: charges `epsilon` to `interval` and returns
+  // true iff the widened interval had it to give; otherwise the ledger is
+  // untouched and the call returns false instead of throwing. This is the
+  // admission-control primitive — unlike can_charge-then-charge it cannot
+  // lose a race between the check and the charge.
+  bool try_reserve(FrameInterval interval, FrameIndex margin, double epsilon);
+
+  // Exactly reverses a prior charge of `epsilon` over `interval` (the
+  // refund path for admitted queries that abort before releasing). Throws
+  // ArgumentError if some frame in the interval has less than `epsilon`
+  // spent — refunding budget that was never charged (a double refund)
+  // would mint privacy out of thin air.
+  void refund(FrameInterval interval, double epsilon);
 
   // Remaining budget on a single frame.
   double remaining(FrameIndex frame) const;
@@ -54,6 +83,10 @@ class BudgetLedger {
  private:
   BudgetLedger(double epsilon_per_frame, IntervalMap spent);
 
+  bool can_charge_locked(FrameInterval interval, FrameIndex margin,
+                         double epsilon) const;
+
+  mutable std::mutex mu_;  // guards spent_
   double epsilon_;
   IntervalMap spent_;  // default 0: nothing spent
 };

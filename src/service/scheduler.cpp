@@ -1,0 +1,206 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privid::service {
+
+QueryScheduler::QueryScheduler(ThreadPool* pool, std::size_t threads,
+                               std::size_t round_tasks,
+                               std::shared_mutex* owner_mu,
+                               SettleCallback on_settled)
+    : pool_(pool), threads_(std::max<std::size_t>(threads, 1)),
+      round_tasks_(round_tasks != 0 ? round_tasks
+                                    : 4 * std::max<std::size_t>(threads, 1)),
+      owner_mu_(owner_mu), on_settled_(std::move(on_settled)) {
+  if (!owner_mu_) throw ArgumentError("QueryScheduler requires owner mutex");
+  dispatcher_ = std::thread([this] { loop(); });
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void QueryScheduler::set_weight(const std::string& analyst, double weight) {
+  if (weight <= 0) throw ArgumentError("analyst weight must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.set_weight(analyst, weight);
+}
+
+void QueryScheduler::submit(const std::shared_ptr<QueryJob>& job) {
+  if (!job || !job->prepared) {
+    throw ArgumentError("QueryScheduler::submit requires a prepared job");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw ArgumentError("QueryScheduler is shut down");
+    ++unsettled_jobs_;
+    if (job->total_tasks == 0) {
+      taskless_jobs_.push_back(job);
+    } else {
+      for (std::size_t phase = 0; phase < job->prepared->phase_count();
+           ++phase) {
+        const std::size_t n = job->prepared->task_count(phase);
+        for (std::size_t t = 0; t < n; ++t) {
+          queue_.push(job->analyst, TaskRef{job, phase, t});
+        }
+      }
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void QueryScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return unsettled_jobs_ == 0; });
+}
+
+QueryScheduler::Stats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, std::uint64_t> QueryScheduler::served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.served();
+}
+
+void QueryScheduler::loop() {
+  while (true) {
+    std::vector<TaskRef> round;
+    std::vector<std::shared_ptr<QueryJob>> finished;
+    std::size_t dropped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || !queue_.empty() || !taskless_jobs_.empty();
+      });
+      // On stop, keep dispatching until every admitted job settles — a
+      // reservation must end in commit or refund, never limbo.
+      if (stop_ && queue_.empty() && taskless_jobs_.empty()) break;
+      finished.reserve(taskless_jobs_.size());
+      for (auto& job : taskless_jobs_) finished.push_back(std::move(job));
+      taskless_jobs_.clear();
+
+      TaskRef t;
+      while (round.size() < round_tasks_ && queue_.pop(&t)) {
+        if (t.job->failed.load(std::memory_order_acquire)) {
+          // A sibling task already failed the query; don't waste pool time.
+          ++dropped;
+          if (++t.job->tasks_done == t.job->total_tasks) {
+            finished.push_back(t.job);
+          }
+          continue;
+        }
+        round.push_back(std::move(t));
+      }
+    }
+
+    const std::size_t skipped = run_round(round, &finished);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.tasks_run += round.size() - skipped;
+      stats_.tasks_dropped += dropped + skipped;
+      if (!round.empty()) ++stats_.rounds;
+      stats_.queries_settled += finished.size();
+      unsettled_jobs_ -= finished.size();
+      if (unsettled_jobs_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t QueryScheduler::run_round(
+    std::vector<TaskRef>& round,
+    std::vector<std::shared_ptr<QueryJob>>* finished) {
+  if (round.empty() && finished->empty()) return 0;
+  // Owner-side mutations (mask registration, re-tuning, budget restore)
+  // take this mutex exclusively; holding it shared for the whole round
+  // means a query never observes a camera change mid-flight.
+  std::shared_lock<std::shared_mutex> owner(*owner_mu_);
+
+  for (auto& t : round) {
+    if (!t.job->started.exchange(true)) {
+      std::lock_guard<std::mutex> lock(t.job->mu);
+      if (t.job->state == QueryState::kQueued) {
+        t.job->state = QueryState::kRunning;
+      }
+    }
+  }
+
+  std::atomic<std::size_t> skipped{0};
+  auto run_one = [&](std::size_t i) {
+    TaskRef& t = round[i];
+    if (t.job->failed.load(std::memory_order_acquire)) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    try {
+      t.job->slots[t.phase][t.task] =
+          t.job->prepared->run_task(t.phase, t.task);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(t.job->error_mu);
+        if (!t.job->task_error) t.job->task_error = std::current_exception();
+      }
+      t.job->failed.store(true, std::memory_order_release);
+    }
+  };
+  if (pool_ != nullptr && threads_ > 1 && round.size() > 1) {
+    pool_->parallel_for(round.size(), run_one, threads_);
+  } else {
+    for (std::size_t i = 0; i < round.size(); ++i) run_one(i);
+  }
+
+  for (auto& t : round) {
+    if (++t.job->tasks_done == t.job->total_tasks) finished->push_back(t.job);
+  }
+  for (auto& job : *finished) finalize(*job);
+  return skipped.load(std::memory_order_relaxed);
+}
+
+void QueryScheduler::finalize(QueryJob& job) {
+  bool ok = false;
+  try {
+    if (job.failed.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      std::rethrow_exception(job.task_error);
+    }
+    for (std::size_t phase = 0; phase < job.prepared->phase_count(); ++phase) {
+      job.prepared->assemble(phase, std::move(job.slots[phase]));
+    }
+    engine::QueryResult result = job.prepared->finish();
+    job.reservation.commit();
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.result = std::move(result);
+      job.state = QueryState::kDone;
+    }
+    ok = true;
+  } catch (...) {
+    // Exactly-once refund: Reservation settles on the first commit/refund
+    // and ignores the rest, so neither a task error nor a finish()-time
+    // error (nor both) can refund twice. A refund the ledger refuses
+    // (owner restored a pre-reservation snapshot) must fail this query,
+    // not the dispatcher thread.
+    try {
+      job.reservation.refund();
+    } catch (...) {
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.error = std::current_exception();
+      job.state = QueryState::kFailed;
+    }
+  }
+  job.cv.notify_all();
+  if (on_settled_) on_settled_(job, ok);
+}
+
+}  // namespace privid::service

@@ -1,0 +1,220 @@
+// Weighted fair-share scheduling of chunk-level query tasks.
+//
+// Every admitted query is decomposed (engine::PreparedQuery) into its
+// chunk x region tasks, and the tasks of all in-flight queries compete for
+// the shared thread pool. Scheduling is stride-based: each analyst has a
+// lane with a weight; serving a task advances the lane's virtual "pass" by
+// 1/weight, and the dispatcher always serves the lane with the smallest
+// pass (ties break by analyst id, for determinism). Over any window, an
+// analyst with weight w therefore gets ~w shares of the pool regardless of
+// how many queries it has queued — a flood from one analyst cannot starve
+// the others.
+//
+// Execution model: a single dispatcher thread composes rounds of up to
+// `round_tasks` tasks (picked one at a time by stride order) and fans each
+// round out over the shared ThreadPool with parallel_for. Tasks only write
+// their own pre-sized slot, so this scheduling layer cannot perturb
+// results: a query's tables are assembled from its slots in sequential
+// task order whenever its last task retires, making releases byte-
+// identical no matter what else the service is running (see
+// engine/executor.hpp on PreparedQuery).
+//
+// Failure: the first task error flips the job's failed flag; its remaining
+// queued tasks are dropped at dispatch, and finalize() refunds the
+// admission reservation (exactly once — Reservation settles atomically)
+// instead of committing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/executor.hpp"
+#include "query/ast.hpp"
+#include "service/admission.hpp"
+
+namespace privid::service {
+
+enum class QueryState { kQueued, kRunning, kDone, kFailed };
+
+// One submitted query's full lifecycle state. Created by
+// QueryService::submit, driven by the scheduler, observed through
+// QueryTicket. The parsed AST lives here because PreparedQuery keeps
+// pointers into it.
+struct QueryJob {
+  // Identity (immutable after submit).
+  std::uint64_t id = 0;
+  std::string analyst;
+  std::uint64_t sequence = 0;  // per-analyst submission ordinal
+
+  // Execution state (dispatcher- and task-owned after submit).
+  query::ParsedQuery parsed;
+  Rng rng{0};  // this query's private noise stream
+  std::unique_ptr<engine::Executor> exec;
+  std::unique_ptr<engine::PreparedQuery> prepared;
+  std::vector<std::vector<std::vector<Row>>> slots;  // [phase][task]
+  Reservation reservation;
+  double reserved_epsilon = 0;
+  std::size_t total_tasks = 0;
+  std::size_t tasks_done = 0;  // dispatcher-only
+  std::atomic<bool> started{false};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr task_error;  // first task failure observed
+
+  // Observable state (guarded by mu; cv signals settle).
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  QueryState state = QueryState::kQueued;
+  engine::QueryResult result;
+  std::exception_ptr error;
+};
+
+// Stride scheduler over per-analyst task lanes. Deterministic and
+// externally locked (the scheduler calls it under its own mutex); exposed
+// and header-only so the policy is unit-testable with plain values.
+template <typename Task>
+class FairShareQueue {
+ public:
+  // Creates (or re-weights) the analyst's lane. Weight w gets w shares.
+  void set_weight(const std::string& analyst, double weight) {
+    Lane& lane = lanes_[analyst];
+    lane.weight = weight;
+  }
+
+  void push(const std::string& analyst, Task task) {
+    Lane& lane = lanes_[analyst];
+    if (lane.tasks.empty()) {
+      // A lane that was idle re-enters at the current virtual time: it
+      // must not burn accumulated credit to monopolize the pool, nor be
+      // penalized for having been idle.
+      if (lane.pass < virtual_time_) lane.pass = virtual_time_;
+    }
+    lane.tasks.push_back(std::move(task));
+    ++size_;
+  }
+
+  // Pops the next task by stride order; false when empty.
+  bool pop(Task* out) {
+    Lane* best = nullptr;
+    for (auto& [id, lane] : lanes_) {  // map order: ties break by id
+      if (lane.tasks.empty()) continue;
+      if (best == nullptr || lane.pass < best->pass) best = &lane;
+    }
+    if (best == nullptr) return false;
+    virtual_time_ = best->pass;
+    best->pass += 1.0 / best->weight;
+    ++best->served;
+    *out = std::move(best->tasks.front());
+    best->tasks.pop_front();
+    --size_;
+    return true;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Tasks served per analyst since construction.
+  std::map<std::string, std::uint64_t> served() const {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [id, lane] : lanes_) out[id] = lane.served;
+    return out;
+  }
+
+ private:
+  struct Lane {
+    std::deque<Task> tasks;
+    double weight = 1.0;
+    double pass = 0.0;
+    std::uint64_t served = 0;
+  };
+  std::map<std::string, Lane> lanes_;
+  double virtual_time_ = 0.0;
+  std::size_t size_ = 0;
+};
+
+class QueryScheduler {
+ public:
+  struct Stats {
+    std::uint64_t tasks_run = 0;      // tasks actually executed
+    std::uint64_t tasks_dropped = 0;  // skipped (at dispatch or in-round)
+                                      // because their job already failed
+    std::uint64_t rounds = 0;
+    std::uint64_t queries_settled = 0;
+  };
+
+  // Called on the dispatcher thread when a job settles (kDone / kFailed),
+  // after its reservation committed or refunded.
+  using SettleCallback = std::function<void(QueryJob&, bool ok)>;
+
+  // `pool` (non-owning, may be null for sequential execution) runs each
+  // round; `threads` caps the compute threads per round. `round_tasks`
+  // bounds a round (0 = 4x threads). `owner_mu` (non-owning) is held
+  // shared while tasks run so owner-side mutations (mask registration,
+  // re-tuning) serialize against in-flight queries.
+  QueryScheduler(ThreadPool* pool, std::size_t threads,
+                 std::size_t round_tasks, std::shared_mutex* owner_mu,
+                 SettleCallback on_settled);
+  ~QueryScheduler();  // drains, then stops the dispatcher
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  void set_weight(const std::string& analyst, double weight);
+
+  // Enqueues every task of the job (all phases — PROCESS statements are
+  // independent) on the analyst's lane. The job must be fully prepared
+  // (prepared, slots sized, total_tasks set).
+  void submit(const std::shared_ptr<QueryJob>& job);
+
+  // Blocks until every submitted job has settled.
+  void drain();
+
+  Stats stats() const;
+  std::map<std::string, std::uint64_t> served() const;
+
+ private:
+  struct TaskRef {
+    std::shared_ptr<QueryJob> job;
+    std::size_t phase = 0;
+    std::size_t task = 0;
+  };
+
+  void loop();
+  // Returns how many of the round's tasks were skipped (job had already
+  // failed when the task came up).
+  std::size_t run_round(std::vector<TaskRef>& round,
+                        std::vector<std::shared_ptr<QueryJob>>* finished);
+  void finalize(QueryJob& job);
+
+  ThreadPool* pool_;
+  const std::size_t threads_;
+  const std::size_t round_tasks_;
+  std::shared_mutex* owner_mu_;
+  SettleCallback on_settled_;
+
+  mutable std::mutex mu_;  // guards queue_, zero-task list, stats_, stop_
+  std::condition_variable work_cv_;  // dispatcher wakes
+  std::condition_variable idle_cv_;  // drain() waits
+  FairShareQueue<TaskRef> queue_;
+  std::vector<std::shared_ptr<QueryJob>> taskless_jobs_;
+  std::size_t unsettled_jobs_ = 0;
+  Stats stats_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace privid::service

@@ -1,0 +1,181 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "query/parser.hpp"
+
+namespace privid::service {
+
+std::uint64_t QueryTicket::id() const {
+  if (!job_) throw ArgumentError("empty QueryTicket");
+  return job_->id;
+}
+
+const std::string& QueryTicket::analyst() const {
+  if (!job_) throw ArgumentError("empty QueryTicket");
+  return job_->analyst;
+}
+
+QueryService::QueryService(std::map<std::string, engine::CameraState>* cameras,
+                           const engine::ExecutableRegistry* registry,
+                           engine::ChunkCache* shared_cache, Config config,
+                           ThreadPool* shared_pool)
+    : cameras_(cameras), registry_(registry), shared_cache_(shared_cache),
+      config_(config), cache_mode_(engine::resolve_cache_mode(config.cache)),
+      sessions_(config.noise_seed), admission_(cameras) {
+  if (!cameras || !registry) {
+    throw ArgumentError("QueryService requires cameras and registry");
+  }
+  std::size_t threads = ThreadPool::resolve_threads(config_.num_threads);
+  if (threads > 1) {
+    pool_ = shared_pool;
+    if (pool_ == nullptr) {
+      owned_pool_ = std::make_unique<ThreadPool>(threads - 1);
+      pool_ = owned_pool_.get();
+    }
+  }
+  scheduler_ = std::make_unique<QueryScheduler>(
+      pool_, threads, config_.round_tasks, &owner_mu_,
+      [this](QueryJob& job, bool ok) {
+        AnalystSession& session = sessions_.get_or_create(job.analyst);
+        if (ok) {
+          session.record_completed(job.reservation.committed()
+                                       ? job.reserved_epsilon
+                                       : 0.0);
+        } else {
+          session.record_failed();
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (ok) {
+          ++completed_;
+        } else {
+          ++failed_;
+        }
+      });
+}
+
+QueryService::~QueryService() {
+  // Settle everything before members are torn down; the scheduler's own
+  // destructor also drains, but doing it here keeps accounting callbacks
+  // running against a fully-alive service.
+  scheduler_->drain();
+  scheduler_.reset();
+}
+
+void QueryService::register_analyst(const std::string& id, double weight) {
+  sessions_.get_or_create(id, weight, /*update_weight=*/true);
+  scheduler_->set_weight(id, weight);
+}
+
+QueryTicket QueryService::submit(const std::string& analyst,
+                                 const std::string& query_text,
+                                 engine::RunOptions opts) {
+  return submit(analyst, query::parse_query(query_text), std::move(opts));
+}
+
+QueryTicket QueryService::submit(const std::string& analyst,
+                                 query::ParsedQuery q,
+                                 engine::RunOptions opts) {
+  AnalystSession& session = sessions_.get_or_create(analyst);
+
+  // Reads camera/registry state: exclude concurrent owner mutations.
+  std::shared_lock<std::shared_mutex> owner(owner_mu_);
+
+  auto job = std::make_shared<QueryJob>();
+  job->analyst = analyst;
+  job->sequence = session.next_sequence();
+  job->parsed = std::move(q);
+  // The query's private noise stream: a pure function of (service seed,
+  // analyst, submission ordinal) — independent of concurrent load.
+  job->rng = Rng(session.noise_seed(job->sequence));
+  job->exec = std::make_unique<engine::Executor>(
+      cameras_, registry_, &job->rng, /*pool=*/nullptr, shared_cache_,
+      &inflight_);
+
+  engine::RunOptions exec_opts = opts;
+  exec_opts.cache = cache_mode_;  // service policy overrides the caller's
+  // The run itself never touches the ledger: admission charges the full
+  // plan-computed cost below (or the owner opted out via charge_budget).
+  exec_opts.charge_budget = false;
+
+  // Decompose first (validates and resolves everything), then admit — a
+  // malformed query must not briefly hold budget.
+  job->prepared = std::make_unique<engine::PreparedQuery>(
+      job->exec->prepare(job->parsed, exec_opts));
+
+  if (opts.charge_budget) {
+    try {
+      job->reservation = admission_.reserve(job->prepared->admission_charges());
+    } catch (const BudgetError&) {
+      session.record_rejected();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++rejected_;
+      }
+      throw;
+    }
+    job->reserved_epsilon = job->reservation.total_epsilon();
+  }
+
+  job->total_tasks = job->prepared->total_tasks();
+  job->slots.resize(job->prepared->phase_count());
+  for (std::size_t phase = 0; phase < job->prepared->phase_count(); ++phase) {
+    job->slots[phase].resize(job->prepared->task_count(phase));
+  }
+
+  session.record_accepted();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    job->id = next_query_id_++;
+    ++submitted_;
+  }
+  scheduler_->set_weight(analyst, session.weight());
+  scheduler_->submit(job);
+  return QueryTicket(job);
+}
+
+QueryState QueryService::poll(const QueryTicket& ticket) const {
+  if (!ticket.valid()) throw ArgumentError("empty QueryTicket");
+  std::lock_guard<std::mutex> lock(ticket.job_->mu);
+  return ticket.job_->state;
+}
+
+engine::QueryResult QueryService::wait(const QueryTicket& ticket) const {
+  if (!ticket.valid()) throw ArgumentError("empty QueryTicket");
+  QueryJob& job = *ticket.job_;
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&] {
+    return job.state == QueryState::kDone || job.state == QueryState::kFailed;
+  });
+  if (job.state == QueryState::kFailed) std::rethrow_exception(job.error);
+  return job.result;
+}
+
+void QueryService::drain() { scheduler_->drain(); }
+
+QueryService::Stats QueryService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.failed = failed_;
+    out.rejected = rejected_;
+  }
+  out.scheduler = scheduler_->stats();
+  out.dedup = inflight_.stats();
+  return out;
+}
+
+AnalystStats QueryService::analyst_stats(const std::string& id) const {
+  const AnalystSession* session = sessions_.find(id);
+  if (!session) throw LookupError("unknown analyst '" + id + "'");
+  AnalystStats out = session->stats();
+  auto served = scheduler_->served();
+  auto it = served.find(id);
+  if (it != served.end()) out.tasks_served = it->second;
+  return out;
+}
+
+}  // namespace privid::service

@@ -3,8 +3,11 @@
 // curve.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -177,6 +180,64 @@ TEST(Budget, DisjointWindowsIndependent) {
   // fine.
   EXPECT_DOUBLE_EQ(ledger.remaining(102), 1.0);
   EXPECT_DOUBLE_EQ(ledger.remaining(150), 0.0);
+}
+
+TEST(Budget, TryReserveIsAtomicCheckAndCharge) {
+  BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.try_reserve({0, 100}, 5, 1.0));
+  // Nothing left anywhere in [0, 100); a second reservation must fail
+  // without disturbing the ledger.
+  EXPECT_FALSE(ledger.try_reserve({50, 60}, 0, 0.5));
+  EXPECT_DOUBLE_EQ(ledger.remaining(50), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining(100), 1.0);
+}
+
+TEST(Budget, RefundExactlyReversesACharge) {
+  BudgetLedger ledger(2.0);
+  ledger.charge({10, 50}, 0, 1.5);
+  std::ostringstream before;
+  BudgetLedger pristine(2.0);
+  pristine.save(before);
+  ledger.refund({10, 50}, 1.5);
+  std::ostringstream after;
+  ledger.save(after);
+  // Byte-identical to a ledger that never charged.
+  EXPECT_EQ(after.str(), before.str());
+  EXPECT_TRUE(ledger.can_charge({10, 50}, 0, 2.0));
+}
+
+TEST(Budget, RefundBeyondSpentThrows) {
+  BudgetLedger ledger(2.0);
+  ledger.charge({0, 10}, 0, 1.0);
+  // Double refund (or refunding frames that were never charged) would mint
+  // budget: the ledger refuses.
+  ledger.refund({0, 10}, 1.0);
+  EXPECT_THROW(ledger.refund({0, 10}, 1.0), ArgumentError);
+  EXPECT_THROW(ledger.refund({100, 110}, 0.5), ArgumentError);
+  BudgetLedger partial(2.0);
+  partial.charge({0, 10}, 0, 1.0);
+  EXPECT_THROW(partial.refund({0, 20}, 1.0), ArgumentError);  // [10,20) unspent
+  EXPECT_DOUBLE_EQ(partial.remaining(5), 1.0);  // untouched by failed refund
+}
+
+TEST(Budget, ConcurrentReserveOfLastEpsilonAdmitsExactlyOne) {
+  // Two analysts race for the last ε of a camera: exactly one try_reserve
+  // may win, no matter the interleaving. Run several rounds; the TSan CI
+  // leg checks the same code for data races.
+  for (int round = 0; round < 20; ++round) {
+    BudgetLedger ledger(1.0);
+    std::atomic<int> wins{0};
+    std::vector<std::thread> racers;
+    racers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      racers.emplace_back([&] {
+        if (ledger.try_reserve({0, 100}, 10, 1.0)) ++wins;
+      });
+    }
+    for (auto& th : racers) th.join();
+    EXPECT_EQ(wins.load(), 1) << "round " << round;
+    EXPECT_DOUBLE_EQ(ledger.remaining(50), 0.0);
+  }
 }
 
 TEST(Budget, SaveLoadRoundTrip) {
