@@ -12,6 +12,8 @@
 #include "query/parser.hpp"
 #include "sensitivity/rules.hpp"
 #include "sim/scenarios.hpp"
+#include "table/aggregate.hpp"
+#include "table/column.hpp"
 #include "table/ops.hpp"
 #include "video/chunker.hpp"
 
@@ -113,6 +115,74 @@ static void BM_GroupByKeys(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupByKeys);
+
+// ---- columnar table data plane (see also bench_table_plane.cpp, which
+// ---- gates these paths against a row-era baseline in the trend job)
+
+static void BM_TableAppendNumericSlab(benchmark::State& state) {
+  // The PROCESS ingest path: typed appends into a pre-sized slab, spliced
+  // into the table.
+  Schema s({{"seen", DType::kNumber, Value(0.0)},
+            {"speed", DType::kNumber, Value(0.0)}});
+  Rng rng(5);
+  std::vector<double> speeds(4096);
+  for (auto& x : speeds) x = rng.uniform(0, 120);
+  for (auto _ : state) {
+    Table t(s);
+    t.reserve_rows(speeds.size());
+    ColumnSlab slab(s);
+    slab.reserve(speeds.size());
+    for (double x : speeds) {
+      slab.append_number(0, 1.0);
+      slab.append_number(1, x);
+      slab.finish_row();
+    }
+    t.append_slab(slab, {});
+    benchmark::DoNotOptimize(t.row_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(speeds.size()));
+}
+BENCHMARK(BM_TableAppendNumericSlab);
+
+static void BM_TableFilterGroupScan(benchmark::State& state) {
+  Schema s({{"color", DType::kString, Value(std::string())},
+            {"v", DType::kNumber, Value(0.0)}});
+  Table t(s);
+  Rng rng(3);
+  const char* colors[] = {"RED", "WHITE", "SILVER", "BLACK"};
+  for (int i = 0; i < 100000; ++i) {
+    t.append({Value(colors[rng.uniform_int(0, 3)]), Value(rng.uniform())});
+  }
+  std::vector<std::vector<Value>> keys{
+      {Value("RED"), Value("WHITE"), Value("SILVER"), Value("BLACK")}};
+  const std::vector<double>& v = t.numbers(1);
+  for (auto _ : state) {
+    Table kept = select_rows(
+        t, [&](const RowView& r) { return v[r.index()] < 0.5; });
+    auto groups = group_by_keys(kept, {"color"}, keys);
+    double total = 0;
+    for (const auto& g : groups) {
+      total += aggregate_rows(AggFunc::kSum, kept, "v", g.rows);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TableFilterGroupScan);
+
+static void BM_StringDictIntern(benchmark::State& state) {
+  std::vector<std::string> pool;
+  for (int i = 0; i < 1000; ++i) pool.push_back("P-" + std::to_string(i));
+  for (auto _ : state) {
+    StringDict d;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (const auto& s : pool) benchmark::DoNotOptimize(d.intern(s));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_StringDictIntern);
 
 static void BM_DetectorFrame(benchmark::State& state) {
   auto scenario = sim::make_campus(9, 1.0, 1.0);

@@ -18,18 +18,11 @@ CacheMode resolve_cache_mode(CacheMode mode) {
 
 ChunkCache::ChunkCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
-std::size_t ChunkCache::rows_bytes(const std::vector<Row>& rows) {
-  std::size_t bytes = sizeof(Entry);
-  for (const Row& row : rows) {
-    bytes += sizeof(Row) + row.size() * sizeof(Value);
-    for (const Value& v : row) {
-      if (v.is_string()) bytes += v.as_string().size();
-    }
-  }
-  return bytes;
+std::size_t ChunkCache::slab_bytes(const ColumnSlab& slab) {
+  return sizeof(Entry) + slab.bytes();
 }
 
-bool ChunkCache::lookup(const Fingerprint& key, std::vector<Row>* out) {
+bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -38,14 +31,14 @@ bool ChunkCache::lookup(const Fingerprint& key, std::vector<Row>* out) {
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  *out = it->second->rows;
+  *out = it->second->slab;
   return true;
 }
 
-void ChunkCache::insert(const Fingerprint& key, const std::vector<Row>& rows) {
-  // The row deep-copy happens before the lock so concurrent cold-path
+void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
+  // The slab deep-copy happens before the lock so concurrent cold-path
   // workers serialize only on the pointer splices, not on payload copies.
-  Entry entry{key, rows, rows_bytes(rows)};
+  Entry entry{key, slab, slab_bytes(slab)};
   std::lock_guard<std::mutex> lock(mu_);
   if (entry.bytes > byte_budget_) return;  // would evict all for nothing
   auto it = index_.find(key);

@@ -4,10 +4,10 @@
 // Standing queries (§6.1) and overlapping ad-hoc windows re-run the same
 // deterministic per-chunk PROCESS work — each sandbox invocation is a pure
 // function of its ChunkView with a private per-chunk random tape (see
-// engine/sandbox.hpp), so its row output can be memoized exactly like a
+// engine/sandbox.hpp), so its output can be memoized exactly like a
 // DAG executor memoizes pure node outputs. The cache stores the
-// *sandboxed* rows (post-coercion, pre-trusted-columns) keyed by a
-// fingerprint of everything that determines them:
+// *sandboxed* column slab (post-coercion, pre-trusted-columns) keyed by a
+// fingerprint of everything that determines it:
 //
 //   (canonical PROCESS program + executable version, camera id, camera
 //    content seed, camera content epoch, chunk index, chunk frame/time
@@ -27,17 +27,19 @@
 //
 // The cache is bounded by a byte budget and evicts least-recently-used
 // entries; lookup/insert are mutex-guarded so concurrent PROCESS tasks
-// (RunOptions::num_threads > 1) can share it.
+// (RunOptions::num_threads > 1) can share it. Columnar payloads make the
+// footprint strictly fewer, larger allocations than the row era: one
+// vector per column plus one dictionary copy of each distinct string,
+// instead of a vector-of-variant-vectors.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "common/fingerprint.hpp"
-#include "table/table.hpp"
+#include "table/column.hpp"
 
 namespace privid::engine {
 
@@ -68,14 +70,14 @@ class ChunkCache {
 
   explicit ChunkCache(std::size_t byte_budget = kDefaultByteBudget);
 
-  // On hit copies the rows into *out, refreshes recency and returns true;
+  // On hit copies the slab into *out, refreshes recency and returns true;
   // on miss returns false. Counts one hit or miss either way.
-  bool lookup(const Fingerprint& key, std::vector<Row>* out);
+  bool lookup(const Fingerprint& key, ColumnSlab* out);
 
-  // Inserts (or refreshes) the rows under `key`, then evicts LRU entries
-  // until the budget holds. Rows larger than the whole budget are not
+  // Inserts (or refreshes) the slab under `key`, then evicts LRU entries
+  // until the budget holds. Slabs larger than the whole budget are not
   // cached at all — inserting them would only churn every other entry.
-  void insert(const Fingerprint& key, const std::vector<Row>& rows);
+  void insert(const Fingerprint& key, const ColumnSlab& slab);
 
   CacheStats stats() const;
 
@@ -86,15 +88,19 @@ class ChunkCache {
   // Drops every entry (budget and cumulative counters are kept).
   void clear();
 
-  // Estimated footprint of one cached value: cell payloads plus container
-  // overhead. An estimate is fine — the budget bounds memory order, not
-  // allocator bytes.
-  static std::size_t rows_bytes(const std::vector<Row>& rows);
+  // Estimated footprint of one cached value: typed column payloads plus
+  // string-dictionary storage and container overhead (see
+  // ColumnSlab::bytes). An estimate is fine — the budget bounds memory
+  // order, not allocator bytes — but it must *track* the real footprint:
+  // each number costs 8 bytes, each string cell 4 bytes of code, and each
+  // distinct string one dictionary copy, so duplicate-heavy columns are
+  // accounted (and evicted) at their deduplicated size.
+  static std::size_t slab_bytes(const ColumnSlab& slab);
 
  private:
   struct Entry {
     Fingerprint key;
-    std::vector<Row> rows;
+    ColumnSlab slab;
     std::size_t bytes = 0;
   };
 

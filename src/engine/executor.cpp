@@ -266,21 +266,20 @@ std::size_t PreparedQuery::total_tasks() const {
 // One task per chunk x region, in the sequential nesting order (chunks
 // outer, regions inner). Each sandbox invocation is a pure function of its
 // ChunkView with a private per-chunk tape, so tasks can run on any thread;
-// task i's rows land in slot i and assemble() appends the slots in order,
+// task i's slab lands in slot i and assemble() splices the slots in order,
 // making the result bit-identical to a sequential run. The same purity
 // makes the chunk cache and single-flight exact: a cached or shared task's
-// sandbox rows are byte-identical to recomputed ones, and the trusted
+// sandbox slab is byte-identical to a recomputed one, and the trusted
 // columns are appended outside both either way.
-std::vector<Row> PreparedQuery::run_task(std::size_t phase,
-                                         std::size_t task) const {
+ColumnSlab PreparedQuery::run_task(std::size_t phase, std::size_t task) const {
   const Phase& ph = phases_.at(phase);
   const auto& chunk = ph.chunks[task / ph.n_regions];
   const std::size_t r = task % ph.n_regions;
   const Region* region = ph.rs.scheme ? &ph.rs.scheme->region(r) : nullptr;
 
-  std::vector<Row> rows;
+  ColumnSlab slab;
   Fingerprint key;
-  bool have_rows = false;
+  bool have_slab = false;
   if (ph.keyed) {
     FingerprintBuilder task_key = ph.base_key;
     task_key.add(static_cast<std::uint64_t>(chunk.index));
@@ -289,48 +288,43 @@ std::vector<Row> PreparedQuery::run_task(std::size_t phase,
     task_key.add(static_cast<std::int64_t>(chunk.frames.end));
     task_key.add(region ? region->name : std::string());
     key = task_key.digest();
-    if (cache_ != nullptr) have_rows = cache_->lookup(key, &rows);
+    if (cache_ != nullptr) have_slab = cache_->lookup(key, &slab);
   }
-  if (!have_rows) {
+  if (!have_slab) {
     auto compute = [&]() {
       ChunkView view(&ph.rs.cam->content, &ph.rs.cam->meta, chunk.index,
                      chunk.time, chunk.frames, ph.rs.mask, region);
-      std::vector<Row> fresh = run_sandboxed(ph.exe, view, ph.sandbox);
+      ColumnSlab fresh = run_sandboxed(ph.exe, view, ph.sandbox);
       if (cache_ != nullptr) cache_->insert(key, fresh);
       return fresh;
     };
     if (inflight_ != nullptr) {
       // Close the miss->join window: a task that missed the cache, then
       // lost the CPU while the previous leader finished and retired its
-      // flight, would otherwise become a fresh leader and recompute rows
+      // flight, would otherwise become a fresh leader and recompute a slab
       // the cache now holds. Re-checking inside the flight keeps "each
       // keyed task computes at most once per cache lifetime" exact.
       auto compute_in_flight = [&]() {
-        std::vector<Row> cached;
+        ColumnSlab cached;
         if (cache_ != nullptr && cache_->lookup(key, &cached)) return cached;
         return compute();
       };
-      if (!inflight_->run(key, compute_in_flight, &rows) &&
+      if (!inflight_->run(key, compute_in_flight, &slab) &&
           cache_ != nullptr) {
         // Follower: the leader inserted into *its* cache inside compute;
-        // if ours is a different one (per-query mode), remember the rows
+        // if ours is a different one (per-query mode), remember the slab
         // here too. In shared mode this merely refreshes recency.
-        cache_->insert(key, rows);
+        cache_->insert(key, slab);
       }
     } else {
-      rows = compute();
+      slab = compute();
     }
   }
-  for (auto& row : rows) {
-    row.emplace_back(chunk.time.begin);                  // chunk
-    if (ph.rs.scheme) row.emplace_back(region->name);    // region
-    row.emplace_back(ph.s->camera);                      // camera
-  }
-  return rows;
+  return slab;
 }
 
 void PreparedQuery::assemble(std::size_t phase,
-                             std::vector<std::vector<Row>>&& slots) {
+                             std::vector<ColumnSlab>&& slots) {
   Phase& ph = phases_.at(phase);
   if (ph.assembled) {
     throw ArgumentError("PreparedQuery: phase assembled twice");
@@ -338,8 +332,21 @@ void PreparedQuery::assemble(std::size_t phase,
   if (slots.size() != task_count(phase)) {
     throw ArgumentError("PreparedQuery: assemble expects one slot per task");
   }
-  for (auto& slot : slots) {
-    for (auto& row : slot) ph.bound->data.append(std::move(row));
+  // Pre-size the destination columns for the whole phase, then splice each
+  // slab with its trusted per-task constants (chunk timestamp, region,
+  // camera) — strictly fewer, larger allocations than row-at-a-time moves.
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.row_count();
+  ph.bound->data.reserve_rows(total);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto& chunk = ph.chunks[i / ph.n_regions];
+    const Region* region =
+        ph.rs.scheme ? &ph.rs.scheme->region(i % ph.n_regions) : nullptr;
+    std::vector<Value> trailing;
+    trailing.emplace_back(chunk.time.begin);            // chunk
+    if (ph.rs.scheme) trailing.emplace_back(region->name);  // region
+    trailing.emplace_back(ph.s->camera);                // camera
+    ph.bound->data.append_slab(slots[i], trailing);
   }
   ph.assembled = true;
 }
@@ -437,8 +444,9 @@ void PreparedQuery::run_select(const SelectStmt& s, QueryResult* out) {
   if (s.core.where) {
     const auto& schema = input.schema();
     const auto* where = s.core.where.get();
-    input = select_rows(
-        input, [&, where](const Row& r) { return eval_predicate(*where, r, schema); });
+    input = select_rows(input, [&, where](const RowView& r) {
+      return eval_predicate(*where, r, schema);
+    });
   }
   if (s.core.limit) input = limit_rows(input, *s.core.limit);
 
@@ -446,24 +454,42 @@ void PreparedQuery::run_select(const SelectStmt& s, QueryResult* out) {
   auto emit = [&](const Projection& p, const std::vector<std::size_t>& rows,
                   const std::vector<Value>& group_key, std::string label) {
     double sensitivity = sens.release_sensitivity(p, s.core);
-    // Raw aggregate with range clamping of the input values.
-    std::vector<Value> vals;
-    if (*p.agg != AggFunc::kCount) {
-      bool is_col = p.expr->kind == query::Expr::Kind::kColumn;
-      std::size_t idx = is_col ? input.schema().index_of(p.expr->name) : 0;
+    // Raw aggregate with range clamping of the input values. Resolve the
+    // input column once per release, not per row.
+    double raw;
+    bool is_col = p.expr->kind == query::Expr::Kind::kColumn;
+    // COUNT ignores its argument (row-era parity: the name was never
+    // resolved), so only value aggregates resolve the column.
+    std::size_t idx = is_col && *p.agg != AggFunc::kCount
+                          ? input.schema().index_of(p.expr->name)
+                          : 0;
+    if (*p.agg == AggFunc::kCount) {
+      raw = static_cast<double>(rows.size());
+    } else if (is_col &&
+               input.schema().column(idx).type == DType::kNumber) {
+      // Columnar fast path: gather + clamp straight off the number column.
+      const std::vector<double>& col = input.numbers(idx);
+      std::vector<double> vals;
       vals.reserve(rows.size());
       for (std::size_t r : rows) {
-        Value v = is_col ? input.row(r)[idx]
+        double v = col[r];
+        if (p.range) v = std::clamp(v, p.range->first, p.range->second);
+        vals.push_back(v);
+      }
+      raw = aggregate_numbers(*p.agg, vals);
+    } else {
+      std::vector<Value> vals;
+      vals.reserve(rows.size());
+      for (std::size_t r : rows) {
+        Value v = is_col ? input.at(r, idx)
                          : eval_expr(*p.expr, input.row(r), input.schema());
         if (p.range && v.is_number()) {
           v = Value(std::clamp(v.as_number(), p.range->first, p.range->second));
         }
         vals.push_back(std::move(v));
       }
+      raw = aggregate_column(*p.agg, vals);
     }
-    double raw = (*p.agg == AggFunc::kCount)
-                     ? static_cast<double>(rows.size())
-                     : aggregate_column(*p.agg, vals);
     Release rel;
     rel.label = std::move(label);
     rel.group_key = group_key;
@@ -624,7 +650,7 @@ QueryResult Executor::run(const ParsedQuery& q, const RunOptions& opts) {
   std::size_t n_threads = ThreadPool::resolve_threads(opts.num_threads);
   for (std::size_t phase = 0; phase < pq.phase_count(); ++phase) {
     const std::size_t n_tasks = pq.task_count(phase);
-    std::vector<std::vector<Row>> slots(n_tasks);
+    std::vector<ColumnSlab> slots(n_tasks);
     if (pool_ != nullptr && n_threads > 1 && n_tasks > 1) {
       pool_->parallel_for(
           n_tasks, [&](std::size_t i) { slots[i] = pq.run_task(phase, i); },

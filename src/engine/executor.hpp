@@ -212,12 +212,16 @@ class PreparedQuery {
   std::size_t total_tasks() const;
 
   // Runs one chunk x region sandbox task (cache lookup, single-flight,
-  // compute) and returns its rows with the trusted columns appended.
-  std::vector<Row> run_task(std::size_t phase, std::size_t task) const;
+  // compute) and returns its column slab — the sandboxed cells only; the
+  // trusted chunk/region/camera columns are filled in by assemble, which
+  // derives them from the task index.
+  ColumnSlab run_task(std::size_t phase, std::size_t task) const;
 
-  // Binds the phase's task outputs (slot i = run_task(phase, i)) into its
-  // table, in sequential task order. Must be called exactly once per phase.
-  void assemble(std::size_t phase, std::vector<std::vector<Row>>&& slots);
+  // Binds the phase's task slabs (slot i = run_task(phase, i)) into its
+  // table, in sequential task order: each slab is spliced column-wise and
+  // the trusted columns appended as per-slab constants. Must be called
+  // exactly once per phase.
+  void assemble(std::size_t phase, std::vector<ColumnSlab>&& slots);
 
   // Runs the SELECT phase over the assembled tables and returns the
   // result. Throws ArgumentError if a phase was never assembled.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
 #include <set>
 
 #include "common/error.hpp"
@@ -16,16 +19,29 @@ using query::Projection;
 using query::Relation;
 using query::SelectCore;
 
-Value bin_value(const Value& v, BinFunc bin) {
+namespace {
+// The bin arithmetic, shared by bin_value and the group routing below so
+// the two cannot drift.
+double bin_hour(double x) { return std::floor(x / 3600.0); }
+double bin_day(double x) { return std::floor(x / 86400.0); }
+
+// The NumberBin for a BinFunc; nullptr = identity.
+group_detail::NumberBin number_bin(BinFunc bin) {
   switch (bin) {
     case BinFunc::kNone:
-      return v;
+      return nullptr;
     case BinFunc::kHour:
-      return Value(std::floor(v.as_number() / 3600.0));
+      return &bin_hour;
     case BinFunc::kDay:
-      return Value(std::floor(v.as_number() / 86400.0));
+      return &bin_day;
   }
-  return v;
+  return nullptr;
+}
+}  // namespace
+
+Value bin_value(const Value& v, BinFunc bin) {
+  group_detail::NumberBin f = number_bin(bin);
+  return f ? Value(f(v.as_number())) : v;
 }
 
 std::string group_key_name(const GroupKey& g) {
@@ -58,10 +74,10 @@ DType infer_type(const Expr& e, const Schema& schema) {
   return DType::kNumber;
 }
 
-Value eval_expr(const Expr& e, const Row& row, const Schema& schema) {
+Value eval_expr(const Expr& e, const RowView& row, const Schema& schema) {
   switch (e.kind) {
     case Expr::Kind::kColumn:
-      return row.at(schema.index_of(e.name));
+      return row[schema.index_of(e.name)];
     case Expr::Kind::kNumber:
       return Value(e.number);
     case Expr::Kind::kString:
@@ -119,61 +135,52 @@ Value eval_expr(const Expr& e, const Row& row, const Schema& schema) {
   throw ArgumentError("unknown expression kind");
 }
 
-bool eval_predicate(const Expr& e, const Row& row, const Schema& schema) {
+bool eval_predicate(const Expr& e, const RowView& row, const Schema& schema) {
   return eval_expr(e, row, schema).as_number() != 0;
 }
+
+namespace {
+
+using group_detail::ColumnRoute;
+
+ColumnRoute route_column(const Table& t, const GroupKey& g) {
+  const std::size_t idx = t.schema().index_of(g.column);
+  const DType dt = t.schema().column(idx).type;
+
+  if (dt == DType::kString && g.bin != BinFunc::kNone) {
+    // Binning a STRING column is a type error; surface it exactly where
+    // the row-era code did (first routed row), not on empty tables.
+    if (t.row_count() > 0) bin_value(t.at(0, idx), g.bin);  // throws
+    ColumnRoute out;
+    out.domain = g.keys;
+    out.row_dom.assign(t.row_count(), group_detail::kNoGroup);
+    return out;
+  }
+  group_detail::NumberBin bin = number_bin(g.bin);
+  return g.keys.empty() ? group_detail::route_observed(t, idx, bin)
+                        : group_detail::route_declared(t, idx, g.keys, bin);
+}
+
+}  // namespace
 
 std::vector<Group> compute_groups(const Table& t,
                                   const std::vector<GroupKey>& keys) {
   if (keys.empty()) throw ArgumentError("compute_groups: no keys");
-  // Per-column domain.
+  // Route every key column before acting on any empty domain, so a bad
+  // column name throws LookupError even when an earlier trusted column
+  // saw no rows — the error must not be data-dependent.
+  std::vector<group_detail::ColumnRoute> routes;
+  routes.reserve(keys.size());
+  for (const auto& g : keys) routes.push_back(route_column(t, g));
+  for (const auto& route : routes) {
+    // A trusted column over an empty table: no groups at all.
+    if (route.domain.empty()) return {};
+  }
   std::vector<std::vector<Value>> domains;
-  std::vector<std::size_t> col_idx;
-  for (const auto& g : keys) {
-    col_idx.push_back(t.schema().index_of(g.column));
-    if (!g.keys.empty()) {
-      domains.push_back(g.keys);
-    } else {
-      // Trusted column: observed distinct binned values, sorted.
-      std::set<Value> seen;
-      for (const auto& row : t.rows()) {
-        seen.insert(bin_value(row[col_idx.back()], g.bin));
-      }
-      domains.emplace_back(seen.begin(), seen.end());
-    }
-  }
-  // Cartesian product in declaration order.
-  std::vector<Group> groups;
-  groups.push_back(Group{});
-  for (const auto& d : domains) {
-    if (d.empty()) {
-      // A trusted column over an empty table: no groups at all.
-      return {};
-    }
-    std::vector<Group> next;
-    next.reserve(groups.size() * d.size());
-    for (const auto& g : groups) {
-      for (const auto& k : d) {
-        Group ng;
-        ng.key = g.key;
-        ng.key.push_back(k);
-        next.push_back(std::move(ng));
-      }
-    }
-    groups = std::move(next);
-  }
-  // Route rows.
-  std::map<std::vector<Value>, std::size_t> lookup;
-  for (std::size_t g = 0; g < groups.size(); ++g) lookup[groups[g].key] = g;
-  for (std::size_t r = 0; r < t.row_count(); ++r) {
-    std::vector<Value> key;
-    key.reserve(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      key.push_back(bin_value(t.row(r)[col_idx[i]], keys[i].bin));
-    }
-    auto it = lookup.find(key);
-    if (it != lookup.end()) groups[it->second].rows.push_back(r);
-  }
+  domains.reserve(routes.size());
+  for (const auto& route : routes) domains.push_back(route.domain);
+  std::vector<Group> groups = group_detail::enumerate_product(domains);
+  group_detail::route_rows(routes, t.row_count(), &groups);
   return groups;
 }
 
@@ -191,34 +198,53 @@ Table eval_group_core(const SelectCore& core, const Table& in) {
     Value dflt = dt == DType::kNumber ? Value(0.0) : Value(std::string());
     cols.push_back({group_key_name(g), dt, dflt});
   }
-  std::vector<const Projection*> aggs;
+  // Resolve each aggregate's input column once, outside the group loop —
+  // and for every named column, COUNT included, so an unknown column name
+  // throws LookupError regardless of what the data holds.
+  struct AggPlan {
+    const Projection* p;
+    std::optional<std::size_t> col;  // set when the expr is a named column
+    bool numeric = false;            // ...of NUMBER dtype (fast path)
+  };
+  std::vector<AggPlan> aggs;
   for (const auto& p : core.projections) {
     if (!p.agg) continue;  // bare key echoes are implicit in the key columns
     if (*p.agg == AggFunc::kArgmax) {
       throw ArgumentError("ARGMAX is only valid in the outermost SELECT");
     }
     cols.push_back({p.output_name(), DType::kNumber, Value(0.0)});
-    aggs.push_back(&p);
+    AggPlan plan{&p, std::nullopt, false};
+    if (p.expr->kind == Expr::Kind::kColumn && p.expr->name != "*") {
+      plan.col = in.schema().index_of(p.expr->name);
+      plan.numeric = in.schema().column(*plan.col).type == DType::kNumber;
+    }
+    aggs.push_back(plan);
   }
   Table out(Schema(std::move(cols)), in.provenance());
 
   for (const auto& g : groups) {
     if (g.rows.empty()) continue;  // inner group-by emits non-empty groups
     Row row = g.key;
-    for (const Projection* p : aggs) {
-      std::vector<Value> vals;
-      if (p->expr->kind == Expr::Kind::kColumn && p->expr->name != "*") {
-        std::size_t idx = in.schema().index_of(p->expr->name);
+    for (const AggPlan& plan : aggs) {
+      const Projection* p = plan.p;
+      double agg;
+      if (*p->agg == AggFunc::kCount) {
+        agg = static_cast<double>(g.rows.size());
+      } else if (plan.numeric) {
+        // Columnar fast path: aggregate straight off the number column.
+        agg = aggregate_numbers_at(*p->agg, in.numbers(*plan.col), g.rows);
+      } else {
+        std::vector<Value> vals;
         vals.reserve(g.rows.size());
-        for (std::size_t r : g.rows) vals.push_back(in.row(r)[idx]);
-      } else if (*p->agg != AggFunc::kCount) {
-        for (std::size_t r : g.rows) {
-          vals.push_back(eval_expr(*p->expr, in.row(r), in.schema()));
+        if (plan.col) {
+          for (std::size_t r : g.rows) vals.push_back(in.at(r, *plan.col));
+        } else {
+          for (std::size_t r : g.rows) {
+            vals.push_back(eval_expr(*p->expr, in.row(r), in.schema()));
+          }
         }
+        agg = aggregate_column(*p->agg, vals);
       }
-      double agg = (*p->agg == AggFunc::kCount)
-                       ? static_cast<double>(g.rows.size())
-                       : aggregate_column(*p->agg, vals);
       if (p->range) agg = std::clamp(agg, p->range->first, p->range->second);
       row.emplace_back(agg);
     }
@@ -232,7 +258,7 @@ Table eval_group_core(const SelectCore& core, const Table& in) {
 Table eval_core(const SelectCore& core, const TableMap& tables) {
   Table in = eval_relation(*core.from, tables);
   if (core.where) {
-    in = select_rows(in, [&](const Row& r) {
+    in = select_rows(in, [&](const RowView& r) {
       return eval_predicate(*core.where, r, in.schema());
     });
   }
@@ -254,13 +280,16 @@ Table eval_core(const SelectCore& core, const TableMap& tables) {
     const Schema& schema = in.schema();
     if (p.range) {
       double lo = p.range->first, hi = p.range->second;
-      pc.eval = [expr, &schema, lo, hi](const Row& r) {
+      pc.eval = [expr, &schema, lo, hi](const RowView& r) {
         return Value(
             std::clamp(eval_expr(*expr, r, schema).as_number(), lo, hi));
       };
       pc.type = DType::kNumber;
+    } else if (expr->kind == Expr::Kind::kColumn && expr->name != "*") {
+      // Unranged column pass-through: whole-column copy, no per-row eval.
+      pc.pass = schema.index_of(expr->name);
     } else {
-      pc.eval = [expr, &schema](const Row& r) {
+      pc.eval = [expr, &schema](const RowView& r) {
         return eval_expr(*expr, r, schema);
       };
     }
@@ -290,7 +319,7 @@ Table eval_relation(const Relation& rel, const TableMap& tables) {
         const std::string& col = rel.join_columns[i];
         std::size_t li = joined.schema().index_of(col);
         std::size_t ri = joined.schema().index_of(col + "_r");
-        joined = select_rows(joined, [li, ri](const Row& row) {
+        joined = select_rows(joined, [li, ri](const RowView& row) {
           return row[li] == row[ri];
         });
       }

@@ -15,10 +15,11 @@ namespace privid::engine {
 
 using TableMap = std::map<std::string, const Table*>;
 
-// Scalar expression evaluation against one row.
-Value eval_expr(const query::Expr& e, const Row& row, const Schema& schema);
+// Scalar expression evaluation against one row cursor.
+Value eval_expr(const query::Expr& e, const RowView& row,
+                const Schema& schema);
 // Predicate evaluation (nonzero number = true; strings are invalid).
-bool eval_predicate(const query::Expr& e, const Row& row,
+bool eval_predicate(const query::Expr& e, const RowView& row,
                     const Schema& schema);
 // Static type of an expression under a schema.
 DType infer_type(const query::Expr& e, const Schema& schema);

@@ -110,8 +110,8 @@ Rng ChunkView::fork_rng() const {
                  mix(0xC4A9ull, static_cast<std::uint64_t>(chunk_index_))));
 }
 
-std::vector<Row> run_sandboxed(const Executable& exe, const ChunkView& view,
-                               const SandboxPolicy& policy) {
+ColumnSlab run_sandboxed(const Executable& exe, const ChunkView& view,
+                         const SandboxPolicy& policy) {
   ExecOutput out;
   bool failed = false;
   try {
@@ -122,32 +122,42 @@ std::vector<Row> run_sandboxed(const Executable& exe, const ChunkView& view,
   if (!failed && out.simulated_runtime > policy.timeout) {
     failed = true;  // timeout -> default row
   }
+
+  ColumnSlab slab(policy.schema);
+  const std::size_t n_cols = policy.schema.size();
   if (failed) {
-    return {policy.schema.default_row()};
+    slab.reserve(1);
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      slab.append_value(c, policy.schema.column(c).default_value);
+    }
+    slab.finish_row();
+    return slab;
   }
 
-  std::vector<Row> rows;
-  rows.reserve(std::min(out.rows.size(), policy.max_rows));
-  for (std::size_t r = 0; r < out.rows.size() && r < policy.max_rows; ++r) {
-    Row coerced = policy.schema.default_row();
+  const std::size_t n_rows = std::min(out.rows.size(), policy.max_rows);
+  slab.reserve(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
     const Row& src = out.rows[r];
-    for (std::size_t c = 0; c < coerced.size() && c < src.size(); ++c) {
-      if (src[c].type() != policy.schema.column(c).type) {
-        // Mistyped cells keep the default — Privid places no trust in the
-        // executable's output shape.
-        continue;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const Column& col = policy.schema.column(c);
+      // Mistyped cells keep the default — Privid places no trust in the
+      // executable's output shape. Non-finite numbers are rejected too:
+      // NaN survives range() clamping (clamp(NaN) is NaN) and would poison
+      // the aggregate, turning the release itself into a side channel.
+      const Value* v = &col.default_value;
+      if (c < src.size() && src[c].type() == col.type &&
+          !(src[c].is_number() && !std::isfinite(src[c].as_number()))) {
+        v = &src[c];
       }
-      // Non-finite numbers are rejected too: NaN survives range() clamping
-      // (clamp(NaN) is NaN) and would poison the aggregate, turning the
-      // release itself into a side channel.
-      if (src[c].is_number() && !std::isfinite(src[c].as_number())) {
-        continue;
+      if (col.type == DType::kNumber) {
+        slab.append_number(c, v->as_number());
+      } else {
+        slab.append_string(c, v->as_string());
       }
-      coerced[c] = src[c];
     }
-    rows.push_back(std::move(coerced));
+    slab.finish_row();
   }
-  return rows;
+  return slab;
 }
 
 }  // namespace privid::engine

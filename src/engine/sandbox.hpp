@@ -104,7 +104,10 @@ class ChunkView {
   const Region* region_;
 };
 
-// What an executable produces for one chunk.
+// What an executable produces for one chunk. The executable boundary stays
+// row-oriented — its output is untrusted and shaped however the analyst
+// likes; the sandbox is what converts it into the typed columnar form the
+// rest of the engine runs on.
 struct ExecOutput {
   std::vector<Row> rows;
   Seconds simulated_runtime = 0;  // compared against TIMEOUT
@@ -119,10 +122,14 @@ struct SandboxPolicy {
 };
 
 // Runs `exe` over `view` under `policy`: truncates to max_rows, coerces
-// each row to the schema (extraneous columns dropped, missing / mistyped
-// cells replaced by the column default), and substitutes the single default
-// row if the executable times out or throws.
-std::vector<Row> run_sandboxed(const Executable& exe, const ChunkView& view,
-                               const SandboxPolicy& policy);
+// each cell to the schema (extraneous columns dropped, missing / mistyped /
+// non-finite cells replaced by the column default), and substitutes the
+// single default row if the executable times out or throws. The coerced
+// cells are emitted directly into a pre-sized per-task column slab — this
+// is the engine's first columnar container on the PROCESS path; the slab
+// then flows through the chunk cache / single-flight and is spliced into
+// the intermediate table at assembly.
+ColumnSlab run_sandboxed(const Executable& exe, const ChunkView& view,
+                         const SandboxPolicy& policy);
 
 }  // namespace privid::engine

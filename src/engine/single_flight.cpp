@@ -5,7 +5,7 @@
 namespace privid::engine {
 
 bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
-                       std::vector<Row>* out) {
+                       ColumnSlab* out) {
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
@@ -22,7 +22,7 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
     // is retired the cache already covers the key and a late arrival hits
     // one or the other, never neither.
     try {
-      std::vector<Row> rows = compute();
+      ColumnSlab slab = compute();
       {
         std::lock_guard<std::mutex> lock(mu_);
         flights_.erase(key);
@@ -30,11 +30,11 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
       }
       {
         std::lock_guard<std::mutex> lock(flight->mu);
-        flight->rows = rows;
+        flight->slab = slab;
         flight->done = true;
       }
       flight->cv.notify_all();
-      *out = std::move(rows);
+      *out = std::move(slab);
       return true;
     } catch (...) {
       {
@@ -56,7 +56,7 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     leader_failed = flight->failed;
-    if (!leader_failed) *out = flight->rows;
+    if (!leader_failed) *out = flight->slab;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

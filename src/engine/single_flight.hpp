@@ -10,7 +10,7 @@
 // computes (inserting into the cache inside its flight, so there is no
 // window where neither the flight nor the cache covers the key), and every
 // concurrent arrival for the same key blocks and receives the leader's
-// rows instead of recomputing. Composed with the cache — lookup first,
+// slab instead of recomputing. Composed with the cache — lookup first,
 // single-flight the miss — N identical concurrent queries pay ~1x the
 // PROCESS cost.
 //
@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "common/fingerprint.hpp"
-#include "table/table.hpp"
+#include "table/column.hpp"
 
 namespace privid::engine {
 
@@ -41,15 +41,14 @@ struct SingleFlightStats {
 
 class SingleFlight {
  public:
-  using Compute = std::function<std::vector<Row>()>;
+  using Compute = std::function<ColumnSlab()>;
 
   // Runs `compute` under single-flight for `key`: if no flight for `key`
   // is active this call leads (computes, publishes, returns true); if one
-  // is, this call blocks until the leader finishes and receives its rows
+  // is, this call blocks until the leader finishes and receives its slab
   // (returns false). `compute` must be a pure function of `key` — two
-  // callers with equal keys must accept each other's rows.
-  bool run(const Fingerprint& key, const Compute& compute,
-           std::vector<Row>* out);
+  // callers with equal keys must accept each other's output.
+  bool run(const Fingerprint& key, const Compute& compute, ColumnSlab* out);
 
   SingleFlightStats stats() const;
 
@@ -59,7 +58,7 @@ class SingleFlight {
     std::condition_variable cv;
     bool done = false;
     bool failed = false;
-    std::vector<Row> rows;
+    ColumnSlab slab;
   };
 
   mutable std::mutex mu_;  // guards flights_ and stats_

@@ -65,7 +65,7 @@ struct QueryJob {
   Rng rng{0};  // this query's private noise stream
   std::unique_ptr<engine::Executor> exec;
   std::unique_ptr<engine::PreparedQuery> prepared;
-  std::vector<std::vector<std::vector<Row>>> slots;  // [phase][task]
+  std::vector<std::vector<ColumnSlab>> slots;  // [phase][task]
   Reservation reservation;
   double reserved_epsilon = 0;
   std::size_t total_tasks = 0;

@@ -41,50 +41,56 @@ bool needs_size_constraint(AggFunc f) {
   return f == AggFunc::kAvg || f == AggFunc::kVar;
 }
 
-double aggregate_column(AggFunc f, const std::vector<Value>& values) {
+namespace {
+
+// Shared kernel: `read(i)` yields the i-th value. Every overload funnels
+// here so the accumulation order — and therefore the released double bits
+// — cannot drift between the Value and columnar paths.
+template <typename Read>
+double aggregate_impl(AggFunc f, std::size_t n, const Read& read) {
   switch (f) {
     case AggFunc::kCount:
-      return static_cast<double>(values.size());
+      return static_cast<double>(n);
     case AggFunc::kSum: {
       double s = 0;
-      for (const auto& v : values) s += v.as_number();
+      for (std::size_t i = 0; i < n; ++i) s += read(i);
       return s;
     }
     case AggFunc::kAvg: {
-      if (values.empty()) return 0.0;
+      if (n == 0) return 0.0;
       double s = 0;
-      for (const auto& v : values) s += v.as_number();
-      return s / static_cast<double>(values.size());
+      for (std::size_t i = 0; i < n; ++i) s += read(i);
+      return s / static_cast<double>(n);
     }
     case AggFunc::kVar: {
-      if (values.empty()) return 0.0;
+      if (n == 0) return 0.0;
       double s = 0, s2 = 0;
-      for (const auto& v : values) {
-        double x = v.as_number();
+      for (std::size_t i = 0; i < n; ++i) {
+        double x = read(i);
         s += x;
         s2 += x * x;
       }
-      double n = static_cast<double>(values.size());
-      double m = s / n;
-      return s2 / n - m * m;
+      double nn = static_cast<double>(n);
+      double m = s / nn;
+      return s2 / nn - m * m;
     }
     case AggFunc::kMin: {
-      if (values.empty()) return 0.0;
-      double m = values[0].as_number();
-      for (const auto& v : values) m = std::min(m, v.as_number());
+      if (n == 0) return 0.0;
+      double m = read(0);
+      for (std::size_t i = 0; i < n; ++i) m = std::min(m, read(i));
       return m;
     }
     case AggFunc::kMax: {
-      if (values.empty()) return 0.0;
-      double m = values[0].as_number();
-      for (const auto& v : values) m = std::max(m, v.as_number());
+      if (n == 0) return 0.0;
+      double m = read(0);
+      for (std::size_t i = 0; i < n; ++i) m = std::max(m, read(i));
       return m;
     }
     case AggFunc::kSpan: {
-      if (values.empty()) return 0.0;
-      double lo = values[0].as_number(), hi = lo;
-      for (const auto& v : values) {
-        double x = v.as_number();
+      if (n == 0) return 0.0;
+      double lo = read(0), hi = lo;
+      for (std::size_t i = 0; i < n; ++i) {
+        double x = read(i);
         lo = std::min(lo, x);
         hi = std::max(hi, x);
       }
@@ -94,6 +100,24 @@ double aggregate_column(AggFunc f, const std::vector<Value>& values) {
       throw ArgumentError("ARGMAX is computed over groups, not a column");
   }
   throw ArgumentError("unknown aggregation function");
+}
+
+}  // namespace
+
+double aggregate_column(AggFunc f, const std::vector<Value>& values) {
+  return aggregate_impl(f, values.size(),
+                        [&](std::size_t i) { return values[i].as_number(); });
+}
+
+double aggregate_numbers(AggFunc f, const std::vector<double>& values) {
+  return aggregate_impl(f, values.size(),
+                        [&](std::size_t i) { return values[i]; });
+}
+
+double aggregate_numbers_at(AggFunc f, const std::vector<double>& col,
+                            const std::vector<std::size_t>& rows) {
+  return aggregate_impl(f, rows.size(),
+                        [&](std::size_t i) { return col[rows[i]]; });
 }
 
 std::size_t argmax_group(const std::vector<double>& group_aggregates) {
@@ -109,9 +133,14 @@ double aggregate_rows(AggFunc f, const Table& t, const std::string& column,
                       const std::vector<std::size_t>& rows) {
   if (f == AggFunc::kCount) return static_cast<double>(rows.size());
   std::size_t idx = t.schema().index_of(column);
+  if (t.schema().column(idx).type == DType::kNumber) {
+    return aggregate_numbers_at(f, t.numbers(idx), rows);
+  }
+  // STRING column: materialize so the aggregate throws the same TypeError
+  // the row-era path did (and keeps returning 0 for empty inputs).
   std::vector<Value> vals;
   vals.reserve(rows.size());
-  for (std::size_t r : rows) vals.push_back(t.row(r)[idx]);
+  for (std::size_t r : rows) vals.push_back(t.at(r, idx));
   return aggregate_column(f, vals);
 }
 

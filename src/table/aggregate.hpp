@@ -36,6 +36,13 @@ bool needs_size_constraint(AggFunc f);
 // executor relies on so that noisy releases are always well-defined).
 double aggregate_column(AggFunc f, const std::vector<Value>& values);
 
+// Columnar fast paths over raw doubles: same functions, same accumulation
+// order (and therefore bit-identical results), no Value materialization.
+double aggregate_numbers(AggFunc f, const std::vector<double>& values);
+// Aggregates `col[r]` for r in `rows`, in order.
+double aggregate_numbers_at(AggFunc f, const std::vector<double>& col,
+                            const std::vector<std::size_t>& rows);
+
 // ARGMAX over groups: returns the index of the group whose aggregate of
 // `values_per_group` is largest (ties: first). Used by SELECT ... ARGMAX.
 std::size_t argmax_group(const std::vector<double>& group_aggregates);

@@ -1,0 +1,216 @@
+#include "table/column.hpp"
+
+#include "common/error.hpp"
+
+namespace privid {
+
+StringDict::StringDict(const StringDict& o)
+    : blocks_(o.blocks_), size_(o.size_), slots_(o.slots_) {
+  if (!blocks_.empty()) blocks_.back().reserve(kBlock);
+}
+
+StringDict& StringDict::operator=(const StringDict& o) {
+  if (this != &o) {
+    blocks_ = o.blocks_;
+    size_ = o.size_;
+    slots_ = o.slots_;
+    if (!blocks_.empty()) blocks_.back().reserve(kBlock);
+  }
+  return *this;
+}
+
+const std::string& StringDict::push(std::string_view s) {
+  if (size_ % kBlock == 0) {
+    blocks_.emplace_back();
+    blocks_.back().reserve(kBlock);  // fixed capacity: strings never move
+  }
+  blocks_.back().emplace_back(s);
+  ++size_;
+  return blocks_.back().back();
+}
+
+// Doubles (or seeds) the slot table and re-inserts every code.
+void StringDict::grow_index() {
+  const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(cap, kEmptySlot);
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t slot =
+        std::hash<std::string_view>{}(blocks_[i / kBlock][i % kBlock]) & mask;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(i);
+  }
+}
+
+// Probes the slot table for `s`; nullopt when absent.
+std::optional<std::uint32_t> StringDict::probe(std::string_view s) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = std::hash<std::string_view>{}(s) & mask;
+  while (slots_[slot] != kEmptySlot) {
+    const std::uint32_t code = slots_[slot];
+    if (blocks_[code / kBlock][code % kBlock] == s) return code;
+    slot = (slot + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t StringDict::intern(std::string_view s) {
+  if (slots_.empty()) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (blocks_[i / kBlock][i % kBlock] == s) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    if (size_ < kLinearLimit) {
+      push(s);
+      return static_cast<std::uint32_t>(size_ - 1);
+    }
+    grow_index();
+  } else if (auto code = probe(s)) {
+    return *code;
+  }
+  // Keep the load factor below ~3/4 so probes stay short.
+  if ((size_ + 1) * 4 >= slots_.size() * 3) grow_index();
+  const std::uint32_t code = static_cast<std::uint32_t>(size_);
+  push(s);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = std::hash<std::string_view>{}(s) & mask;
+  while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+  slots_[slot] = code;
+  return code;
+}
+
+std::optional<std::uint32_t> StringDict::find(std::string_view s) const {
+  if (slots_.empty()) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (blocks_[i / kBlock][i % kBlock] == s) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    return std::nullopt;
+  }
+  return probe(s);
+}
+
+std::size_t StringDict::bytes() const {
+  std::size_t n = 0;
+  for (const auto& block : blocks_) {
+    for (const std::string& s : block) {
+      // One stored string + its index / code-table slots.
+      n += s.size() + sizeof(std::string) + sizeof(std::uint32_t) +
+           sizeof(const std::string*);
+    }
+  }
+  return n;
+}
+
+std::size_t ColumnVec::bytes() const {
+  if (type == DType::kNumber) return nums.size() * sizeof(double);
+  return codes.size() * sizeof(std::uint32_t) + dict.bytes();
+}
+
+namespace {
+constexpr std::uint32_t kNoCode = 0xFFFFFFFFu;
+
+// Per-source-code translation memo for moving a string column across
+// dictionaries: one intern per distinct source string.
+class CodeRemap {
+ public:
+  CodeRemap(const StringDict& src, StringDict* dst)
+      : src_(src), dst_(dst), map_(src.size(), kNoCode) {}
+
+  std::uint32_t operator()(std::uint32_t src_code) {
+    std::uint32_t& m = map_[src_code];
+    if (m == kNoCode) m = dst_->intern(src_.at(src_code));
+    return m;
+  }
+
+ private:
+  const StringDict& src_;
+  StringDict* dst_;
+  std::vector<std::uint32_t> map_;
+};
+}  // namespace
+
+void ColumnVec::append_range_from(const ColumnVec& src, std::size_t begin,
+                                  std::size_t end) {
+  if (type == DType::kNumber) {
+    nums.insert(nums.end(), src.nums.begin() + begin, src.nums.begin() + end);
+  } else {
+    CodeRemap remap(src.dict, &dict);
+    for (std::size_t r = begin; r < end; ++r) {
+      codes.push_back(remap(src.codes[r]));
+    }
+  }
+}
+
+void ColumnVec::append_gather_from(const ColumnVec& src,
+                                   const std::vector<std::size_t>& rows) {
+  if (type == DType::kNumber) {
+    for (std::size_t r : rows) nums.push_back(src.nums[r]);
+  } else {
+    CodeRemap remap(src.dict, &dict);
+    for (std::size_t r : rows) codes.push_back(remap(src.codes[r]));
+  }
+}
+
+ColumnSlab::ColumnSlab(const Schema& schema) {
+  cols_.resize(schema.size());
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    cols_[c].type = schema.column(c).type;
+  }
+}
+
+void ColumnSlab::reserve(std::size_t n) {
+  for (ColumnVec& col : cols_) {
+    if (col.type == DType::kNumber) {
+      col.nums.reserve(n);
+    } else {
+      col.codes.reserve(n);
+    }
+  }
+}
+
+void ColumnSlab::append_value(std::size_t c, const Value& v) {
+  ColumnVec& col = cols_.at(c);
+  if (v.type() != col.type) {
+    throw TypeError("slab column expects " + dtype_name(col.type) + ", got " +
+                    dtype_name(v.type()));
+  }
+  if (col.type == DType::kNumber) {
+    col.nums.push_back(v.as_number());
+  } else {
+    col.codes.push_back(col.dict.intern(v.as_string()));
+  }
+}
+
+Value ColumnSlab::value_at(std::size_t row, std::size_t col) const {
+  const ColumnVec& c = cols_.at(col);
+  if (c.type == DType::kNumber) return Value(c.nums.at(row));
+  return Value(c.dict.at(c.codes.at(row)));
+}
+
+double ColumnSlab::number_at(std::size_t row, std::size_t col) const {
+  const ColumnVec& c = cols_.at(col);
+  if (c.type != DType::kNumber) {
+    throw TypeError("value is STRING, expected NUMBER");
+  }
+  return c.nums.at(row);
+}
+
+const std::string& ColumnSlab::string_at(std::size_t row,
+                                         std::size_t col) const {
+  const ColumnVec& c = cols_.at(col);
+  if (c.type != DType::kString) {
+    throw TypeError("value is NUMBER, expected STRING");
+  }
+  return c.dict.at(c.codes.at(row));
+}
+
+std::size_t ColumnSlab::bytes() const {
+  std::size_t n = sizeof(ColumnSlab) + cols_.size() * sizeof(ColumnVec);
+  for (const ColumnVec& col : cols_) n += col.bytes();
+  return n;
+}
+
+}  // namespace privid

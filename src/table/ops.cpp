@@ -1,6 +1,7 @@
 #include "table/ops.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -8,19 +9,128 @@
 
 namespace privid {
 
+namespace group_detail {
+
+ColumnRoute route_declared(const Table& t, std::size_t idx,
+                           const std::vector<Value>& keys, NumberBin bin) {
+  const std::size_t n = t.row_count();
+  ColumnRoute out;
+  out.domain = keys;
+  out.row_dom.assign(n, kNoGroup);
+  if (t.schema().column(idx).type == DType::kNumber) {
+    std::map<double, std::int32_t> m;
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (keys[j].is_number()) {
+        m[keys[j].as_number()] = static_cast<std::int32_t>(j);
+      }
+    }
+    const std::vector<double>& col = t.numbers(idx);
+    for (std::size_t r = 0; r < n; ++r) {
+      auto it = m.find(bin ? bin(col[r]) : col[r]);
+      if (it != m.end()) out.row_dom[r] = it->second;
+    }
+  } else {
+    const StringDict& dict = t.dict(idx);
+    std::vector<std::int32_t> code_dom(dict.size(), kNoGroup);
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (!keys[j].is_string()) continue;
+      if (auto code = dict.find(keys[j].as_string())) {
+        code_dom[*code] = static_cast<std::int32_t>(j);
+      }
+    }
+    const std::vector<std::uint32_t>& codes = t.codes(idx);
+    for (std::size_t r = 0; r < n; ++r) out.row_dom[r] = code_dom[codes[r]];
+  }
+  return out;
+}
+
+ColumnRoute route_observed(const Table& t, std::size_t idx, NumberBin bin) {
+  const std::size_t n = t.row_count();
+  ColumnRoute out;
+  out.row_dom.assign(n, kNoGroup);
+  if (t.schema().column(idx).type == DType::kNumber) {
+    const std::vector<double>& col = t.numbers(idx);
+    std::map<double, std::int32_t> m;
+    for (double x : col) m.emplace(bin ? bin(x) : x, 0);
+    std::int32_t next = 0;
+    for (auto& [x, d] : m) {
+      d = next++;
+      out.domain.emplace_back(x);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      out.row_dom[r] = m.at(bin ? bin(col[r]) : col[r]);
+    }
+  } else {
+    const StringDict& dict = t.dict(idx);
+    const std::vector<std::uint32_t>& codes = t.codes(idx);
+    std::map<std::string, std::uint32_t> present;  // sorted distinct
+    for (std::uint32_t c : codes) present.emplace(dict.at(c), c);
+    std::vector<std::int32_t> code_dom(dict.size(), kNoGroup);
+    std::int32_t next = 0;
+    for (const auto& [str, c] : present) {
+      code_dom[c] = next++;
+      out.domain.emplace_back(str);
+    }
+    for (std::size_t r = 0; r < n; ++r) out.row_dom[r] = code_dom[codes[r]];
+  }
+  return out;
+}
+
+std::vector<Group> enumerate_product(
+    const std::vector<std::vector<Value>>& domains) {
+  std::vector<Group> groups;
+  groups.push_back(Group{});
+  for (const auto& d : domains) {
+    std::vector<Group> next;
+    next.reserve(groups.size() * d.size());
+    for (const auto& g : groups) {
+      for (const auto& k : d) {
+        Group ng;
+        ng.key = g.key;
+        ng.key.push_back(k);
+        next.push_back(std::move(ng));
+      }
+    }
+    groups = std::move(next);
+  }
+  return groups;
+}
+
+void route_rows(const std::vector<ColumnRoute>& routes, std::size_t n_rows,
+                std::vector<Group>* groups) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    std::size_t g = 0;
+    bool matched = true;
+    for (const ColumnRoute& route : routes) {
+      const std::int32_t d = route.row_dom[r];
+      if (d == kNoGroup) {
+        matched = false;
+        break;
+      }
+      g = g * route.domain.size() + static_cast<std::size_t>(d);
+    }
+    if (matched) (*groups)[g].rows.push_back(r);
+  }
+}
+
+}  // namespace group_detail
+
+using group_detail::ColumnRoute;
+using group_detail::kNoGroup;
+
 Table select_rows(const Table& t, const RowPredicate& pred) {
   Table out(t.schema(), t.provenance());
-  for (const auto& r : t.rows()) {
-    if (pred(r)) out.append_unchecked(r);
+  std::vector<std::size_t> keep;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    if (pred(t.row(r))) keep.push_back(r);
   }
+  out.append_gather(t, keep);
   return out;
 }
 
 Table limit_rows(const Table& t, std::size_t x) {
   Table out(t.schema(), t.provenance());
-  for (std::size_t i = 0; i < std::min(x, t.row_count()); ++i) {
-    out.append_unchecked(t.row(i));
-  }
+  out.append_range(t, 0, std::min(x, t.row_count()));
   return out;
 }
 
@@ -32,19 +142,29 @@ Table project(const Table& t, const std::vector<ProjectionColumn>& cols) {
     schema_cols.push_back({c.name, c.type, dflt});
   }
   Table out(Schema(std::move(schema_cols)), t.provenance());
-  for (const auto& r : t.rows()) {
-    Row nr;
-    nr.reserve(cols.size());
-    for (const auto& c : cols) nr.push_back(c.eval(r));
-    out.append(std::move(nr));
+  const std::size_t n = t.row_count();
+  out.reserve_rows(n);
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].pass) {
+      out.copy_column(t, *cols[c].pass, c);
+      continue;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      out.append_cell(c, cols[c].eval(t.row(r)));
+    }
   }
+  out.commit_rows(n);
   return out;
 }
 
 ProjectionColumn pass_column(const Table& t, const std::string& name) {
   std::size_t idx = t.schema().index_of(name);
-  return {name, t.schema().column(idx).type,
-          [idx](const Row& r) { return r[idx]; }};
+  ProjectionColumn pc;
+  pc.name = name;
+  pc.type = t.schema().column(idx).type;
+  pc.eval = [idx](const RowView& r) { return r[idx]; };
+  pc.pass = idx;
+  return pc;
 }
 
 ProjectionColumn range_clamp_column(const Table& t, const std::string& name,
@@ -54,9 +174,13 @@ ProjectionColumn range_clamp_column(const Table& t, const std::string& name,
   if (t.schema().column(idx).type != DType::kNumber) {
     throw TypeError("range() requires a NUMBER column, got '" + name + "'");
   }
-  return {name, DType::kNumber, [idx, lo, hi](const Row& r) {
-            return Value(std::clamp(r[idx].as_number(), lo, hi));
-          }};
+  ProjectionColumn pc;
+  pc.name = name;
+  pc.type = DType::kNumber;
+  pc.eval = [idx, lo, hi](const RowView& r) {
+    return Value(std::clamp(r.number(idx), lo, hi));
+  };
+  return pc;
 }
 
 std::vector<Group> group_by_keys(
@@ -71,39 +195,16 @@ std::vector<Group> group_by_keys(
       throw ArgumentError("group_by_keys: empty key list for a column");
     }
   }
-  std::vector<std::size_t> idx;
-  for (const auto& c : key_columns) idx.push_back(t.schema().index_of(c));
-
-  // Enumerate the cartesian product of explicit keys, in declaration order.
-  std::vector<Group> groups;
-  groups.push_back(Group{});
-  for (const auto& keys : keys_per_column) {
-    std::vector<Group> next;
-    next.reserve(groups.size() * keys.size());
-    for (const auto& g : groups) {
-      for (const auto& k : keys) {
-        Group ng;
-        ng.key = g.key;
-        ng.key.push_back(k);
-        next.push_back(std::move(ng));
-      }
-    }
-    groups = std::move(next);
+  std::vector<ColumnRoute> routes;
+  for (std::size_t j = 0; j < key_columns.size(); ++j) {
+    std::size_t idx = t.schema().index_of(key_columns[j]);
+    routes.push_back(
+        group_detail::route_declared(t, idx, keys_per_column[j], nullptr));
   }
-
-  // Map from key tuple to group index for row routing.
-  std::map<std::vector<Value>, std::size_t> lookup;
-  for (std::size_t g = 0; g < groups.size(); ++g) lookup[groups[g].key] = g;
-
-  for (std::size_t r = 0; r < t.row_count(); ++r) {
-    std::vector<Value> key;
-    key.reserve(idx.size());
-    for (std::size_t i : idx) key.push_back(t.row(r)[i]);
-    auto it = lookup.find(key);
-    // Rows whose key is not in the explicit list are dropped: the key list
-    // is the analyst's declaration of the output domain (§6.2).
-    if (it != lookup.end()) groups[it->second].rows.push_back(r);
-  }
+  std::vector<Group> groups = group_detail::enumerate_product(keys_per_column);
+  // Rows whose key is not in the explicit list are dropped: the key list
+  // is the analyst's declaration of the output domain (§6.2).
+  group_detail::route_rows(routes, t.row_count(), &groups);
   return groups;
 }
 
@@ -115,9 +216,22 @@ std::vector<Group> group_by_trusted(
                           "' is not a trusted column");
   }
   std::size_t idx = t.schema().index_of(column);
+  if (!bin) {
+    // Columnar fast path: observed distinct values, sorted.
+    ColumnRoute route = group_detail::route_observed(t, idx, nullptr);
+    std::vector<Group> groups(route.domain.size());
+    for (std::size_t g = 0; g < route.domain.size(); ++g) {
+      groups[g].key = {route.domain[g]};
+    }
+    for (std::size_t r = 0; r < t.row_count(); ++r) {
+      groups[static_cast<std::size_t>(route.row_dom[r])].rows.push_back(r);
+    }
+    return groups;
+  }
+  // Binned path: bins are opaque functions, so route row-at-a-time.
   std::map<Value, Group> by_key;
   for (std::size_t r = 0; r < t.row_count(); ++r) {
-    Value k = bin ? bin(t.row(r)[idx]) : t.row(r)[idx];
+    Value k = bin(t.at(r, idx));
     auto [it, inserted] = by_key.try_emplace(k);
     if (inserted) it->second.key = {k};
     it->second.rows.push_back(r);
@@ -142,17 +256,21 @@ Table equijoin(const Table& a, const Table& b, const std::string& a_col,
 
   std::multimap<Value, std::size_t> index;
   for (std::size_t r = 0; r < b.row_count(); ++r) {
-    index.emplace(b.row(r)[bi], r);
+    index.emplace(b.at(r, bi), r);
   }
+  // Match pairs in a-row order (equal b keys keep insertion order), then
+  // assemble with two columnar gathers: a's part, then b's part.
+  std::vector<std::size_t> a_rows, b_rows;
   for (std::size_t r = 0; r < a.row_count(); ++r) {
-    auto [lo, hi] = index.equal_range(a.row(r)[ai]);
+    auto [lo, hi] = index.equal_range(a.at(r, ai));
     for (auto it = lo; it != hi; ++it) {
-      Row nr = a.row(r);
-      const Row& br = b.row(it->second);
-      nr.insert(nr.end(), br.begin(), br.end());
-      out.append_unchecked(std::move(nr));
+      a_rows.push_back(r);
+      b_rows.push_back(it->second);
     }
   }
+  out.gather_columns(a, a_rows, 0);
+  out.gather_columns(b, b_rows, a.schema().size());
+  out.commit_rows(a_rows.size());
   return out;
 }
 
@@ -161,17 +279,19 @@ Table table_union(const Table& a, const Table& b) {
     throw TypeError("union: schemas differ");
   }
   Table out(a.schema(), a.provenance());
-  for (const auto& r : a.rows()) out.append_unchecked(r);
-  for (const auto& r : b.rows()) out.append_unchecked(r);
+  out.append_table(a);
+  out.append_table(b);
   return out;
 }
 
 Table distinct(const Table& t) {
   Table out(t.schema(), t.provenance());
   std::set<Row> seen;
-  for (const auto& r : t.rows()) {
-    if (seen.insert(r).second) out.append_unchecked(r);
+  std::vector<std::size_t> keep;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    if (seen.insert(t.materialize_row(r)).second) keep.push_back(r);
   }
+  out.append_gather(t, keep);
   return out;
 }
 

@@ -7,10 +7,14 @@
 //
 // The operators are deliberately value-semantic (table in, table out): the
 // executor builds small pipelines and the sensitivity rules are computed on
-// the AST, never on the data itself.
+// the AST, never on the data itself. Internally each operator is a columnar
+// kernel: predicates/evals see RowView cursors, and surviving rows move
+// between tables with whole-column gathers (see table/table.hpp), never one
+// variant cell at a time.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,8 +22,8 @@
 
 namespace privid {
 
-// Row predicate bound to a schema. Evaluated per row.
-using RowPredicate = std::function<bool(const Row&)>;
+// Row predicate bound to a schema. Evaluated per row over a cursor.
+using RowPredicate = std::function<bool(const RowView&)>;
 
 // σ: rows of `t` satisfying `pred`, same schema/provenance.
 Table select_rows(const Table& t, const RowPredicate& pred);
@@ -31,7 +35,11 @@ Table limit_rows(const Table& t, std::size_t x);
 struct ProjectionColumn {
   std::string name;
   DType type = DType::kNumber;
-  std::function<Value(const Row&)> eval;
+  std::function<Value(const RowView&)> eval;
+  // When set, the column is a pass-through of source column `pass` and the
+  // projection copies it with a columnar gather instead of evaluating
+  // `eval` per row.
+  std::optional<std::size_t> pass;
 };
 
 // Π: maps each row through the projection columns.
@@ -51,6 +59,49 @@ struct Group {
   std::vector<Value> key;         // one value per grouping column
   std::vector<std::size_t> rows;  // indices into the source table
 };
+
+// Columnar group-routing primitives, shared by the operators below and by
+// the engine's compute_groups (engine/relexec.cpp) so the two group-by
+// implementations cannot drift: groups are the cartesian product of the
+// per-column domains in declaration order, and each row composes its
+// per-column domain indices into the product position (mixed radix).
+namespace group_detail {
+
+inline constexpr std::int32_t kNoGroup = -1;
+
+// One grouping column's routing state: its value domain (declared keys or
+// observed distinct values) and each row's index into it (kNoGroup when
+// the row's key is not in the domain).
+struct ColumnRoute {
+  std::vector<Value> domain;
+  std::vector<std::int32_t> row_dom;
+};
+
+// Optional bucketing of NUMBER cells before matching (hour/day bins).
+using NumberBin = double (*)(double);
+
+// Routing under explicit declared keys. Matching is dtype-aware: NUMBER
+// cells only match NUMBER keys, STRING cells only STRING keys (mirroring
+// Value equality). When a key appears more than once the *last*
+// occurrence wins — the same tuple the row-era full-key map ended up
+// routing to.
+ColumnRoute route_declared(const Table& t, std::size_t idx,
+                           const std::vector<Value>& keys, NumberBin bin);
+
+// Routing over the observed distinct (binned) values, sorted — the
+// trusted-column case. `bin` only applies to NUMBER columns.
+ColumnRoute route_observed(const Table& t, std::size_t idx, NumberBin bin);
+
+// Enumerates the cartesian product of the domains in declaration order.
+std::vector<Group> enumerate_product(
+    const std::vector<std::vector<Value>>& domains);
+
+// Routes every row to its product-order group; rows with any unmatched
+// column are dropped.
+void route_rows(const std::vector<ColumnRoute>& routes, std::size_t n_rows,
+                std::vector<Group>* groups);
+
+}  // namespace group_detail
 
 // γ with explicit keys (WITH KEYS [...]): one group per element of the
 // cartesian product of `keys_per_column`, in declaration order, *including

@@ -1,7 +1,7 @@
 #include "table/value.hpp"
 
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -23,15 +23,27 @@ const std::string& Value::as_string() const {
 
 std::string Value::to_string() const {
   if (is_string()) return std::get<std::string>(v_);
-  double d = std::get<double>(v_);
-  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
-    return buf;
-  }
+  return render_number(std::get<double>(v_));
+}
+
+// std::to_chars instead of snprintf on the report path: no locale lookup,
+// no format-string parse, no stdio lock. The output must stay byte-
+// identical to the historical snprintf rendering ("%lld" for integral
+// magnitudes below 1e15, "%g" otherwise) — chars_format::general with
+// precision 6 is specified to match printf "%g" in the C locale, and the
+// ValueGolden test pins the equivalence over representative doubles.
+std::string Value::render_number(double d) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", d);
-  return buf;
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                 static_cast<long long>(d));
+    (void)ec;  // 32 bytes always fit a long long
+    return std::string(buf, p);
+  }
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d,
+                               std::chars_format::general, 6);
+  (void)ec;  // 32 bytes always fit %.6g output
+  return std::string(buf, p);
 }
 
 bool Value::operator<(const Value& o) const {

@@ -35,6 +35,9 @@ class Value {
 
   // Renders the value for reports ("3.14" / "RED").
   std::string to_string() const;
+  // The NUMBER rendering used by to_string (std::to_chars; byte-identical
+  // to the historical snprintf "%lld"/"%g" output).
+  static std::string render_number(double d);
 
   bool operator==(const Value& o) const { return v_ == o.v_; }
   // Ordering: numbers before strings, then natural order within type.

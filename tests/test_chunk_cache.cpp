@@ -125,9 +125,13 @@ Fingerprint key_of(std::uint64_t i) {
   return fp.digest();
 }
 
-// A cached value whose footprint is dominated by `payload` string bytes.
-std::vector<Row> rows_with_payload(std::size_t payload) {
-  return {Row{Value(std::string(payload, 'x'))}};
+// A cached slab whose footprint is dominated by `payload` string bytes.
+ColumnSlab slab_with_payload(std::size_t payload) {
+  Schema schema({{"s", DType::kString, Value(std::string())}});
+  ColumnSlab slab(schema);
+  slab.append_string(0, std::string(payload, 'x'));
+  slab.finish_row();
+  return slab;
 }
 
 // -------------------------------------------------------- fingerprints
@@ -158,12 +162,12 @@ TEST(Fingerprint, OrderAndValueSensitive) {
 
 TEST(ChunkCache, HitMissStats) {
   ChunkCache cache(1 << 20);
-  std::vector<Row> out;
+  ColumnSlab out;
   EXPECT_FALSE(cache.lookup(key_of(1), &out));
-  cache.insert(key_of(1), rows_with_payload(16));
+  cache.insert(key_of(1), slab_with_payload(16));
   EXPECT_TRUE(cache.lookup(key_of(1), &out));
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0][0].as_string(), std::string(16, 'x'));
+  ASSERT_EQ(out.row_count(), 1u);
+  EXPECT_EQ(out.string_at(0, 0), std::string(16, 'x'));
 
   CacheStats s = cache.stats();
   EXPECT_EQ(s.hits, 1u);
@@ -175,13 +179,13 @@ TEST(ChunkCache, HitMissStats) {
 
 TEST(ChunkCache, LruEvictionAtByteBudget) {
   // Budget sized for exactly two payload-1KiB entries.
-  const std::size_t entry = ChunkCache::rows_bytes(rows_with_payload(1024));
+  const std::size_t entry = ChunkCache::slab_bytes(slab_with_payload(1024));
   ChunkCache cache(2 * entry);
-  cache.insert(key_of(1), rows_with_payload(1024));
-  cache.insert(key_of(2), rows_with_payload(1024));
-  std::vector<Row> out;
+  cache.insert(key_of(1), slab_with_payload(1024));
+  cache.insert(key_of(2), slab_with_payload(1024));
+  ColumnSlab out;
   ASSERT_TRUE(cache.lookup(key_of(1), &out));  // 1 is now most recent
-  cache.insert(key_of(3), rows_with_payload(1024));
+  cache.insert(key_of(3), slab_with_payload(1024));
 
   EXPECT_FALSE(cache.lookup(key_of(2), &out));  // LRU victim
   EXPECT_TRUE(cache.lookup(key_of(1), &out));
@@ -194,8 +198,8 @@ TEST(ChunkCache, LruEvictionAtByteBudget) {
 
 TEST(ChunkCache, OversizeValueIsNotCached) {
   ChunkCache cache(64);
-  cache.insert(key_of(1), rows_with_payload(4096));
-  std::vector<Row> out;
+  cache.insert(key_of(1), slab_with_payload(4096));
+  ColumnSlab out;
   EXPECT_FALSE(cache.lookup(key_of(1), &out));
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().evictions, 0u);
@@ -204,22 +208,22 @@ TEST(ChunkCache, OversizeValueIsNotCached) {
 TEST(ChunkCache, ShrinkingBudgetEvictsDown) {
   ChunkCache cache(1 << 20);
   for (std::uint64_t i = 0; i < 8; ++i) {
-    cache.insert(key_of(i), rows_with_payload(1024));
+    cache.insert(key_of(i), slab_with_payload(1024));
   }
   EXPECT_EQ(cache.stats().entries, 8u);
-  cache.set_byte_budget(3 * ChunkCache::rows_bytes(rows_with_payload(1024)));
+  cache.set_byte_budget(3 * ChunkCache::slab_bytes(slab_with_payload(1024)));
   EXPECT_LE(cache.stats().entries, 3u);
   EXPECT_GE(cache.stats().evictions, 5u);
   // The survivors are the most recently inserted.
-  std::vector<Row> out;
+  ColumnSlab out;
   EXPECT_TRUE(cache.lookup(key_of(7), &out));
   EXPECT_FALSE(cache.lookup(key_of(0), &out));
 }
 
 TEST(ChunkCache, ClearKeepsCounters) {
   ChunkCache cache(1 << 20);
-  cache.insert(key_of(1), rows_with_payload(8));
-  std::vector<Row> out;
+  cache.insert(key_of(1), slab_with_payload(8));
+  ColumnSlab out;
   EXPECT_TRUE(cache.lookup(key_of(1), &out));
   cache.clear();
   EXPECT_EQ(cache.stats().entries, 0u);

@@ -101,8 +101,8 @@ TEST(Sandbox, TruncatesToMaxRows) {
   VideoMeta meta = scene->meta();
   ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
   Schema schema({{"n", DType::kNumber, Value(0.0)}});
-  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
-  EXPECT_EQ(rows.size(), 3u);
+  auto slab = run_sandboxed(exe, view, {1.0, 3, schema});
+  EXPECT_EQ(slab.row_count(), 3u);
 }
 
 TEST(Sandbox, CoercesRows) {
@@ -119,12 +119,12 @@ TEST(Sandbox, CoercesRows) {
   ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
   Schema schema({{"a", DType::kNumber, Value(-1.0)},
                  {"b", DType::kNumber, Value(-2.0)}});
-  auto rows = run_sandboxed(exe, view, {1.0, 5, schema});
-  ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0][0], Value(-1.0));  // wrong type -> default
-  EXPECT_EQ(rows[0][1], Value(2.0));   // extra column 9.0 dropped
-  EXPECT_EQ(rows[1][0], Value(5.0));
-  EXPECT_EQ(rows[1][1], Value(-2.0));  // missing -> default
+  auto slab = run_sandboxed(exe, view, {1.0, 5, schema});
+  ASSERT_EQ(slab.row_count(), 2u);
+  EXPECT_EQ(slab.value_at(0, 0), Value(-1.0));  // wrong type -> default
+  EXPECT_EQ(slab.value_at(0, 1), Value(2.0));   // extra column 9.0 dropped
+  EXPECT_EQ(slab.value_at(1, 0), Value(5.0));
+  EXPECT_EQ(slab.value_at(1, 1), Value(-2.0));  // missing -> default
 }
 
 TEST(Sandbox, CrashYieldsDefaultRow) {
@@ -136,9 +136,9 @@ TEST(Sandbox, CrashYieldsDefaultRow) {
   VideoMeta meta = scene->meta();
   ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
   Schema schema({{"n", DType::kNumber, Value(7.0)}});
-  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0][0], Value(7.0));
+  auto slab = run_sandboxed(exe, view, {1.0, 3, schema});
+  ASSERT_EQ(slab.row_count(), 1u);
+  EXPECT_EQ(slab.value_at(0, 0), Value(7.0));
 }
 
 TEST(Sandbox, TimeoutYieldsDefaultRow) {
@@ -153,9 +153,9 @@ TEST(Sandbox, TimeoutYieldsDefaultRow) {
   VideoMeta meta = scene->meta();
   ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
   Schema schema({{"n", DType::kNumber, Value(-9.0)}});
-  auto rows = run_sandboxed(exe, view, {1.0, 3, schema});
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0][0], Value(-9.0));
+  auto slab = run_sandboxed(exe, view, {1.0, 3, schema});
+  ASSERT_EQ(slab.row_count(), 1u);
+  EXPECT_EQ(slab.value_at(0, 0), Value(-9.0));
 }
 
 TEST(Sandbox, NonFiniteNumbersRejected) {
@@ -176,13 +176,13 @@ TEST(Sandbox, NonFiniteNumbersRejected) {
   ChunkView view(&content, &meta, 0, {0, 5}, {0, 50}, nullptr, nullptr);
   Schema schema({{"a", DType::kNumber, Value(-1.0)},
                  {"b", DType::kNumber, Value(-2.0)}});
-  auto rows = run_sandboxed(exe, view, {1.0, 5, schema});
-  ASSERT_EQ(rows.size(), 3u);
-  EXPECT_EQ(rows[0][0], Value(-1.0));  // NaN -> default
-  EXPECT_EQ(rows[0][1], Value(1.0));
-  EXPECT_EQ(rows[1][0], Value(-1.0));  // +inf -> default
-  EXPECT_EQ(rows[2][1], Value(-2.0));  // -inf -> default
-  EXPECT_EQ(rows[2][0], Value(3.0));
+  auto slab = run_sandboxed(exe, view, {1.0, 5, schema});
+  ASSERT_EQ(slab.row_count(), 3u);
+  EXPECT_EQ(slab.value_at(0, 0), Value(-1.0));  // NaN -> default
+  EXPECT_EQ(slab.value_at(0, 1), Value(1.0));
+  EXPECT_EQ(slab.value_at(1, 0), Value(-1.0));  // +inf -> default
+  EXPECT_EQ(slab.value_at(2, 1), Value(-2.0));  // -inf -> default
+  EXPECT_EQ(slab.value_at(2, 0), Value(3.0));
 }
 
 TEST(ChunkView, IsolationRejectsOutsideObservation) {

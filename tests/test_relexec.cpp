@@ -44,7 +44,7 @@ query::SelectStmt parse_one(const std::string& select) {
 
 TEST(EvalExpr, ColumnAndLiterals) {
   Table t = cars_table();
-  const Row& r = t.row(0);
+  RowView r = t.row(0);
   EXPECT_EQ(eval_expr(*Expr::column("plate"), r, t.schema()), Value("AAA"));
   EXPECT_EQ(eval_expr(*Expr::number_lit(5), r, t.schema()), Value(5.0));
   EXPECT_EQ(eval_expr(*Expr::string_lit("x"), r, t.schema()), Value("x"));
@@ -52,7 +52,7 @@ TEST(EvalExpr, ColumnAndLiterals) {
 
 TEST(EvalExpr, Arithmetic) {
   Table t = cars_table();
-  const Row& r = t.row(0);  // speed 42
+  RowView r = t.row(0);  // speed 42
   auto e = Expr::binary("+", Expr::column("speed"), Expr::number_lit(8));
   EXPECT_DOUBLE_EQ(eval_expr(*e, r, t.schema()).as_number(), 50.0);
   auto m = Expr::binary("*", Expr::column("speed"), Expr::number_lit(2));
@@ -63,7 +63,7 @@ TEST(EvalExpr, Arithmetic) {
 
 TEST(EvalExpr, Comparisons) {
   Table t = cars_table();
-  const Row& r = t.row(0);
+  RowView r = t.row(0);
   auto eq = Expr::binary("=", Expr::column("color"), Expr::string_lit("RED"));
   EXPECT_TRUE(eval_predicate(*eq, r, t.schema()));
   auto ne = Expr::binary("!=", Expr::column("color"), Expr::string_lit("RED"));
@@ -78,7 +78,7 @@ TEST(EvalExpr, Comparisons) {
 
 TEST(EvalExpr, RangeClampAndBins) {
   Table t = cars_table();
-  const Row& r = t.row(3);  // speed 61, chunk 7200
+  RowView r = t.row(3);  // speed 61, chunk 7200
   std::vector<query::ExprPtr> args;
   args.push_back(Expr::column("speed"));
   args.push_back(Expr::number_lit(30));
@@ -94,7 +94,7 @@ TEST(EvalExpr, RangeClampAndBins) {
 
 TEST(EvalExpr, UnknownColumnOrFunction) {
   Table t = cars_table();
-  const Row& r = t.row(0);
+  RowView r = t.row(0);
   EXPECT_THROW(eval_expr(*Expr::column("nope"), r, t.schema()), LookupError);
   EXPECT_THROW(eval_expr(*Expr::call("median", {}), r, t.schema()),
                ArgumentError);
@@ -273,8 +273,8 @@ TEST_P(WhereCountProperty, Consistent) {
                      "WHERE speed > " + std::to_string(threshold) + ");");
   Table result = eval_relation(*s.core.from, tables);
   std::size_t expected = 0;
-  for (const auto& row : t.rows()) {
-    if (row[2].as_number() > threshold) ++expected;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    if (t.number_at(r, 2) > threshold) ++expected;
   }
   EXPECT_EQ(result.row_count(), expected);
 }

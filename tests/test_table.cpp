@@ -124,7 +124,7 @@ TEST(Ops, SelectRows) {
   Table t = car_table();
   std::size_t color = t.schema().index_of("color");
   Table red = select_rows(
-      t, [color](const Row& r) { return r[color] == Value("RED"); });
+      t, [color](const RowView& r) { return r[color] == Value("RED"); });
   EXPECT_EQ(red.row_count(), 3u);
 }
 
