@@ -30,6 +30,16 @@
 #   require run the gate; FAIL FAST if clang-format-18 is missing (CI)
 #   skip    don't run the gate
 # FORMAT_ONLY=1 exits right after the gate (the CI format job).
+#
+# LINT mirrors the FORMAT knob for static analysis (the CI lint job):
+#   check   (default) after the build, run privcheck (built by this tree —
+#           always available) and clang-tidy if a clang-tidy binary is
+#           installed; print a loud notice — never a silent skip — when
+#           clang-tidy is not
+#   require same, but FAIL FAST if clang-tidy is missing (CI)
+#   skip    run neither
+# privcheck findings and clang-tidy warnings both fail the run; privcheck's
+# JSON report lands in $BUILD_DIR/privcheck_report.json (CI artifact).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -37,6 +47,7 @@ SANITIZE="${SANITIZE:-}"
 TEST_FILTER="${TEST_FILTER:-}"
 FORMAT="${FORMAT:-check}"
 FORMAT_ONLY="${FORMAT_ONLY:-}"
+LINT="${LINT:-check}"
 
 # ------------------------------------------------------------ format gate
 run_format_gate() {
@@ -105,9 +116,63 @@ if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
   CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER_LAUNCHER=${CMAKE_CXX_COMPILER_LAUNCHER}")
 fi
 
+case "$LINT" in
+  check|require|skip) ;;
+  *)
+    echo "check_build.sh: LINT must be 'check', 'require' or 'skip'" >&2
+    exit 2
+    ;;
+esac
+
+# ---------------------------------------------------------------- lint gate
+# Runs after the build (privcheck is built by this tree; clang-tidy needs
+# the compilation database the configure step emits).
+run_lint_gate() {
+  local privcheck_bin="$BUILD_DIR/tools/privcheck/privcheck"
+  if [[ ! -x "$privcheck_bin" ]]; then
+    echo "check_build.sh: FATAL: $privcheck_bin not built — configure with" \
+         "-DPRIVID_BUILD_TOOLS=ON (the default) or rerun with LINT=skip" >&2
+    exit 2
+  fi
+  echo "check_build.sh: running privcheck"
+  "$privcheck_bin" --root . --json "$BUILD_DIR/privcheck_report.json" --quiet
+
+  local tidy=""
+  for cand in clang-tidy-18 clang-tidy; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+  if [[ -z "$tidy" ]]; then
+    case "$LINT" in
+      require)
+        echo "check_build.sh: FATAL: clang-tidy not found but LINT=require" \
+             "— install it (apt-get install clang-tidy-18) or rerun with" \
+             "LINT=check" >&2
+        exit 2
+        ;;
+      *)
+        echo "check_build.sh: NOTICE: clang-tidy not found; SKIPPING the" \
+             "clang-tidy half of the lint gate (CI will still enforce it" \
+             "— set LINT=require to fail fast here instead)" >&2
+        return 0
+        ;;
+    esac
+  fi
+  echo "check_build.sh: running $tidy ($($tidy --version | head -n 1))"
+  # .cpp files only: headers are not in the compilation database; they are
+  # checked through their includers via HeaderFilterRegex in .clang-tidy.
+  find src -name '*.cpp' -print0 |
+    xargs -0 "$tidy" -p "$BUILD_DIR" --quiet
+}
+
 # --------------------------------------------------------- build and test
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+if [[ "$LINT" != "skip" ]]; then
+  run_lint_gate
+fi
 (
   cd "$BUILD_DIR"
   if [[ -n "$TEST_FILTER" ]]; then

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <map>
 
+// privcheck:allow-file(exec-output): this file IS the untrusted side — it
+// implements the analyst executables whose ExecOutput is handed to
+// engine::run_sandboxed for clamping. The rule keeps trusted engine code
+// from touching raw ExecOutput; the producers must of course name it.
 namespace privid::analyst {
 
 using engine::ChunkView;

@@ -44,4 +44,20 @@ class Rng {
   std::mt19937_64 gen_;
 };
 
+// Canonical seed mixer (splitmix64 finalizer): derives a child seed from a
+// parent seed and a stream tag so per-chunk / per-entity / per-frame tapes
+// are independent and stable across runs. Every module must use this one —
+// a second inline mixer is a parallel hashing scheme (privcheck
+// parallel-hash); content addressing beyond seeds keys off
+// common/fingerprint.* instead.
+inline std::uint64_t seed_mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace privid

@@ -8,17 +8,9 @@
 
 namespace privid::cv {
 
-namespace {
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-}  // namespace
+// Detection draws key off the shared privid::seed_mix (common/rng.hpp) so
+// every module derives per-(seed, entity, frame) streams the same way.
+using privid::seed_mix;
 
 Detector::Detector(DetectorConfig cfg, std::uint64_t seed)
     : cfg_(cfg), seed_(seed) {
@@ -50,8 +42,9 @@ std::vector<Detection> Detector::detect(const sim::Scene& scene, Seconds t,
     if (p <= 0) continue;
 
     // Deterministic draw per (seed, entity, frame).
-    Rng draw(mix(seed_, mix(static_cast<std::uint64_t>(e.id),
-                            static_cast<std::uint64_t>(frame))));
+    std::uint64_t tag = seed_mix(static_cast<std::uint64_t>(e.id),
+                                 static_cast<std::uint64_t>(frame));
+    Rng draw(seed_mix(seed_, tag));
     if (!draw.bernoulli(p)) continue;
 
     Detection d;
@@ -93,7 +86,9 @@ std::vector<Detection> Detector::detect(const sim::Scene& scene, Seconds t,
   }
 
   // False positives: a small deterministic Poisson count per frame.
-  Rng fp_rng(mix(seed_, mix(0xF05EFull, static_cast<std::uint64_t>(frame))));
+  std::uint64_t fp_tag =
+      seed_mix(0xF05EFull, static_cast<std::uint64_t>(frame));
+  Rng fp_rng(seed_mix(seed_, fp_tag));
   std::int64_t n_fp = fp_rng.poisson(cfg_.false_positives_per_frame);
   Box fb = scene.meta().frame_box();
   for (std::int64_t k = 0; k < n_fp; ++k) {

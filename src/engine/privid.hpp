@@ -26,6 +26,11 @@
 #include <string>
 
 #include "engine/executor.hpp"
+// privcheck:allow(layering): the Privid facade composes the multi-analyst
+// QueryService for owners who want admission + fair-share out of the box.
+// This is the one sanctioned engine -> service edge; no other engine file
+// may include service headers (the cycle stays broken at file granularity:
+// service/ never includes engine/privid.hpp).
 #include "service/service.hpp"
 
 namespace privid::engine {

@@ -7,17 +7,9 @@
 
 namespace privid::engine {
 
-namespace {
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-}  // namespace
+// Per-chunk / per-frame tapes key off the shared privid::seed_mix
+// (common/rng.hpp) so every module derives streams the same way.
+using privid::seed_mix;
 
 ChunkView::ChunkView(const CameraContent* content, const VideoMeta* meta,
                      std::size_t chunk_index, TimeInterval time,
@@ -86,8 +78,9 @@ std::vector<std::pair<Box, bool>> ChunkView::observe_trees(
     if (region_ && !region_->extent.contains(tree.box.cx(), tree.box.cy())) {
       continue;
     }
-    Rng draw(mix(content_->seed,
-                 mix(0x7EE5ull + i, static_cast<std::uint64_t>(frame))));
+    std::uint64_t tag =
+        seed_mix(0x7EE5ull + i, static_cast<std::uint64_t>(frame));
+    Rng draw(seed_mix(content_->seed, tag));
     bool observed = tree.bloomed;
     if (draw.bernoulli(flip_prob)) observed = !observed;
     out.emplace_back(tree.box, observed);
@@ -106,8 +99,9 @@ std::vector<sim::TaxiVisit> ChunkView::taxi_visits() const {
 }
 
 Rng ChunkView::fork_rng() const {
-  return Rng(mix(content_->seed,
-                 mix(0xC4A9ull, static_cast<std::uint64_t>(chunk_index_))));
+  std::uint64_t tag =
+      seed_mix(0xC4A9ull, static_cast<std::uint64_t>(chunk_index_));
+  return Rng(seed_mix(content_->seed, tag));
 }
 
 ColumnSlab run_sandboxed(const Executable& exe, const ChunkView& view,

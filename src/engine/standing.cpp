@@ -1,6 +1,6 @@
 #include "engine/standing.hpp"
 
-#include <cstdio>
+#include <charconv>
 
 #include "common/error.hpp"
 #include "query/parser.hpp"
@@ -9,10 +9,14 @@ namespace privid::engine {
 
 std::string substitute_window(const std::string& text, Seconds begin,
                               Seconds end) {
+  // std::to_chars shortest form: round-trips to the identical double when
+  // the substituted query is parsed, with locale- and libc-independent
+  // bytes (the float-format discipline pinned in table/value.cpp).
   auto render = [](Seconds v) {
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return std::string(buf);
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec;  // 40 bytes always fit a shortest-form double
+    return std::string(buf, p);
   };
   std::string out = text;
   auto replace_all = [&out](const std::string& from, const std::string& to) {

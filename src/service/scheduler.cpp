@@ -15,6 +15,8 @@ QueryScheduler::QueryScheduler(ThreadPool* pool, std::size_t threads,
                                     : 4 * std::max<std::size_t>(threads, 1)),
       owner_mu_(owner_mu), on_settled_(std::move(on_settled)) {
   if (!owner_mu_) throw ArgumentError("QueryScheduler requires owner mutex");
+  // privcheck:allow(raw-thread): spawn of the scheduler's single dispatcher
+  // control thread (see scheduler.hpp); task execution stays on the pool.
   dispatcher_ = std::thread([this] { loop(); });
 }
 

@@ -214,6 +214,9 @@ class QueryScheduler {
   std::size_t unsettled_jobs_ = 0;
   Stats stats_;
   bool stop_ = false;
+  // privcheck:allow(raw-thread): the dispatcher is the scheduler's single
+  // long-lived control-loop thread (dequeue + fairness bookkeeping); all
+  // per-task PROCESS work it dispatches still runs on the shared ThreadPool.
   std::thread dispatcher_;
 };
 

@@ -10,17 +10,9 @@
 
 namespace privid::sim {
 
-namespace {
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-}  // namespace
+// All per-(taxi, day, camera) streams key off the shared privid::seed_mix
+// (common/rng.hpp) so every module derives seeds the same way.
+using privid::seed_mix;
 
 PortoSynth::PortoSynth(PortoConfig cfg) : cfg_(cfg) {
   if (cfg_.n_taxis <= 0 || cfg_.n_cameras <= 0 || cfg_.n_days <= 0) {
@@ -30,7 +22,7 @@ PortoSynth::PortoSynth(PortoConfig cfg) : cfg_(cfg) {
   // busiest (Table 3's Q6 answer is porto20).
   camera_weight_.resize(static_cast<std::size_t>(cfg_.n_cameras));
   for (int c = 0; c < cfg_.n_cameras; ++c) {
-    Rng r(mix(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(c)));
+    Rng r(seed_mix(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(c)));
     camera_weight_[static_cast<std::size_t>(c)] =
         0.4 + r.uniform() * 1.2;
   }
@@ -43,7 +35,7 @@ PortoSynth::PortoSynth(PortoConfig cfg) : cfg_(cfg) {
   double total_w = 0;
   for (double w : camera_weight_) total_w += w;
   for (int t = 0; t < cfg_.n_taxis; ++t) {
-    Rng r(mix(cfg_.seed, 0x2000 + static_cast<std::uint64_t>(t)));
+    Rng r(seed_mix(cfg_.seed, 0x2000 + static_cast<std::uint64_t>(t)));
     std::set<int> route;
     int want = std::min(cfg_.route_cameras, cfg_.n_cameras);
     while (static_cast<int>(route.size()) < want) {
@@ -69,20 +61,23 @@ Seconds PortoSynth::camera_rho(int camera) const {
     throw ArgumentError("camera id out of range");
   }
   // Deterministic per-camera visit-duration cap in [15, 525] s.
-  Rng r(mix(cfg_.seed, 0x3000 + static_cast<std::uint64_t>(camera)));
+  Rng r(seed_mix(cfg_.seed, 0x3000 + static_cast<std::uint64_t>(camera)));
   return 15.0 + r.uniform() * 510.0;
 }
 
 void PortoSynth::taxi_day_visits(int taxi, int day, int camera,
                                  std::vector<TaxiVisit>* out) const {
   if (!taxi_visits_camera(taxi, camera)) return;
-  Rng r(mix(cfg_.seed, mix(0x4000 + static_cast<std::uint64_t>(taxi),
-                           mix(static_cast<std::uint64_t>(day),
-                               static_cast<std::uint64_t>(camera)))));
+  std::uint64_t dc_tag = seed_mix(static_cast<std::uint64_t>(day),
+                                  static_cast<std::uint64_t>(camera));
+  std::uint64_t tdc_tag =
+      seed_mix(0x4000 + static_cast<std::uint64_t>(taxi), dc_tag);
+  Rng r(seed_mix(cfg_.seed, tdc_tag));
   // Shift model: this taxi's shift today. Drawn from the same generator for
   // every camera (keyed only on taxi/day) so cameras agree on the shift.
-  Rng shift_rng(mix(cfg_.seed, mix(0x5000 + static_cast<std::uint64_t>(taxi),
-                                   static_cast<std::uint64_t>(day))));
+  std::uint64_t td_tag = seed_mix(0x5000 + static_cast<std::uint64_t>(taxi),
+                                  static_cast<std::uint64_t>(day));
+  Rng shift_rng(seed_mix(cfg_.seed, td_tag));
   double shift_start_h = std::clamp(shift_rng.normal(8.0, 2.0), 0.0, 18.0);
   double shift_len_h =
       std::clamp(shift_rng.normal(cfg_.mean_shift_hours, 1.5), 1.0, 16.0);
@@ -108,10 +103,13 @@ void PortoSynth::taxi_day_visits(int taxi, int day, int camera,
 const std::vector<TaxiVisit>& PortoSynth::day_visits(int camera,
                                                      int day) const {
   auto key = std::make_pair(camera, day);
-  std::unique_lock<std::mutex> lk(cache_mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  lk.unlock();  // generation is deterministic; only touch the map locked
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Generation is deterministic, so it runs unlocked; the map is only
+  // touched under a scoped guard.
   std::vector<TaxiVisit> out;
   for (int taxi = 0; taxi < cfg_.n_taxis; ++taxi) {
     taxi_day_visits(taxi, day, camera, &out);
@@ -120,9 +118,9 @@ const std::vector<TaxiVisit>& PortoSynth::day_visits(int camera,
             [](const TaxiVisit& a, const TaxiVisit& b) {
               return a.start < b.start;
             });
-  lk.lock();
   // A racing thread may have inserted the (identical, deterministic) value
   // already; emplace keeps the first copy either way.
+  std::lock_guard<std::mutex> lk(cache_mu_);
   return cache_.emplace(key, std::move(out)).first->second;
 }
 

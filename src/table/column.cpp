@@ -2,6 +2,11 @@
 
 #include "common/error.hpp"
 
+// privcheck:allow-file(parallel-hash): StringDict's open-addressing index
+// hashes transient string contents to find interning slots — a per-dict,
+// in-memory lookup structure, not an identity. Nothing derived from
+// std::hash escapes the dict (codes are insertion-ordered), so it cannot
+// drift from the canonical common/fingerprint.* content addressing.
 namespace privid {
 
 StringDict::StringDict(const StringDict& o)

@@ -1,0 +1,323 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstring>
+
+namespace privcheck {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Line> lex_lines(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  std::vector<Line> lines;
+  Line cur;
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the ")delim" closer
+
+  auto flush_line = [&] {
+    lines.push_back(cur);
+    cur = Line{};
+    cur.starts_in_code = state == State::kCode;
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      ++i;
+      continue;
+    }
+    cur.raw.push_back(c);
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          cur.raw.push_back('/');
+          i += 2;
+          continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          cur.raw.push_back('*');
+          i += 2;
+          continue;
+        }
+        // Raw string: an R (possibly after a prefix like u8) directly
+        // followed by `"`, not preceded by an identifier character.
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+            (cur.code.empty() || !ident_char(cur.code.back()))) {
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '\n' &&
+                 delim.size() < 16) {
+            delim.push_back(text[j]);
+            ++j;
+          }
+          if (j < n && text[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            cur.code += "R\"";
+            for (std::size_t k = i + 2; k <= j; ++k) {
+              if (k > i + 1) cur.raw.push_back(text[k]);
+              cur.code.push_back(' ');
+            }
+            i = j + 1;
+            continue;
+          }
+        }
+        if (c == '"') {
+          state = State::kString;
+          cur.code.push_back('"');
+          ++i;
+          continue;
+        }
+        // A ' is a char literal opener only when it cannot be a digit
+        // separator (1'000'000).
+        if (c == '\'' &&
+            (cur.code.empty() ||
+             !std::isdigit(static_cast<unsigned char>(cur.code.back())))) {
+          state = State::kChar;
+          cur.code.push_back('\'');
+          ++i;
+          continue;
+        }
+        cur.code.push_back(c);
+        ++i;
+        break;
+      }
+      case State::kLineComment:
+        cur.comment.push_back(c);
+        cur.code.push_back(' ');
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          cur.code += "  ";
+          cur.raw.push_back('/');
+          i += 2;
+          continue;
+        }
+        cur.comment.push_back(c);
+        cur.code.push_back(' ');
+        ++i;
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          cur.strings.push_back(c);
+          if (text[i + 1] != '\n') {
+            cur.strings.push_back(text[i + 1]);
+            cur.raw.push_back(text[i + 1]);
+          }
+          cur.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          state = State::kCode;
+          cur.code.push_back('"');
+          ++i;
+          continue;
+        }
+        cur.strings.push_back(c);
+        cur.code.push_back(' ');
+        ++i;
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          if (text[i + 1] != '\n') cur.raw.push_back(text[i + 1]);
+          cur.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+          cur.code.push_back('\'');
+          ++i;
+          continue;
+        }
+        cur.code.push_back(' ');
+        ++i;
+        break;
+      case State::kRawString: {
+        if (c == ')' && i + raw_delim.size() <= n &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            cur.raw.push_back(text[i + k]);
+            cur.code.push_back(' ');
+          }
+          cur.code.push_back('"');
+          i += raw_delim.size();
+          continue;
+        }
+        cur.strings.push_back(c);
+        cur.code.push_back(' ');
+        ++i;
+        break;
+      }
+    }
+  }
+  if (!cur.raw.empty() || lines.empty()) flush_line();
+  return lines;
+}
+
+std::size_t find_identifier(const std::string& code, const std::string& ident,
+                            std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = code.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + ident.size();
+    bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+bool has_identifier(const std::string& code, const std::string& ident) {
+  return find_identifier(code, ident) != std::string::npos;
+}
+
+bool has_qualified(const std::string& code, const std::string& ns,
+                   const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = find_identifier(code, name, pos)) != std::string::npos) {
+    // Walk left over whitespace, expect `::`, more whitespace, then `ns`.
+    std::size_t j = pos;
+    while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) --j;
+    if (j >= 2 && code[j - 1] == ':' && code[j - 2] == ':') {
+      j -= 2;
+      while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1])))
+        --j;
+      if (j >= ns.size() && code.compare(j - ns.size(), ns.size(), ns) == 0) {
+        std::size_t k = j - ns.size();
+        if (k == 0 || !ident_char(code[k - 1])) return true;
+      }
+    }
+    pos += name.size();
+  }
+  return false;
+}
+
+bool has_method_call(const std::string& code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = find_identifier(code, name, pos)) != std::string::npos) {
+    // Left: `.` or `->`.
+    bool member = false;
+    if (pos >= 1 && code[pos - 1] == '.') member = true;
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>')
+      member = true;
+    // Right: `(` after optional whitespace.
+    std::size_t j = pos + name.size();
+    while (j < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[j])))
+      ++j;
+    if (member && j < code.size() && code[j] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+bool has_float_conversion(const std::string& fmt) {
+  for (std::size_t i = 0; i + 1 < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (fmt[j] == '%') {  // literal %%
+      i = j;
+      continue;
+    }
+    while (j < fmt.size() &&
+           (std::strchr("-+ #0123456789.*hlLzjt", fmt[j]) != nullptr)) {
+      ++j;
+    }
+    if (j < fmt.size() && std::strchr("aefgAEFG", fmt[j]) != nullptr) {
+      return true;
+    }
+    i = j;
+  }
+  return false;
+}
+
+std::string quoted_include_path(const Line& line) {
+  if (!line.starts_in_code) return "";
+  const std::string& s = line.raw;
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (i >= s.size() || s[i] != '#') return "";
+  ++i;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (s.compare(i, 7, "include") != 0) return "";
+  i += 7;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (i >= s.size() || s[i] != '"') return "";
+  std::size_t close = s.find('"', i + 1);
+  if (close == std::string::npos) return "";
+  return s.substr(i + 1, close - i - 1);
+}
+
+std::vector<std::string> integer_literals(const std::string& code) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (i == 0 || !ident_char(code[i - 1]))) {
+      std::string lit;
+      std::size_t j = i;
+      bool hex = c == '0' && j + 1 < code.size() &&
+                 (code[j + 1] == 'x' || code[j + 1] == 'X');
+      if (hex) {
+        lit += "0x";
+        j += 2;
+        while (j < code.size() &&
+               (std::isxdigit(static_cast<unsigned char>(code[j])) ||
+                code[j] == '\'')) {
+          if (code[j] != '\'')
+            lit.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(code[j]))));
+          ++j;
+        }
+      } else {
+        while (j < code.size() &&
+               (std::isdigit(static_cast<unsigned char>(code[j])) ||
+                code[j] == '\'')) {
+          if (code[j] != '\'') lit.push_back(code[j]);
+          ++j;
+        }
+        // A decimal point / exponent makes it a float literal, not an
+        // integer constant; skip it entirely.
+        if (j < code.size() && (code[j] == '.' || code[j] == 'e' ||
+                                code[j] == 'E')) {
+          while (j < code.size() && (ident_char(code[j]) || code[j] == '.' ||
+                                     code[j] == '+' || code[j] == '-')) {
+            ++j;
+          }
+          i = j;
+          continue;
+        }
+      }
+      // Strip integer suffixes (u/l/z in any order/case).
+      while (j < code.size() && ident_char(code[j])) ++j;
+      out.push_back(lit);
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace privcheck

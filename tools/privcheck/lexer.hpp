@@ -1,0 +1,62 @@
+// Line-oriented C++ lexer for privcheck: splits each source line into the
+// code part (string/char literals blanked, comments stripped), the comment
+// text, and the contents of string literals — so rules can match identifiers
+// without tripping on prose, and the float-format rule can still read printf
+// format strings. Handles //, /* */ (multi-line), escapes, and raw strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace privcheck {
+
+struct Line {
+  // Code with string/char-literal contents replaced by spaces (the quotes
+  // survive so call shapes like snprintf(buf, n, "...") stay visible) and
+  // comments replaced by spaces.
+  std::string code;
+  // Concatenated comment text on this line (// and /* */ bodies).
+  std::string comment;
+  // Concatenated string-literal contents on this line.
+  std::string strings;
+  // The raw line, untouched. Used for #include extraction.
+  std::string raw;
+  // True when the line begins outside any comment/string (so a leading
+  // '#' really is a preprocessor directive).
+  bool starts_in_code = true;
+};
+
+// Lexes a whole translation unit. Lines are 1-indexed by position+1 in the
+// returned vector.
+std::vector<Line> lex_lines(const std::string& text);
+
+// --- token helpers over Line::code ---------------------------------------
+
+// True if `ident` occurs as a whole identifier token in `code`.
+bool has_identifier(const std::string& code, const std::string& ident);
+
+// Column (0-based) of the first whole-identifier occurrence, or npos.
+std::size_t find_identifier(const std::string& code, const std::string& ident,
+                            std::size_t from = 0);
+
+// True if `name` occurs qualified as `ns::name` (whitespace tolerated
+// around the `::`).
+bool has_qualified(const std::string& code, const std::string& ns,
+                   const std::string& name);
+
+// True if `name` occurs as a method call: `.name(` or `->name(`.
+bool has_method_call(const std::string& code, const std::string& name);
+
+// True if `fmt` contains a printf floating-point conversion such as %g,
+// %.17g, %+8.3f, %e, %a (double-`%%` escapes are skipped).
+bool has_float_conversion(const std::string& fmt);
+
+// Extracts the path of a `#include "..."` directive from a raw line, or ""
+// if the line is not a quoted include.
+std::string quoted_include_path(const Line& line);
+
+// Collects every hex or decimal integer literal in `code` (normalized:
+// lowercase, digit separators and integer suffixes stripped).
+std::vector<std::string> integer_literals(const std::string& code);
+
+}  // namespace privcheck

@@ -1,0 +1,80 @@
+// privcheck CLI. Exit 0 when the tree is clean (no active findings),
+// 1 when findings remain, 2 on usage/IO errors.
+//
+//   privcheck --root <repo> [--json <out>] [--no-suppress] [--quiet]
+//   privcheck --list-rules
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "privcheck.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root <repo>] [--json <out>] [--no-suppress] [--quiet]\n"
+            << "       " << argv0 << " --list-rules\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  privcheck::Options opts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--list-rules") == 0) {
+      std::cout << privcheck::rule_catalog();
+      return 0;
+    }
+    if (std::strcmp(a, "--no-suppress") == 0) {
+      opts.honor_suppressions = false;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(a, "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  privcheck::Report report;
+  try {
+    report = privcheck::analyze_tree(root, opts);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "privcheck: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << privcheck::to_json(report);
+  }
+
+  for (const auto& f : report.findings) {
+    if (f.suppressed) {
+      if (!quiet) {
+        std::cout << f.file << ":" << f.line << ": suppressed [" << f.rule
+                  << "] " << f.justification << "\n";
+      }
+      continue;
+    }
+    std::cout << f.file << ":" << f.line << ": error [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "privcheck: " << report.files_scanned << " files, "
+            << report.active_count() << " active finding(s), "
+            << report.suppressed_count() << " suppressed\n";
+  return report.clean() ? 0 : 1;
+}
