@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Checks that docs/ cross-references cannot rot.
+
+Scans README.md and docs/*.md for markdown links and validates:
+
+  - relative file targets exist (paths resolve against the linking file);
+  - heading anchors (#fragment, in-file or cross-file) match a heading in
+    the target file, using GitHub's slug rules (lowercase, punctuation
+    stripped, spaces to hyphens);
+  - bare source-path references in backticks (e.g. `src/table/slab_io.hpp`)
+    point at real files, so module maps stay in sync with the tree.
+
+External links (http/https/mailto) are not fetched. Exits non-zero listing
+every broken reference. Stdlib only; CI runs it in the lint job.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+# `path/like.this` backtick references with a slash and a file extension.
+BACKTICK_PATH_RE = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.[A-Za-z0-9]+)`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def gather_files():
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def github_slug(heading):
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def expand_globs(pattern):
+    """A target like src/table/slab_io.* names a family of real files."""
+    directory, name = os.path.split(pattern)
+    if "*" not in name:
+        return [pattern]
+    if not os.path.isdir(directory):
+        return []
+    prefix = name[: name.index("*")]
+    return [
+        os.path.join(directory, n)
+        for n in os.listdir(directory)
+        if n.startswith(prefix)
+    ]
+
+
+def check_file(md_path, errors):
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    rel = os.path.relpath(md_path, REPO)
+    base = os.path.dirname(md_path)
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        line = text.count("\n", 0, match.start()) + 1
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{line}: broken link target '{target}'")
+                continue
+        else:
+            resolved = md_path
+        if fragment:
+            if not resolved.endswith(".md") or not os.path.isfile(resolved):
+                errors.append(
+                    f"{rel}:{line}: anchor on non-markdown target '{target}'"
+                )
+            elif fragment not in anchors_of(resolved):
+                errors.append(f"{rel}:{line}: no heading for anchor '{target}'")
+
+    for match in BACKTICK_PATH_RE.finditer(text):
+        target = match.group(1)
+        line = text.count("\n", 0, match.start()) + 1
+        resolved = os.path.normpath(os.path.join(REPO, target))
+        if not expand_globs(resolved) and not os.path.exists(resolved):
+            errors.append(f"{rel}:{line}: source reference '{target}' not in tree")
+
+
+def main():
+    errors = []
+    files = gather_files()
+    for path in files:
+        check_file(path, errors)
+    for err in errors:
+        print(err)
+    print(f"check_docs_links: {len(files)} files, {len(errors)} broken reference(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,28 @@
 #include "engine/chunk_cache.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "common/error.hpp"
+#include "table/slab_io.hpp"
 
 namespace privid::engine {
 
+namespace fs = std::filesystem;
+
 CacheMode resolve_cache_mode(CacheMode mode) {
   if (mode != CacheMode::kDefault) return mode;
-  // privcheck:allow(determinism-env): PRIVID_CACHE selects the cache tier
-  // only — the cache-equivalence CI leg replays the engine suites under
-  // every mode and byte-diffs a full bench to prove releases, sensitivities
-  // and ledger charges are identical, so this env read cannot perturb them.
+  // PRIVID_CACHE selects the cache tier only — the cache-equivalence CI
+  // leg replays the engine suites under every mode and byte-diffs a full
+  // bench to prove releases, sensitivities and ledger charges are
+  // identical, so this env read cannot perturb them. (This file is the
+  // privcheck determinism-env allowlist entry for exactly the PRIVID_CACHE*
+  // family of knobs; see tools/privcheck and docs/PRIVCHECK.md.)
   const char* v = std::getenv("PRIVID_CACHE");
   if (!v || !*v) return CacheMode::kOff;
   if (std::strcmp(v, "shared") == 0) return CacheMode::kShared;
@@ -20,22 +32,248 @@ CacheMode resolve_cache_mode(CacheMode mode) {
   return CacheMode::kOff;
 }
 
+std::optional<DiskTierConfig> DiskTierConfig::from_env() {
+  const char* dir = std::getenv("PRIVID_CACHE_DIR");
+  if (!dir || !*dir) return std::nullopt;
+  DiskTierConfig config;
+  config.dir = dir;
+  if (const char* budget = std::getenv("PRIVID_CACHE_DISK_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(budget, &end, 10);
+    // Unparsable or zero keeps the default: a typo must not wedge the
+    // deployment into a zero-byte tier that evicts everything it writes.
+    if (end != budget && *end == '\0' && v > 0) {
+      config.byte_budget = static_cast<std::size_t>(v);
+    }
+  }
+  if (const char* preload = std::getenv("PRIVID_CACHE_PRELOAD")) {
+    config.preload = std::strcmp(preload, "1") == 0 ||
+                     std::strcmp(preload, "true") == 0 ||
+                     std::strcmp(preload, "on") == 0;
+  }
+  return config;
+}
+
+namespace {
+
+constexpr const char* kSlabSuffix = ".slab";
+
+// <16 hex of hi><16 hex of lo>.slab — the key is the name, so a probe
+// needs no index and a restarted process re-derives every key by parsing
+// names back (see parse_slab_name).
+std::string slab_name(const Fingerprint& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx%s",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo), kSlabSuffix);
+  return buf;
+}
+
+std::optional<Fingerprint> parse_slab_name(const std::string& name) {
+  const std::string suffix = kSlabSuffix;
+  if (name.size() != 32 + suffix.size() ||
+      name.compare(32, suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  Fingerprint key;
+  auto hi = std::from_chars(name.data(), name.data() + 16, key.hi, 16);
+  auto lo = std::from_chars(name.data() + 16, name.data() + 32, key.lo, 16);
+  if (hi.ec != std::errc() || hi.ptr != name.data() + 16 ||
+      lo.ec != std::errc() || lo.ptr != name.data() + 32) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+// Write-then-rename so a crash mid-write leaves a .tmp orphan, never a
+// half-written .slab that a later probe would have to reject. Returns
+// false (leaving no file behind) on any I/O failure — a slab that fails
+// to persist is a future cache miss, not an error.
+bool write_file_atomic(const fs::path& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 ChunkCache::ChunkCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+ChunkCache::~ChunkCache() { flush_disk(); }
 
 std::size_t ChunkCache::slab_bytes(const ColumnSlab& slab) {
   return sizeof(Entry) + slab.bytes();
 }
 
+std::filesystem::path ChunkCache::slab_path(const std::string& dir,
+                                            const Fingerprint& key) {
+  return fs::path(dir) / slab_name(key);
+}
+
+void ChunkCache::attach_disk_tier(DiskTierConfig config) {
+  if (disk_) {
+    throw ArgumentError("ChunkCache: disk tier already attached");
+  }
+  if (config.dir.empty()) {
+    throw ArgumentError("ChunkCache: disk tier requires a directory");
+  }
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec || !fs::is_directory(config.dir)) {
+    // Unlike a malformed env *value*, an uncreatable directory means the
+    // owner asked for persistence the process cannot provide — fail loud
+    // at construction rather than silently dropping the guarantee.
+    throw ArgumentError("ChunkCache: cannot create cache directory '" +
+                        config.dir + "'");
+  }
+  auto tier = std::make_unique<DiskTier>();
+  // Index what a previous process left behind. Names are sorted so the
+  // initial recency order — and therefore which files a shrunken budget
+  // evicts below — is deterministic across directory-iteration orders.
+  // Contents stay unverified: a corrupt file costs its finder one miss,
+  // not every restart an O(dir) validation pass.
+  std::vector<std::pair<std::string, std::size_t>> found;
+  for (const auto& entry : fs::directory_iterator(config.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!parse_slab_name(name)) continue;  // foreign files are not ours
+    std::error_code size_ec;
+    const auto size = entry.file_size(size_ec);
+    if (size_ec) continue;
+    found.emplace_back(name, static_cast<std::size_t>(size));
+  }
+  std::sort(found.begin(), found.end());
+  tier->config = std::move(config);
+  for (const auto& [name, size] : found) {
+    const Fingerprint key = *parse_slab_name(name);
+    tier->lru.push_front(DiskEntry{key, size});
+    tier->index[key] = tier->lru.begin();
+    tier->bytes += size;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tier->mu);
+    disk_ = std::move(tier);  // publish, then trim to the budget
+    disk_evict_to_budget_locked();
+  }
+  if (disk_->config.preload) preload_from_disk();
+}
+
+void ChunkCache::preload_from_disk() {
+  // Snapshot newest-indexed first. Entries are appended at the memory
+  // LRU's *back*, so the first (most recent) key loaded stays the most
+  // recent in memory and a budget-bounded preload keeps the right set.
+  std::vector<Fingerprint> keys;
+  {
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    keys.reserve(disk_->lru.size());
+    for (const DiskEntry& entry : disk_->lru) keys.push_back(entry.key);
+  }
+  for (const Fingerprint& key : keys) {
+    std::optional<std::vector<std::uint8_t>> bytes =
+        read_file(slab_path(disk_->config.dir, key));
+    std::optional<ColumnSlab> slab =
+        bytes ? deserialize_slab(*bytes) : std::nullopt;
+    if (!slab) {
+      // Same contract as a probe: unreadable means drop, unparsable means
+      // drop and count the corruption. Either way the key is a clean miss
+      // later, never an attach failure.
+      {
+        std::lock_guard<std::mutex> lock(disk_->mu);
+        disk_drop_locked(key);
+      }
+      if (bytes) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.corrupt_drops;
+      }
+      continue;
+    }
+    const std::size_t slab_cost = slab_bytes(*slab);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.bytes + slab_cost > byte_budget_) break;  // memory is full
+    if (index_.count(key)) continue;
+    lru_.push_back(Entry{key, std::move(*slab), slab_cost});
+    index_[key] = std::prev(lru_.end());
+    stats_.bytes += slab_cost;
+    stats_.entries = index_.size();
+  }
+}
+
 bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      *out = it->second->slab;
+      return true;
+    }
+    if (!disk_) {
+      ++stats_.misses;
+      return false;
+    }
+  }
+  // Memory missed; probe the disk tier with the memory lock released.
+  bool corrupt = false;
+  std::optional<ColumnSlab> slab = disk_probe(key, &corrupt);
+  if (!slab) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    if (corrupt) ++stats_.corrupt_drops;
     return false;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  *out = it->second->slab;
+  *out = std::move(*slab);
+  // Promote: the key is hot again, so it belongs in memory. The file
+  // stays on disk — demoting it later is then a recency touch, not a
+  // rewrite (contents are deterministic, so they cannot have changed).
+  std::vector<Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    ++stats_.disk_hits;
+    const std::size_t bytes = slab_bytes(*out);
+    if (bytes <= byte_budget_) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        // A racing promoter/inserter beat us; refresh recency only.
+        lru_.splice(lru_.begin(), lru_, it->second);
+      } else {
+        lru_.push_front(Entry{key, *out, bytes});
+        index_[key] = lru_.begin();
+        stats_.bytes += bytes;
+        stats_.entries = index_.size();
+      }
+      victims = evict_to_budget_locked();
+    }
+  }
+  demote_entries(std::move(victims));
   return true;
 }
 
@@ -43,39 +281,148 @@ void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
   // The slab deep-copy happens before the lock so concurrent cold-path
   // workers serialize only on the pointer splices, not on payload copies.
   Entry entry{key, slab, slab_bytes(slab)};
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entry.bytes > byte_budget_) return;  // would evict all for nothing
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // Refresh: deterministic keys mean the value can only be identical,
-    // but replacing keeps the cache correct even if a caller misuses it.
-    stats_.bytes -= it->second->bytes;
-    stats_.bytes += entry.bytes;
-    *it->second = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, it->second);
-  } else {
-    lru_.push_front(std::move(entry));
-    index_[key] = lru_.begin();
-    stats_.bytes += lru_.front().bytes;
-    stats_.entries = index_.size();
+  std::vector<Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.bytes > byte_budget_) return;  // would evict all for nothing
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh: deterministic keys mean the value can only be identical,
+      // but replacing keeps the cache correct even if a caller misuses it.
+      stats_.bytes -= it->second->bytes;
+      stats_.bytes += entry.bytes;
+      *it->second = std::move(entry);
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(std::move(entry));
+      index_[key] = lru_.begin();
+      stats_.bytes += lru_.front().bytes;
+      stats_.entries = index_.size();
+    }
+    victims = evict_to_budget_locked();
   }
-  evict_to_budget_locked();
+  demote_entries(std::move(victims));
 }
 
-void ChunkCache::evict_to_budget_locked() {
+std::vector<ChunkCache::Entry> ChunkCache::evict_to_budget_locked() {
+  std::vector<Entry> victims;
   while (stats_.bytes > byte_budget_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
+    Entry& victim = lru_.back();
     stats_.bytes -= victim.bytes;
     index_.erase(victim.key);
-    lru_.pop_back();
     ++stats_.evictions;
+    if (disk_) victims.push_back(std::move(victim));
+    lru_.pop_back();
   }
   stats_.entries = index_.size();
+  return victims;
+}
+
+void ChunkCache::demote_entries(std::vector<Entry> victims) {
+  if (!disk_ || victims.empty()) return;
+  for (Entry& victim : victims) {
+    {
+      std::lock_guard<std::mutex> lock(disk_->mu);
+      auto it = disk_->index.find(victim.key);
+      if (it != disk_->index.end()) {
+        // Already persisted (a promoted entry coming back down, or a
+        // racing demoter won): contents are deterministic-identical, so
+        // refresh recency and skip the write.
+        disk_->lru.splice(disk_->lru.begin(), disk_->lru, it->second);
+        continue;
+      }
+    }
+    // Serialize outside the disk lock; only the write itself is held.
+    const std::vector<std::uint8_t> bytes = serialize_slab(victim.slab);
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    if (disk_->index.count(victim.key)) continue;  // racing demoter won
+    if (bytes.size() > disk_->config.byte_budget) continue;
+    const fs::path path = slab_path(disk_->config.dir, victim.key);
+    if (!write_file_atomic(path, bytes)) continue;  // future miss, no error
+    disk_->lru.push_front(DiskEntry{victim.key, bytes.size()});
+    disk_->index[victim.key] = disk_->lru.begin();
+    disk_->bytes += bytes.size();
+    ++disk_->demotions;
+    disk_evict_to_budget_locked();
+  }
+}
+
+std::optional<ColumnSlab> ChunkCache::disk_probe(const Fingerprint& key,
+                                                 bool* corrupt) {
+  {
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    auto it = disk_->index.find(key);
+    if (it == disk_->index.end()) return std::nullopt;
+    disk_->lru.splice(disk_->lru.begin(), disk_->lru, it->second);
+  }
+  const fs::path path = slab_path(disk_->config.dir, key);
+  std::optional<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (bytes) {
+    if (std::optional<ColumnSlab> slab = deserialize_slab(*bytes)) {
+      return slab;
+    }
+    // Parsed files are misses only when absent; an unparsable one is
+    // corruption — unlink it so it cannot cost another probe.
+    *corrupt = true;
+  }
+  // Unreadable or unparsable: drop the entry (and file) and miss.
+  std::lock_guard<std::mutex> lock(disk_->mu);
+  disk_drop_locked(key);
+  return std::nullopt;
+}
+
+void ChunkCache::disk_drop_locked(const Fingerprint& key) {
+  auto it = disk_->index.find(key);
+  if (it != disk_->index.end()) {
+    disk_->bytes -= it->second->bytes;
+    disk_->lru.erase(it->second);
+    disk_->index.erase(it);
+  }
+  std::error_code ec;
+  fs::remove(slab_path(disk_->config.dir, key), ec);
+}
+
+void ChunkCache::disk_evict_to_budget_locked() {
+  while (disk_->bytes > disk_->config.byte_budget && !disk_->lru.empty()) {
+    const DiskEntry& victim = disk_->lru.back();
+    disk_->bytes -= victim.bytes;
+    std::error_code ec;
+    fs::remove(slab_path(disk_->config.dir, victim.key), ec);
+    disk_->index.erase(victim.key);
+    disk_->lru.pop_back();
+    ++disk_->evictions;
+  }
+}
+
+void ChunkCache::flush_disk() {
+  if (!disk_) return;
+  std::vector<Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(lru_.size());
+    // Oldest first, so the disk LRU ends up with the same recency order
+    // memory had and a tight disk budget keeps the hottest entries.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      snapshot.push_back(*it);
+    }
+  }
+  demote_entries(std::move(snapshot));
 }
 
 CacheStats ChunkCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  if (disk_) {
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    s.demotions = disk_->demotions;
+    s.disk_evictions = disk_->evictions;
+    s.disk_bytes = disk_->bytes;
+    s.disk_entries = disk_->index.size();
+  }
+  return s;
 }
 
 std::size_t ChunkCache::byte_budget() const {
@@ -84,17 +431,33 @@ std::size_t ChunkCache::byte_budget() const {
 }
 
 void ChunkCache::set_byte_budget(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  byte_budget_ = bytes;
-  evict_to_budget_locked();
+  std::vector<Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    byte_budget_ = bytes;
+    victims = evict_to_budget_locked();
+  }
+  demote_entries(std::move(victims));
 }
 
 void ChunkCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_.bytes = 0;
-  stats_.entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    stats_.bytes = 0;
+    stats_.entries = 0;
+  }
+  if (disk_) {
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    for (const DiskEntry& entry : disk_->lru) {
+      std::error_code ec;
+      fs::remove(slab_path(disk_->config.dir, entry.key), ec);
+    }
+    disk_->lru.clear();
+    disk_->index.clear();
+    disk_->bytes = 0;
+  }
 }
 
 }  // namespace privid::engine

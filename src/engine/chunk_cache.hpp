@@ -1,5 +1,5 @@
 // Chunk-output cache: memoized PROCESS results for repeated and standing
-// queries.
+// queries — a memory LRU with an optional disk spill tier.
 //
 // Standing queries (§6.1) and overlapping ad-hoc windows re-run the same
 // deterministic per-chunk PROCESS work — each sandbox invocation is a pure
@@ -17,26 +17,46 @@
 // the per-chunk tape is keyed by chunk index, serving cached rows leaves
 // releases, sensitivities and budget-ledger charges byte-identical to an
 // uncached run — the same argument that makes the parallel PROCESS phase
-// bit-identical (README "Parallel execution") makes the cached one.
+// bit-identical (docs/ARCHITECTURE.md) makes the cached one, whichever
+// tier a slab came from.
+//
+// Tiers (docs/CACHE.md is the full story):
+//
+//   memory — mutex-guarded, byte-budgeted LRU, exactly as before.
+//   disk   — optional (attach_disk_tier / PRIVID_CACHE_DIR): entries the
+//            memory LRU evicts are demoted to one file per fingerprint
+//            (the ColumnSlab wire format, table/slab_io.*, no second
+//            format); a memory miss probes the directory, deserializes
+//            and promotes back. The destructor demotes what memory still
+//            holds, so a restarted process pointed at the same directory
+//            resumes with a warm cache instead of re-paying history
+//            (bench_standing_cache's restart-warm leg gates this).
+//            Corrupted, truncated or wrong-version files are dropped and
+//            served as misses — never errors.
 //
 // Invalidation: owner-side changes that can alter chunk content (mask
 // (re)registration, camera re-tuning) bump the camera's content epoch,
 // which is folded into every key — stale entries are never served and age
-// out of the LRU. Re-registering an executable bumps its registry version
-// with the same effect.
+// out of both LRUs lazily: memory by budget pressure, disk files when the
+// disk budget reaches them (they are unreachable the moment the epoch
+// bumps, so their only cost is disk bytes). Re-registering an executable
+// bumps its registry version with the same effect.
 //
-// The cache is bounded by a byte budget and evicts least-recently-used
-// entries; lookup/insert are mutex-guarded so concurrent PROCESS tasks
-// (RunOptions::num_threads > 1) can share it. Columnar payloads make the
-// footprint strictly fewer, larger allocations than the row era: one
-// vector per column plus one dictionary copy of each distinct string,
-// instead of a vector-of-variant-vectors.
+// Locking: the memory tier keeps its single mutex; the disk tier has its
+// own guarding the file index, and no path holds both at once — disk I/O
+// happens with the memory lock released, so concurrent PROCESS workers
+// serialize only on pointer splices plus the (slow-path) demote writes.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/fingerprint.hpp"
 #include "table/column.hpp"
@@ -54,12 +74,44 @@ enum class CacheMode { kDefault, kOff, kShared, kPerQuery };
 // typo; the run is merely uncached).
 CacheMode resolve_cache_mode(CacheMode mode);
 
+// Disk spill tier parameters. The directory is created on attach; files
+// already there (a previous process's demotions) are indexed and servable
+// immediately — that is the restart-survivable construction.
+struct DiskTierConfig {
+  // Default disk budget: 1 GiB of serialized slabs holds decades of
+  // small-row standing-query history.
+  static constexpr std::size_t kDefaultByteBudget = 1u << 30;
+
+  std::string dir;
+  std::size_t byte_budget = kDefaultByteBudget;
+  // Eagerly parse the directory's slab files into the memory tier at
+  // attach (newest-indexed first, bounded by the memory byte budget), so
+  // a restarted process replays history at memory speed instead of paying
+  // one file open per chunk on its first pass. Off by default: attach
+  // stays O(directory listing) and corrupt files surface at probe time.
+  bool preload = false;
+
+  // Reads PRIVID_CACHE_DIR (the directory; unset/empty means no disk
+  // tier), PRIVID_CACHE_DISK_BYTES (budget override; unparsable or zero
+  // falls back to the default — same never-crash-over-a-typo rule as
+  // PRIVID_CACHE) and PRIVID_CACHE_PRELOAD ("1"/"true"/"on" warms the
+  // memory tier at attach).
+  static std::optional<DiskTierConfig> from_env();
+};
+
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;  // entries evicted to respect the budget
-  std::size_t bytes = 0;        // current estimated footprint
-  std::size_t entries = 0;      // current entry count
+  std::uint64_t hits = 0;     // lookups served, from either tier
+  std::uint64_t misses = 0;   // lookups that must recompute
+  std::uint64_t evictions = 0;  // memory entries evicted for the budget
+  std::size_t bytes = 0;        // current estimated memory footprint
+  std::size_t entries = 0;      // current memory entry count
+  // Disk tier (all zero while no tier is attached).
+  std::uint64_t disk_hits = 0;   // subset of `hits` promoted from disk
+  std::uint64_t demotions = 0;   // slab files written
+  std::uint64_t disk_evictions = 0;  // files unlinked for the disk budget
+  std::uint64_t corrupt_drops = 0;   // unreadable files dropped as misses
+  std::size_t disk_bytes = 0;    // current on-disk footprint (file bytes)
+  std::size_t disk_entries = 0;  // current slab file count
 };
 
 class ChunkCache {
@@ -69,23 +121,47 @@ class ChunkCache {
   static constexpr std::size_t kDefaultByteBudget = 64u << 20;
 
   explicit ChunkCache(std::size_t byte_budget = kDefaultByteBudget);
+  // Demotes the memory tier to disk (flush_disk) when a disk tier is
+  // attached, so a clean shutdown persists what memory still holds.
+  ~ChunkCache();
+
+  // Attaches the disk spill tier. Call before the cache is shared across
+  // threads (the Privid facade attaches in its constructor); creates the
+  // directory, indexes existing slab files (sorted by name, then evicted
+  // down to the budget) and leaves their contents unverified — a corrupt
+  // file surfaces as a miss on first probe, not an attach failure. With
+  // config.preload the files are instead parsed into the memory tier up
+  // front (corrupt ones dropped here instead of at probe time).
+  // Throws ArgumentError if a tier is already attached.
+  void attach_disk_tier(DiskTierConfig config);
+  bool has_disk_tier() const { return disk_ != nullptr; }
 
   // On hit copies the slab into *out, refreshes recency and returns true;
-  // on miss returns false. Counts one hit or miss either way.
+  // on miss returns false. Counts one hit or miss either way. A memory
+  // miss probes the disk tier (when attached) and promotes a parsed file
+  // back into memory; an unreadable file is dropped and counted a miss.
   bool lookup(const Fingerprint& key, ColumnSlab* out);
 
   // Inserts (or refreshes) the slab under `key`, then evicts LRU entries
-  // until the budget holds. Slabs larger than the whole budget are not
-  // cached at all — inserting them would only churn every other entry.
+  // until the budget holds — evicted entries demote to the disk tier.
+  // Slabs larger than the whole memory budget are not cached at all —
+  // inserting them would only churn every other entry.
   void insert(const Fingerprint& key, const ColumnSlab& slab);
 
   CacheStats stats() const;
 
   std::size_t byte_budget() const;
-  // Shrinks/grows the budget; shrinking evicts down immediately.
+  // Shrinks/grows the memory budget; shrinking demotes/evicts down
+  // immediately.
   void set_byte_budget(std::size_t bytes);
 
-  // Drops every entry (budget and cumulative counters are kept).
+  // Writes every memory entry not already on disk to the disk tier
+  // (no-op without one). The destructor calls this; tests and owners can
+  // force a checkpoint earlier.
+  void flush_disk();
+
+  // Drops every entry in both tiers — slab files included — keeping the
+  // budgets and cumulative counters.
   void clear();
 
   // Estimated footprint of one cached value: typed column payloads plus
@@ -97,6 +173,11 @@ class ChunkCache {
   // accounted (and evicted) at their deduplicated size.
   static std::size_t slab_bytes(const ColumnSlab& slab);
 
+  // The slab file serving `key` under `dir` (<fingerprint-hex>.slab) —
+  // exposed so tests can corrupt/truncate specific entries.
+  static std::filesystem::path slab_path(const std::string& dir,
+                                         const Fingerprint& key);
+
  private:
   struct Entry {
     Fingerprint key;
@@ -104,7 +185,37 @@ class ChunkCache {
     std::size_t bytes = 0;
   };
 
-  void evict_to_budget_locked();
+  // On-disk index: filenames are derived from keys, so the index exists
+  // to drive LRU eviction and byte accounting, not to locate files.
+  struct DiskEntry {
+    Fingerprint key;
+    std::size_t bytes = 0;  // serialized file size
+  };
+
+  struct DiskTier {
+    DiskTierConfig config;
+    mutable std::mutex mu;
+    std::list<DiskEntry> lru;  // front = most recently used
+    std::unordered_map<Fingerprint, std::list<DiskEntry>::iterator,
+                       FingerprintHash>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  std::vector<Entry> evict_to_budget_locked();
+  void demote_entries(std::vector<Entry> victims);
+  // Parses indexed slab files into the memory tier (newest first) until
+  // the memory budget is full; unparsable files are dropped and counted
+  // as corrupt. Counts no hits or misses.
+  void preload_from_disk();
+  // Reads and parses the slab file for `key`; nullopt on absence. A file
+  // that exists but fails to parse is unlinked and dropped from the
+  // index, and *corrupt is set.
+  std::optional<ColumnSlab> disk_probe(const Fingerprint& key, bool* corrupt);
+  void disk_drop_locked(const Fingerprint& key);
+  void disk_evict_to_budget_locked();
 
   mutable std::mutex mu_;
   std::size_t byte_budget_;
@@ -112,6 +223,8 @@ class ChunkCache {
   std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
       index_;
   CacheStats stats_;
+  // Set once by attach_disk_tier before concurrent use; read-only after.
+  std::unique_ptr<DiskTier> disk_;
 };
 
 }  // namespace privid::engine

@@ -7,7 +7,16 @@ namespace privid::engine {
 
 Privid::Privid(std::uint64_t noise_seed)
     : noise_rng_(noise_seed), noise_seed_(noise_seed),
-      cache_(std::make_unique<ChunkCache>()) {}
+      cache_(std::make_unique<ChunkCache>()) {
+  // Restart-survivable construction: a deployment that sets
+  // PRIVID_CACHE_DIR gets the disk spill tier without code changes, and a
+  // restarted process pointed at the same directory resumes with the
+  // slabs its predecessor demoted/flushed (see docs/CACHE.md). Tests and
+  // owners can attach programmatically via chunk_cache().
+  if (auto disk = DiskTierConfig::from_env()) {
+    cache_->attach_disk_tier(std::move(*disk));
+  }
+}
 
 Privid::Privid(Privid&& other) noexcept : noise_rng_(0) {
   // A live service holds raw pointers to other's cameras_/registry_

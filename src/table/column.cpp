@@ -159,6 +159,20 @@ void ColumnVec::append_gather_from(const ColumnVec& src,
   }
 }
 
+ColumnSlab ColumnSlab::from_columns(std::vector<ColumnVec> cols,
+                                    std::size_t n_rows) {
+  for (const ColumnVec& col : cols) {
+    if (col.cell_count() != n_rows) {
+      throw ArgumentError("ColumnSlab::from_columns: column cell count does "
+                          "not match n_rows");
+    }
+  }
+  ColumnSlab slab;
+  slab.cols_ = std::move(cols);
+  slab.n_rows_ = n_rows;
+  return slab;
+}
+
 ColumnSlab::ColumnSlab(const Schema& schema) {
   cols_.resize(schema.size());
   for (std::size_t c = 0; c < schema.size(); ++c) {

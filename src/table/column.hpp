@@ -125,6 +125,12 @@ class ColumnSlab {
   // One (empty) column per schema column, in schema order.
   explicit ColumnSlab(const Schema& schema);
 
+  // Rebuilds a slab from externally produced typed columns — the
+  // deserialization path (table/slab_io.*). Throws ArgumentError when any
+  // column's cell count differs from `n_rows`.
+  static ColumnSlab from_columns(std::vector<ColumnVec> cols,
+                                 std::size_t n_rows);
+
   std::size_t column_count() const { return cols_.size(); }
   std::size_t row_count() const { return n_rows_; }
   bool empty() const { return n_rows_ == 0; }

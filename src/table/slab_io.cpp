@@ -1,0 +1,223 @@
+#include "table/slab_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+
+namespace privid {
+
+namespace {
+
+// Fixed-size pieces of the layout (docs/SLAB_FORMAT.md is the normative
+// spec): a 20-byte header, then one payload per column, then a 16-byte
+// Fingerprint trailer over everything before it.
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 4 + 8;
+constexpr std::size_t kTrailerBytes = 16;
+
+constexpr std::uint8_t kDTypeNumber = 0;
+constexpr std::uint8_t kDTypeString = 1;
+
+// ------------------------------------------------------------- writing
+//
+// All integers are emitted byte-by-byte, least-significant first, so the
+// encoding is little-endian on any host.
+
+void put_u16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+// ------------------------------------------------------------- reading
+
+// Bounds-checked cursor over the input bytes. Every read either succeeds
+// completely or flips `ok` and leaves the cursor unusable — callers check
+// once per structural step, so truncation anywhere maps to nullopt.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::size_t remaining() const { return size - pos; }
+
+  bool take(std::size_t n, const std::uint8_t** out) {
+    if (!ok || n > remaining()) {
+      ok = false;
+      return false;
+    }
+    *out = data + pos;
+    pos += n;
+    return true;
+  }
+
+  std::uint8_t u8() {
+    const std::uint8_t* p;
+    return take(1, &p) ? p[0] : 0;
+  }
+
+  std::uint16_t u16() {
+    const std::uint8_t* p;
+    if (!take(2, &p)) return 0;
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+
+  std::uint32_t u32() {
+    const std::uint8_t* p;
+    if (!take(4, &p)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint8_t* p;
+    if (!take(8, &p)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+  }
+};
+
+Fingerprint checksum_of(const std::uint8_t* data, std::size_t n) {
+  FingerprintBuilder fp;
+  fp.add_bytes(data, n);
+  return fp.digest();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_slab(const ColumnSlab& slab) {
+  const std::size_t rows = slab.row_count();
+  for (std::size_t c = 0; c < slab.column_count(); ++c) {
+    if (slab.column(c).cell_count() != rows) {
+      throw ArgumentError("serialize_slab: column cell count does not match "
+                          "the slab's row count");
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  for (std::uint8_t b : kSlabMagic) out.push_back(b);
+  put_u16(&out, kSlabFormatVersion);
+  put_u16(&out, kSlabByteOrderMark);
+  put_u32(&out, static_cast<std::uint32_t>(slab.column_count()));
+  put_u64(&out, static_cast<std::uint64_t>(rows));
+
+  for (std::size_t c = 0; c < slab.column_count(); ++c) {
+    const ColumnVec& col = slab.column(c);
+    if (col.type == DType::kNumber) {
+      out.push_back(kDTypeNumber);
+      // Exact IEEE-754 bit patterns: -0.0 and NaN payloads round-trip,
+      // matching what the fingerprint and the executor distinguish.
+      for (double v : col.nums) put_u64(&out, std::bit_cast<std::uint64_t>(v));
+    } else {
+      out.push_back(kDTypeString);
+      put_u32(&out, static_cast<std::uint32_t>(col.dict.size()));
+      for (std::uint32_t i = 0; i < col.dict.size(); ++i) {
+        const std::string& s = col.dict.at(i);
+        put_u32(&out, static_cast<std::uint32_t>(s.size()));
+        out.insert(out.end(), s.begin(), s.end());
+      }
+      for (std::uint32_t code : col.codes) put_u32(&out, code);
+    }
+  }
+
+  const Fingerprint sum = checksum_of(out.data(), out.size());
+  put_u64(&out, sum.hi);
+  put_u64(&out, sum.lo);
+  return out;
+}
+
+std::optional<ColumnSlab> deserialize_slab(const std::uint8_t* data,
+                                           std::size_t size) {
+  if (data == nullptr || size < kHeaderBytes + kTrailerBytes) {
+    return std::nullopt;
+  }
+  // Verify the checksum first: it covers header and payload, so a flipped
+  // bit anywhere — including inside the structure the walk below would
+  // accept — is rejected before any field is trusted.
+  const std::size_t body = size - kTrailerBytes;
+  {
+    Reader tr{data, size, body};
+    Fingerprint stored;
+    stored.hi = tr.u64();
+    stored.lo = tr.u64();
+    if (!tr.ok || !(checksum_of(data, body) == stored)) return std::nullopt;
+  }
+
+  Reader r{data, body};
+  const std::uint8_t* magic;
+  if (!r.take(4, &magic) || std::memcmp(magic, kSlabMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  if (r.u16() != kSlabFormatVersion) return std::nullopt;
+  if (r.u16() != kSlabByteOrderMark) return std::nullopt;
+  const std::uint32_t n_cols = r.u32();
+  const std::uint64_t n_rows = r.u64();
+  if (!r.ok) return std::nullopt;
+  // Each column consumes at least one byte, and every row at least four:
+  // reject absurd counts before sizing any allocation by them.
+  if (n_cols > r.remaining()) return std::nullopt;
+  if (n_rows != 0 && n_cols != 0 && n_rows > r.remaining() / 4) {
+    return std::nullopt;
+  }
+
+  std::vector<ColumnVec> cols(n_cols);
+  for (std::uint32_t c = 0; c < n_cols; ++c) {
+    ColumnVec& col = cols[c];
+    const std::uint8_t dtype = r.u8();
+    if (!r.ok) return std::nullopt;
+    if (dtype == kDTypeNumber) {
+      col.type = DType::kNumber;
+      if (n_rows > r.remaining() / 8) return std::nullopt;
+      col.nums.reserve(n_rows);
+      for (std::uint64_t i = 0; i < n_rows; ++i) {
+        col.nums.push_back(std::bit_cast<double>(r.u64()));
+      }
+    } else if (dtype == kDTypeString) {
+      col.type = DType::kString;
+      const std::uint32_t dict_size = r.u32();
+      if (!r.ok || dict_size > r.remaining() / 4) return std::nullopt;
+      for (std::uint32_t i = 0; i < dict_size; ++i) {
+        const std::uint32_t len = r.u32();
+        const std::uint8_t* p;
+        if (!r.take(len, &p)) return std::nullopt;
+        // Interning in stored order must assign code i — a duplicate
+        // dictionary entry would collapse to an earlier code and skew
+        // every later one, so it is malformation, not data.
+        const std::uint32_t code = col.dict.intern(
+            std::string_view(reinterpret_cast<const char*>(p), len));
+        if (code != i) return std::nullopt;
+      }
+      if (n_rows > r.remaining() / 4) return std::nullopt;
+      col.codes.reserve(n_rows);
+      for (std::uint64_t i = 0; i < n_rows; ++i) {
+        const std::uint32_t code = r.u32();
+        if (code >= dict_size) return std::nullopt;
+        col.codes.push_back(code);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  // Exact consumption: payload bytes beyond the declared columns are as
+  // malformed as missing ones.
+  if (!r.ok || r.remaining() != 0) return std::nullopt;
+  return ColumnSlab::from_columns(std::move(cols),
+                                  static_cast<std::size_t>(n_rows));
+}
+
+}  // namespace privid

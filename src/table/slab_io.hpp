@@ -1,0 +1,60 @@
+// ColumnSlab wire/disk serialization — the one binary format for moving a
+// slab out of process memory.
+//
+// ROADMAP items 1 and 3 both need slabs as bytes (shard workers stream
+// them over sockets; the chunk-cache disk tier persists them across
+// restarts) and explicitly require a single format defined once. This is
+// it: a versioned, little-endian, length-prefixed encoding of one
+// ColumnSlab — per-column typed payloads plus each STRING column's
+// dictionary in insertion order — closed by a Fingerprint checksum of
+// everything before it.
+//
+// Determinism contract: encoding is a pure function of the slab's cell
+// contents. StringDict codes are dense and assigned in first-appearance
+// order, so two slabs filled with the same cell sequence serialize to the
+// same bytes, and decode -> re-encode is byte-identical (the golden test
+// in tests/test_slab_io.cpp pins this, with the reference bytes checked
+// in at tests/golden/slab_golden_v1.bin). The byte-level layout is
+// normative in docs/SLAB_FORMAT.md and versioned alongside this header —
+// bump kSlabFormatVersion for any layout change, never reinterpret v1.
+//
+// Robustness contract: deserialize_slab never throws on malformed input
+// and never partially succeeds. Truncation, a wrong magic/version/byte
+// order, an out-of-range code, a duplicate dictionary entry, trailing
+// bytes or a checksum mismatch all return nullopt — the disk tier maps
+// that to a cache miss, never an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "table/column.hpp"
+
+namespace privid {
+
+// Format identity: the magic bytes open every serialized slab, the
+// version gates layout changes, and the byte-order mark (0xFEFF stored
+// little-endian, i.e. bytes FF FE) makes the endianness self-describing —
+// a big-endian writer would be detected, not misread.
+inline constexpr std::uint8_t kSlabMagic[4] = {'P', 'S', 'L', 'B'};
+inline constexpr std::uint16_t kSlabFormatVersion = 1;
+inline constexpr std::uint16_t kSlabByteOrderMark = 0xFEFF;
+
+// Serializes the slab. Throws ArgumentError if a column's cell count does
+// not match the slab's row count (a malformed slab — impossible via the
+// append/finish_row API).
+std::vector<std::uint8_t> serialize_slab(const ColumnSlab& slab);
+
+// Parses `size` bytes at `data`; nullopt on any malformation (see the
+// robustness contract above). A successful parse consumed every byte and
+// verified the checksum.
+std::optional<ColumnSlab> deserialize_slab(const std::uint8_t* data,
+                                           std::size_t size);
+inline std::optional<ColumnSlab> deserialize_slab(
+    const std::vector<std::uint8_t>& bytes) {
+  return deserialize_slab(bytes.data(), bytes.size());
+}
+
+}  // namespace privid

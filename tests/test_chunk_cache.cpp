@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "engine/privid.hpp"
 #include "engine/standing.hpp"
 #include "sim/scenarios.hpp"
+#include "table/slab_io.hpp"
 
 namespace privid::engine {
 namespace {
@@ -75,6 +78,12 @@ Executable parity_exe() {
 
 Privid make_system(int n_people = 5, double rho = 10, int k = 1,
                    double budget = 100, std::uint64_t noise_seed = 7) {
+  // This suite pins cache modes and tiers programmatically — hit/miss
+  // assertions and explicit attach_disk_tier calls must not be perturbed
+  // by CI's env-driven cache replay (PRIVID_CACHE_DIR would auto-attach a
+  // dir shared across every suite in the run).
+  unsetenv("PRIVID_CACHE_DIR");
+  unsetenv("PRIVID_CACHE_PRELOAD");
   Privid sys(noise_seed);
   auto scene = staircase_scene(n_people);
   CameraRegistration reg;
@@ -537,6 +546,349 @@ TEST(StandingCache, MalformedTemplateStillThrowsAtAdvance) {
   StandingQuery q(&sys, spec);  // constructor must not throw
   EXPECT_FALSE(q.plan_hoisted());
   EXPECT_THROW(q.advance(10), Error);
+}
+
+// -------------------------------------------------------- disk tier
+
+// A fresh cache directory under the test's working directory (ctest runs
+// inside the build tree, so nothing leaks outside it).
+std::filesystem::path fresh_cache_dir(const std::string& name) {
+  auto dir = std::filesystem::current_path() / ("privid_cache_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::size_t slab_file_count(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".slab") ++n;
+  }
+  return n;
+}
+
+DiskTierConfig disk_config(const std::filesystem::path& dir,
+                           std::size_t budget = 64u << 20) {
+  DiskTierConfig config;
+  config.dir = dir.string();
+  config.byte_budget = budget;
+  return config;
+}
+
+TEST(DiskTier, DemoteOnEvictAndPromoteOnMiss) {
+  const auto dir = fresh_cache_dir("demote");
+  const std::size_t entry = ChunkCache::slab_bytes(slab_with_payload(1024));
+  ChunkCache cache(2 * entry);
+  cache.attach_disk_tier(disk_config(dir));
+  EXPECT_TRUE(cache.has_disk_tier());
+
+  cache.insert(key_of(1), slab_with_payload(1024));
+  cache.insert(key_of(2), slab_with_payload(1024));
+  cache.insert(key_of(3), slab_with_payload(1024));  // evicts 1 -> disk
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.demotions, 1u);
+  EXPECT_EQ(s.disk_entries, 1u);
+  EXPECT_GT(s.disk_bytes, 0u);
+  EXPECT_TRUE(
+      std::filesystem::exists(ChunkCache::slab_path(dir.string(), key_of(1))));
+
+  // A memory miss is served from disk and promoted back; the slab file
+  // stays in place, so a later re-demotion is a free recency touch.
+  ColumnSlab out;
+  EXPECT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out.string_at(0, 0), std::string(1024, 'x'));
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.disk_hits, 1u);
+  EXPECT_EQ(s.corrupt_drops, 0u);
+  EXPECT_TRUE(
+      std::filesystem::exists(ChunkCache::slab_path(dir.string(), key_of(1))));
+  // Promotion evicted the then-LRU key 2, which demoted in turn.
+  EXPECT_TRUE(cache.lookup(key_of(2), &out));
+  EXPECT_EQ(cache.stats().disk_hits, 2u);
+}
+
+TEST(DiskTier, FlushOnDestructionAndRestartWarm) {
+  const auto dir = fresh_cache_dir("restart");
+  {
+    ChunkCache cache(1 << 20);
+    cache.attach_disk_tier(disk_config(dir));
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      cache.insert(key_of(i), slab_with_payload(64 + i));
+    }
+    // Nothing evicted, so nothing on disk yet: the destructor's flush is
+    // what persists the memory tier.
+    EXPECT_EQ(cache.stats().disk_entries, 0u);
+  }
+  EXPECT_EQ(slab_file_count(dir), 5u);
+
+  // A new cache pointed at the same directory serves its predecessor's
+  // slabs without a single insert.
+  ChunkCache revived(1 << 20);
+  revived.attach_disk_tier(disk_config(dir));
+  EXPECT_EQ(revived.stats().disk_entries, 5u);
+  ColumnSlab out;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(revived.lookup(key_of(i), &out)) << i;
+    EXPECT_EQ(out.string_at(0, 0), std::string(64 + i, 'x'));
+  }
+  EXPECT_EQ(revived.stats().disk_hits, 5u);
+}
+
+TEST(DiskTier, CorruptTruncatedAndWrongVersionFilesAreCleanMisses) {
+  const auto dir = fresh_cache_dir("corrupt");
+  ChunkCache cache(1 << 20);
+  cache.attach_disk_tier(disk_config(dir));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    cache.insert(key_of(i), slab_with_payload(256));
+  }
+  cache.flush_disk();
+  ASSERT_EQ(slab_file_count(dir), 3u);
+
+  // Mangle each file a different way: truncation, version flip, garbage.
+  const auto p0 = ChunkCache::slab_path(dir.string(), key_of(0));
+  const auto p1 = ChunkCache::slab_path(dir.string(), key_of(1));
+  const auto p2 = ChunkCache::slab_path(dir.string(), key_of(2));
+  std::filesystem::resize_file(p0, 10);
+  {
+    std::fstream f(p1, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    f.put('\x7f');  // version byte
+  }
+  {
+    std::ofstream f(p2, std::ios::binary | std::ios::trunc);
+    f << "not a slab at all";
+  }
+
+  // Memory still holds the slabs; drop it (keeping the files) by probing
+  // through a fresh cache on the same directory.
+  ChunkCache fresh(1 << 20);
+  fresh.attach_disk_tier(disk_config(dir));
+  ASSERT_EQ(fresh.stats().disk_entries, 3u);
+  ColumnSlab out;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fresh.lookup(key_of(i), &out)) << i;  // miss, not error
+  }
+  CacheStats s = fresh.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.corrupt_drops, 3u);
+  EXPECT_EQ(s.disk_entries, 0u);  // dropped from the index...
+  EXPECT_EQ(slab_file_count(dir), 0u);  // ...and unlinked
+}
+
+TEST(DiskTier, DiskBudgetEvictsOldestFiles) {
+  const auto dir = fresh_cache_dir("budget");
+  const std::size_t file_bytes =
+      serialize_slab(slab_with_payload(1024)).size();
+  ChunkCache cache(1 << 20);
+  // Disk holds two files; the memory tier holds everything.
+  cache.attach_disk_tier(disk_config(dir, 2 * file_bytes + file_bytes / 2));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key_of(i), slab_with_payload(1024));
+  }
+  cache.flush_disk();
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.disk_entries, 2u);
+  EXPECT_EQ(s.disk_evictions, 2u);
+  EXPECT_LE(s.disk_bytes, 2 * file_bytes + file_bytes / 2);
+  EXPECT_EQ(slab_file_count(dir), 2u);
+}
+
+TEST(DiskTier, ClearUnlinksSlabFiles) {
+  const auto dir = fresh_cache_dir("clear");
+  ChunkCache cache(1 << 20);
+  cache.attach_disk_tier(disk_config(dir));
+  cache.insert(key_of(1), slab_with_payload(64));
+  cache.flush_disk();
+  ASSERT_EQ(slab_file_count(dir), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().disk_entries, 0u);
+  EXPECT_EQ(cache.stats().disk_bytes, 0u);
+  EXPECT_EQ(slab_file_count(dir), 0u);
+  ColumnSlab out;
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+}
+
+TEST(DiskTier, PreloadOnAttachWarmsMemoryTier) {
+  const auto dir = fresh_cache_dir("preload");
+  {
+    ChunkCache cache(1 << 20);
+    cache.attach_disk_tier(disk_config(dir));
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      cache.insert(key_of(i), slab_with_payload(64));
+    }
+  }  // flush on destruction
+  // Corrupt one file: preload must drop it and warm the other three.
+  {
+    std::ofstream f(ChunkCache::slab_path(dir.string(), key_of(3)),
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  DiskTierConfig config = disk_config(dir);
+  config.preload = true;
+  ChunkCache revived(1 << 20);
+  revived.attach_disk_tier(config);
+  CacheStats s = revived.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.corrupt_drops, 1u);
+  EXPECT_EQ(s.hits, 0u);  // preload is not a lookup
+  // Every healthy key is a *memory* hit now; the corrupted one is a miss.
+  ColumnSlab out;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(revived.lookup(key_of(i), &out)) << i;
+  }
+  EXPECT_FALSE(revived.lookup(key_of(3), &out));
+  s = revived.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.disk_hits, 0u);  // served from memory, no file opens
+}
+
+TEST(DiskTier, PreloadStopsAtMemoryBudget) {
+  const auto dir = fresh_cache_dir("preload_budget");
+  {
+    ChunkCache cache(1 << 20);
+    cache.attach_disk_tier(disk_config(dir));
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      cache.insert(key_of(i), slab_with_payload(1024));
+    }
+  }
+  DiskTierConfig config = disk_config(dir);
+  config.preload = true;
+  // Memory holds two entries; preload must warm exactly the two newest-
+  // indexed and leave the rest to lazy promotion.
+  ChunkCache revived(2 * ChunkCache::slab_bytes(slab_with_payload(1024)));
+  revived.attach_disk_tier(config);
+  EXPECT_EQ(revived.stats().entries, 2u);
+  EXPECT_EQ(revived.stats().disk_entries, 6u);  // files all stay in place
+  ColumnSlab out;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(revived.lookup(key_of(i), &out)) << i;
+  }
+  EXPECT_EQ(revived.stats().hits, 6u);
+  // At least the four that did not fit in memory came from disk (more if
+  // promotion churn evicted a preloaded entry before its lookup).
+  EXPECT_GE(revived.stats().disk_hits, 4u);
+}
+
+TEST(DiskTier, AttachTwiceThrows) {
+  const auto dir = fresh_cache_dir("twice");
+  ChunkCache cache(1 << 20);
+  cache.attach_disk_tier(disk_config(dir));
+  EXPECT_THROW(cache.attach_disk_tier(disk_config(dir)), ArgumentError);
+}
+
+TEST(DiskTier, ConfigFromEnv) {
+  // Unset: no disk tier.
+  unsetenv("PRIVID_CACHE_DIR");
+  unsetenv("PRIVID_CACHE_DISK_BYTES");
+  EXPECT_FALSE(DiskTierConfig::from_env().has_value());
+
+  setenv("PRIVID_CACHE_DIR", "/some/dir", 1);
+  auto config = DiskTierConfig::from_env();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->dir, "/some/dir");
+  EXPECT_EQ(config->byte_budget, DiskTierConfig::kDefaultByteBudget);
+
+  setenv("PRIVID_CACHE_DISK_BYTES", "123456", 1);
+  config = DiskTierConfig::from_env();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->byte_budget, 123456u);
+
+  // Unparsable or zero budget falls back to the default (same
+  // never-crash-over-a-typo rule as PRIVID_CACHE).
+  setenv("PRIVID_CACHE_DISK_BYTES", "lots", 1);
+  EXPECT_EQ(DiskTierConfig::from_env()->byte_budget,
+            DiskTierConfig::kDefaultByteBudget);
+  setenv("PRIVID_CACHE_DISK_BYTES", "0", 1);
+  EXPECT_EQ(DiskTierConfig::from_env()->byte_budget,
+            DiskTierConfig::kDefaultByteBudget);
+
+  // Preload knob: "1"/"true"/"on" enable, anything else stays off.
+  setenv("PRIVID_CACHE_DIR", "/some/dir", 1);
+  EXPECT_FALSE(DiskTierConfig::from_env()->preload);
+  setenv("PRIVID_CACHE_PRELOAD", "1", 1);
+  EXPECT_TRUE(DiskTierConfig::from_env()->preload);
+  setenv("PRIVID_CACHE_PRELOAD", "yes-please", 1);
+  EXPECT_FALSE(DiskTierConfig::from_env()->preload);
+
+  // Empty dir means unset.
+  setenv("PRIVID_CACHE_DIR", "", 1);
+  EXPECT_FALSE(DiskTierConfig::from_env().has_value());
+  unsetenv("PRIVID_CACHE_DIR");
+  unsetenv("PRIVID_CACHE_DISK_BYTES");
+  unsetenv("PRIVID_CACHE_PRELOAD");
+}
+
+// The core guarantee extends to the disk tier: releases, sensitivities and
+// ledger charges are byte-identical with the cache off vs. shared with a
+// memory+disk tier actively demoting/promoting mid-run, at 1, 4 and
+// all-hardware threads.
+TEST(CacheEquivalence, BitIdenticalMemVsMemDiskAcrossThreads) {
+  for (const char* query : {kGroupedQuery, kKeyedQuery}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                std::size_t{0}}) {
+      const auto dir = fresh_cache_dir("equiv");
+      Privid off_sys = make_system();
+      Privid tiered_sys = make_system();
+      tiered_sys.chunk_cache().attach_disk_tier(disk_config(dir));
+      RunOptions off;
+      off.reveal_raw = true;
+      off.num_threads = threads;
+      off.cache = CacheMode::kOff;
+      RunOptions shared = off;
+      shared.cache = CacheMode::kShared;
+
+      auto off1 = off_sys.execute(query, off);
+      auto off2 = off_sys.execute(query, off);
+      auto tiered1 = tiered_sys.execute(query, shared);
+      // Squeeze the memory tier so most entries demote to disk: the warm
+      // run is then served substantially from slab files.
+      tiered_sys.chunk_cache().set_byte_budget(
+          tiered_sys.cache_stats().bytes / 4);
+      EXPECT_GT(tiered_sys.cache_stats().disk_entries, 0u);
+      auto tiered2 = tiered_sys.execute(query, shared);
+      EXPECT_GT(tiered2.cache.hits, 0u);
+      EXPECT_EQ(tiered2.cache.misses, 0u);
+      EXPECT_GT(tiered_sys.cache_stats().disk_hits, 0u);
+
+      expect_releases_identical(off1.releases, tiered1.releases);
+      expect_releases_identical(off2.releases, tiered2.releases);
+      EXPECT_EQ(off1.table_rows, tiered1.table_rows);
+      EXPECT_EQ(off2.table_rows, tiered2.table_rows);
+      for (FrameIndex f : {0, 250, 500, 999}) {
+        EXPECT_EQ(off_sys.remaining_budget("cam", f),
+                  tiered_sys.remaining_budget("cam", f));
+      }
+    }
+  }
+}
+
+// Facade-level restart: a new process (here, a new Privid) pointed at the
+// same cache directory replays the whole query from disk, with releases
+// byte-identical to the first process's run (same noise seed, same
+// system-RNG stream position).
+TEST(CacheEquivalence, RestartWarmServesFromDiskBitIdentical) {
+  const auto dir = fresh_cache_dir("facade_restart");
+  RunOptions opts;
+  opts.reveal_raw = true;
+  opts.cache = CacheMode::kShared;
+  std::vector<Release> first;
+  {
+    Privid sys = make_system();
+    sys.chunk_cache().attach_disk_tier(disk_config(dir));
+    auto res = sys.execute(kGroupedQuery, opts);
+    EXPECT_EQ(res.cache.misses, 20u);
+    first = res.releases;
+  }  // ~Privid -> ~ChunkCache flushes the memory tier to dir
+  EXPECT_EQ(slab_file_count(dir), 20u);
+
+  Privid revived = make_system();
+  revived.chunk_cache().attach_disk_tier(disk_config(dir));
+  auto res = revived.execute(kGroupedQuery, opts);
+  EXPECT_EQ(res.cache.hits, 20u);
+  EXPECT_EQ(res.cache.misses, 0u);
+  EXPECT_EQ(revived.cache_stats().disk_hits, 20u);
+  expect_releases_identical(first, res.releases);
 }
 
 }  // namespace

@@ -52,9 +52,15 @@ const Allowlist kSandboxBoundary = {"src/engine/sandbox.hpp",
 const Allowlist kRngFiles = {"src/common/rng.hpp", "src/common/rng.cpp"};
 const Allowlist kTimeFiles = {"src/common/timeutil.hpp",
                               "src/common/timeutil.cpp"};
+// src/engine/chunk_cache.cpp is the cache-configuration boundary: it owns
+// every PRIVID_CACHE* read (mode, disk directory, disk byte budget). Cache
+// and tier configuration never feed a release value — the equivalence
+// suites prove releases byte-identical across cache modes and tiers — so
+// env-derived branching there cannot break run-to-run determinism.
 const Allowlist kEnvFiles = {"src/common/rng.hpp", "src/common/rng.cpp",
                              "src/common/timeutil.hpp",
-                             "src/common/timeutil.cpp"};
+                             "src/common/timeutil.cpp",
+                             "src/engine/chunk_cache.cpp"};
 const Allowlist kHashFiles = {"src/common/fingerprint.hpp",
                               "src/common/fingerprint.cpp",
                               "src/common/rng.hpp", "src/common/rng.cpp"};
@@ -539,8 +545,8 @@ std::string rule_catalog() {
       "boundary\n"
       "determinism-random  rand/srand/random_device outside common/rng.*\n"
       "determinism-clock   wall-clock reads outside common/timeutil.*\n"
-      "determinism-env     getenv outside common/rng.* and "
-      "common/timeutil.*\n"
+      "determinism-env     getenv outside common/rng.*, common/timeutil.* "
+      "and engine/chunk_cache.cpp (PRIVID_CACHE* knobs)\n"
       "float-format        printf-family float formatting on release "
       "paths\n"
       "parallel-hash       std::hash / hash constants outside "
