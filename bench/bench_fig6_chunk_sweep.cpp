@@ -29,12 +29,14 @@ std::map<int, double> baseline_hourly(const sim::Scene& scene,
                                       std::uint64_t seed) {
   cv::Detector detector(det, seed);
   cv::Tracker tracker(trk);
+  cv::FrameArena arena;
   Seconds dt = 1.0 / scene.meta().fps;
   for (Seconds t = window.begin; t < window.end; t += dt) {
-    tracker.step(t, detector.detect(scene, t, scene.meta().frame_at(t), mask));
+    tracker.step(t, detector.detect_into(scene, t, scene.meta().frame_at(t),
+                                         mask, arena));
   }
   std::map<int, double> hourly;
-  for (const auto& rec : tracker.all_tracks()) {
+  for (const auto& rec : tracker.take_tracks()) {
     hourly[static_cast<int>(rec.first_seen / 3600.0)] += 1.0;
   }
   return hourly;

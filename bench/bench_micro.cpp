@@ -211,7 +211,7 @@ static void BM_TrackerStep(benchmark::State& state) {
     for (int i = 0; i < 100; ++i) {
       tracker.step(t0 + i * 0.1, frames[static_cast<std::size_t>(i)]);
     }
-    benchmark::DoNotOptimize(tracker.all_tracks());
+    benchmark::DoNotOptimize(tracker.take_tracks());
   }
 }
 BENCHMARK(BM_TrackerStep);

@@ -245,20 +245,21 @@ void run_q13() {
   // "Original": the same logic, one continuous pass (no chunk boundaries).
   cv::Detector detector(det, 74);
   cv::Tracker tracker(trk);
+  cv::FrameArena arena;
   std::map<int, std::pair<Box, Box>> extent;
   const Mask* mask = &scenario.recommended_mask;
   for (Seconds t = 21600; t < 64800; t += 1.0 / scene->meta().fps) {
-    tracker.step(t,
-                 detector.detect(*scene, t, scene->meta().frame_at(t), mask));
-    for (const auto& rec : tracker.active()) {
+    tracker.step(t, detector.detect_into(*scene, t, scene->meta().frame_at(t),
+                                         mask, arena));
+    tracker.for_each_active([&](const cv::ActiveTrack& rec) {
       auto [it, inserted] =
           extent.try_emplace(rec.track_id, rec.last_box, rec.last_box);
       if (!inserted) it->second.second = rec.last_box;
-    }
+    });
   }
   double truth = 0;
   double h = scene->meta().height;
-  for (const auto& rec : tracker.all_tracks()) {
+  for (const auto& rec : tracker.take_tracks()) {
     auto it = extent.find(rec.track_id);
     if (it == extent.end()) continue;
     if (it->second.first.cy() > 2 * h / 3 && it->second.second.cy() < h / 3) {

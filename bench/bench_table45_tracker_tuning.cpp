@@ -3,9 +3,9 @@
 // distribution best matches annotated ground truth.
 //
 // Paper grids: DeepSORT {cos, iou, age, n_init} for campus/urban, SORT
-// {max_age, min_hits, iou_dist} for highway (cars). We run reduced grids
-// (same axes) and print the ranking; the chosen config per video is the
-// top row.
+// {max_age, min_hits, iou_dist} for highway (cars) — in TrackerConfig
+// vocabulary: {max_age, n_init, iou_gate}. We run reduced grids (same
+// axes) and print the ranking; the chosen config per video is the top row.
 #include "bench_util.hpp"
 #include "cv/tuning.hpp"
 #include "sim/scenarios.hpp"
@@ -49,8 +49,8 @@ int main() {
     det.size_exponent = 0.2;
     cv::SortGrid grid;
     grid.max_age = {60, 240, 480};
-    grid.min_hits = {3, 5, 9};
-    grid.iou_dist = {0.1, 0.3, 0.7};
+    grid.n_init = {3, 5, 9};
+    grid.iou_gate = {0.1, 0.3, 0.7};
     auto results =
         cv::tune_sort(scenario.scene, window, det, grid, 7, /*fps=*/4.0);
     std::printf("\nTable 5 (highway), top 5 of %zu configs:\n",

@@ -41,8 +41,8 @@ int main() {
   //    distribution distance.
   cv::SortGrid grid;
   grid.max_age = {10, 40};
-  grid.min_hits = {2, 5};
-  grid.iou_dist = {0.1, 0.3};
+  grid.n_init = {2, 5};
+  grid.iou_gate = {0.1, 0.3};
   auto tuned = cv::tune_sort(scenario.scene, window, det, grid, 3, 5);
   std::printf("Best tracker config       : %s (dist %.3f)\n\n",
               tuned.front().label.c_str(), tuned.front().distance);

@@ -23,9 +23,9 @@ std::vector<cv::TrackRecord> track_chunk(const ChunkView& view,
                                          const cv::TrackerConfig& trk) {
   cv::Tracker tracker(trk);
   view.for_each_frame([&](Seconds t) {
-    tracker.step(t, view.detect(det, t));
+    tracker.step(t, view.detect_into(det, t));
   });
-  return tracker.all_tracks();
+  return tracker.take_tracks();
 }
 
 // The §6.2 entering convention: a track "enters during the chunk" if its
@@ -66,18 +66,23 @@ Executable make_car_reporter(cv::DetectorConfig det, cv::TrackerConfig trk) {
     };
     std::map<int, Attrs> attrs;
     view.for_each_frame([&](Seconds t) {
-      auto dets = view.detect(det, t);
+      const cv::DetectionBatch& dets = view.detect_into(det, t);
       tracker.step(t, dets);
-      // Associate attributes by box proximity to active tracks.
-      for (const auto& rec : tracker.active()) {
-        for (const auto& d : dets) {
-          if (!d.plate.empty() && iou(rec.last_box, d.box) > 0.5) {
-            attrs[rec.track_id] = {d.plate, d.color};
+      // Associate attributes by box proximity to active tracks; plate
+      // codes resolve to strings only at assignment (interning keeps the
+      // per-frame scan allocation-free).
+      tracker.for_each_active([&](const cv::ActiveTrack& rec) {
+        for (std::size_t d = 0; d < dets.size(); ++d) {
+          if (dets.plate_codes()[d] >= 0 &&
+              iou(rec.last_box, dets.box(d)) > 0.5) {
+            attrs[rec.track_id] = {
+                std::string(dets.symbol(dets.plate_codes()[d])),
+                std::string(dets.symbol_or_empty(dets.color_codes()[d]))};
           }
         }
-      }
+      });
     });
-    for (const auto& rec : tracker.all_tracks()) {
+    for (const auto& rec : tracker.take_tracks()) {
       if (!entered_during(rec, view)) continue;
       auto it = attrs.find(rec.track_id);
       std::string plate = it != attrs.end() ? it->second.plate : "";
@@ -156,15 +161,15 @@ Executable make_trajectory_filter(cv::DetectorConfig det,
     cv::Tracker tracker(trk);
     std::map<int, std::pair<Box, Box>> extent;  // track -> (first, last)
     view.for_each_frame([&](Seconds t) {
-      tracker.step(t, view.detect(det, t));
-      for (const auto& rec : tracker.active()) {
+      tracker.step(t, view.detect_into(det, t));
+      tracker.for_each_active([&](const cv::ActiveTrack& rec) {
         auto [it, inserted] =
             extent.try_emplace(rec.track_id, rec.last_box, rec.last_box);
         if (!inserted) it->second.second = rec.last_box;
-      }
+      });
     });
     double h = view.video().height;
-    for (const auto& rec : tracker.all_tracks()) {
+    for (const auto& rec : tracker.take_tracks()) {
       auto it = extent.find(rec.track_id);
       if (it == extent.end()) continue;
       bool from_south = it->second.first.cy() > 2.0 * h / 3.0;

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "cv/kernels.hpp"
 
 namespace privid::cv {
 
@@ -103,6 +104,81 @@ std::vector<Detection> Detector::detect(const sim::Scene& scene, Seconds t,
     d.feature.assign(8, 0.0);
     for (auto& f : d.feature) f = fp_rng.normal(0, 0.5);
     out.push_back(std::move(d));
+  }
+  return out;
+}
+
+const DetectionBatch& Detector::detect_into(const sim::Scene& scene,
+                                            Seconds t, FrameIndex frame,
+                                            const Mask* mask,
+                                            FrameArena& arena) const {
+  DetectionBatch& out = arena.batch;
+  out.clear();
+  const auto& entities = scene.entities();
+  for (std::size_t i : scene.candidates_at(t)) {
+    const auto& e = entities[i];
+    auto b = e.box_at(t);
+    if (!b) continue;
+    double visible = mask ? mask->visible_fraction(*b) : 1.0;
+    double p = detect_probability(b->area(), visible);
+    if (p <= 0) continue;
+
+    // Deterministic draw per (seed, entity, frame) — the same tag, stream
+    // and draw sequence as the AoS path above.
+    std::uint64_t tag = seed_mix(static_cast<std::uint64_t>(e.id),
+                                 static_cast<std::uint64_t>(frame));
+    Rng draw(seed_mix(seed_, tag));
+    if (!draw.bernoulli(p)) continue;
+
+    Box box = *b;
+    box.x += draw.normal(0, cfg_.box_jitter_px);
+    box.y += draw.normal(0, cfg_.box_jitter_px);
+    box.w = std::max(1.0, box.w + draw.normal(0, cfg_.box_jitter_px));
+    box.h = std::max(1.0, box.h + draw.normal(0, cfg_.box_jitter_px));
+    double conf = std::clamp(p + draw.normal(0, 0.05), 0.05, 1.0);
+    std::size_t row = out.push(box, e.cls, conf, e.id,
+                               e.appearance_feature.size(),
+                               out.intern(e.plate), out.intern(e.color));
+    double* feat = out.feature_row(row);
+    for (std::size_t k = 0; k < e.appearance_feature.size(); ++k) {
+      feat[k] = e.appearance_feature[k] + draw.normal(0, cfg_.feature_noise);
+    }
+  }
+
+  // Non-maximum suppression over the SoA columns: identical sort
+  // permutation (sort_by_confidence_desc) and identical IoU expression as
+  // the AoS path, gathered through the arena's staging batch.
+  if (cfg_.nms_iou <= 1.0 && out.size() > 1) {
+    sort_by_confidence_desc(out.confidences(), out.size(), arena.order);
+    DetectionBatch& kept = arena.staging;
+    kept.clear();
+    for (std::uint32_t idx : arena.order) {
+      if (!any_iou_above(out.box(idx), kept.xs(), kept.ys(), kept.ws(),
+                         kept.hs(), kept.size(), cfg_.nms_iou)) {
+        kept.push_row_from(out, idx);
+      }
+    }
+    out.swap_rows(kept);
+  }
+
+  // False positives: a small deterministic Poisson count per frame, with
+  // the AoS path's draw sequence (skipped boxes still consume their w, h,
+  // x, y draws before the mask check).
+  std::uint64_t fp_tag =
+      seed_mix(0xF05EFull, static_cast<std::uint64_t>(frame));
+  Rng fp_rng(seed_mix(seed_, fp_tag));
+  std::int64_t n_fp = fp_rng.poisson(cfg_.false_positives_per_frame);
+  Box fb = scene.meta().frame_box();
+  for (std::int64_t k = 0; k < n_fp; ++k) {
+    double w = fp_rng.uniform(15, 60);
+    double h = fp_rng.uniform(25, 90);
+    Box box{fp_rng.uniform(0, fb.w - w), fp_rng.uniform(0, fb.h - h), w, h};
+    if (mask && !mask->visible(box, cfg_.visibility_threshold)) continue;
+    double conf = fp_rng.uniform(0.05, 0.5);
+    std::size_t row =
+        out.push(box, sim::EntityClass::kOther, conf, -1, 8);
+    double* feat = out.feature_row(row);
+    for (std::size_t j = 0; j < 8; ++j) feat[j] = fp_rng.normal(0, 0.5);
   }
   return out;
 }

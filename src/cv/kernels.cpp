@@ -1,0 +1,104 @@
+#include "cv/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privid::cv {
+
+void iou_matrix(const double* ax, const double* ay, const double* aw,
+                const double* ah, std::size_t na, const double* bx,
+                const double* by, const double* bw, const double* bh,
+                std::size_t nb, double* out) {
+  for (std::size_t i = 0; i < na; ++i) {
+    const double axi = ax[i], ayi = ay[i], awi = aw[i], ahi = ah[i];
+    const double ar = axi + awi, ab = ayi + ahi;
+    const double a_area = (awi > 0 && ahi > 0) ? awi * ahi : 0.0;
+    double* row = out + i * nb;
+    for (std::size_t j = 0; j < nb; ++j) {
+      // Same expression tree as Box::intersect + iou().
+      const double nx = std::max(axi, bx[j]);
+      const double ny = std::max(ayi, by[j]);
+      const double nr = std::min(ar, bx[j] + bw[j]);
+      const double nbot = std::min(ab, by[j] + bh[j]);
+      const double iw = nr - nx, ih = nbot - ny;
+      const double inter = (iw > 0 && ih > 0) ? iw * ih : 0.0;
+      if (inter <= 0) {
+        row[j] = 0.0;
+        continue;
+      }
+      const double b_area = (bw[j] > 0 && bh[j] > 0) ? bw[j] * bh[j] : 0.0;
+      const double uni = a_area + b_area - inter;
+      row[j] = uni > 0 ? inter / uni : 0.0;
+    }
+  }
+}
+
+double squared_norm(const double* v, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += v[i] * v[i];
+  return s;
+}
+
+bool any_iou_above(const Box& d, const double* bx, const double* by,
+                   const double* bw, const double* bh, std::size_t n,
+                   double thresh) {
+  const double dx = d.x, dy = d.y, dw = d.w, dh = d.h;
+  const double dr = dx + dw, db = dy + dh;
+  const double d_area = (dw > 0 && dh > 0) ? dw * dh : 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Same expression tree as iou_matrix / iou(Box, Box).
+    const double nx = std::max(dx, bx[j]);
+    const double ny = std::max(dy, by[j]);
+    const double nr = std::min(dr, bx[j] + bw[j]);
+    const double nbot = std::min(db, by[j] + bh[j]);
+    const double iw = nr - nx, ih = nbot - ny;
+    const double inter = (iw > 0 && ih > 0) ? iw * ih : 0.0;
+    if (inter <= 0) continue;
+    const double b_area = (bw[j] > 0 && bh[j] > 0) ? bw[j] * bh[j] : 0.0;
+    const double uni = d_area + b_area - inter;
+    const double v = uni > 0 ? inter / uni : 0.0;
+    if (v > thresh) return true;
+  }
+  return false;
+}
+
+double cosine_distance_norms(const double* a, const double* b, std::size_t n,
+                             double norm_a, double norm_b) {
+  double dot = 0;
+  for (std::size_t i = 0; i < n; ++i) dot += a[i] * b[i];
+  double denom = std::sqrt(norm_a * norm_b);
+  if (denom <= 1e-12) return 1.0;
+  return 1.0 - dot / denom;
+}
+
+void cosine_matrix(const double* a, std::size_t a_stride,
+                   const std::uint32_t* a_len, const double* a_norm,
+                   std::size_t na, const double* b, std::size_t b_stride,
+                   const std::uint32_t* b_len, const double* b_norm,
+                   std::size_t nb, double* out) {
+  for (std::size_t i = 0; i < na; ++i) {
+    const double* arow = a + i * a_stride;
+    const std::uint32_t alen = a_len[i];
+    double* row = out + i * nb;
+    for (std::size_t j = 0; j < nb; ++j) {
+      if (alen == 0 || b_len[j] == 0 || alen != b_len[j]) {
+        row[j] = 1.0;
+        continue;
+      }
+      row[j] = cosine_distance_norms(arow, b + j * b_stride, alen, a_norm[i],
+                                     b_norm[j]);
+    }
+  }
+}
+
+void sort_by_confidence_desc(const double* conf, std::size_t n,
+                             std::vector<std::uint32_t>& order) {
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [conf](std::uint32_t a, std::uint32_t b) {
+              return conf[a] > conf[b];
+            });
+}
+
+}  // namespace privid::cv

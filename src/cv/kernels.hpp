@@ -1,0 +1,66 @@
+// Dense CV-plane kernels over contiguous SoA arrays.
+//
+// Every kernel is bit-exact with the scalar routine it replaces (same
+// expression tree, same accumulation order): the batch pipeline must
+// reproduce the AoS era's tracks byte for byte, so "vectorizable" here
+// means contiguous data and branch-light inner loops, never reassociated
+// floating-point math. The only algebraic shortcut taken — hoisting the
+// per-row squared feature norms out of the cosine matrix — is exact,
+// because each norm is accumulated over the same elements in the same
+// order as the scalar `cosine_distance` computed it per pair.
+//
+// tests/test_cv_batch.cpp byte-compares each kernel against its retained
+// scalar reference over randomized inputs at threads {1, 4, hw}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "video/video.hpp"
+
+namespace privid::cv {
+
+// IoU of box i (from the a-arrays) with box j (from the b-arrays) written
+// to out[i * nb + j]. Bit-exact with iou(Box, Box).
+void iou_matrix(const double* ax, const double* ay, const double* aw,
+                const double* ah, std::size_t na, const double* bx,
+                const double* by, const double* bw, const double* bh,
+                std::size_t nb, double* out);
+
+// Squared L2 norm of `v[0..n)` accumulated in index order — the same
+// partial-sum sequence the scalar cosine used for its `na`/`nb` terms.
+double squared_norm(const double* v, std::size_t n);
+
+// Cosine distance matrix out[i * nb + j] between feature row i of `a`
+// (stride a_stride, valid length a_len[i], squared norm a_norm[i]) and row
+// j of `b`. Rows with length 0 or mismatched lengths get distance 1.0,
+// matching the AoS `cosine_distance` on empty / differently-sized vectors.
+void cosine_matrix(const double* a, std::size_t a_stride,
+                   const std::uint32_t* a_len, const double* a_norm,
+                   std::size_t na, const double* b, std::size_t b_stride,
+                   const std::uint32_t* b_len, const double* b_norm,
+                   std::size_t nb, double* out);
+
+// Whether iou(d, b_j) > thresh for any j in [0, n) — the NMS suppression
+// test against the kept set, as one sweep over the SoA arrays instead of
+// n out-of-line iou(Box, Box) calls. Each per-pair IoU is the same
+// expression tree as iou(Box, Box), so the decision is bit-exact with the
+// AoS path's early-exit loop (the disjunction is order-independent).
+bool any_iou_above(const Box& d, const double* bx, const double* by,
+                   const double* bw, const double* bh, std::size_t n,
+                   double thresh);
+
+// One cosine distance via precomputed squared norms; bit-exact with the
+// scalar cosine_distance(a, b) when lengths match and are nonzero.
+double cosine_distance_norms(const double* a, const double* b, std::size_t n,
+                             double norm_a, double norm_b);
+
+// Fills `order` with [0, n) sorted by descending conf[i]. Uses std::sort
+// with a comparator that reads only conf[] — the comparison outcomes are
+// positionally identical to the AoS era's sort of `vector<Detection>` by
+// confidence, so the resulting permutation (ties included) is the same.
+void sort_by_confidence_desc(const double* conf, std::size_t n,
+                             std::vector<std::uint32_t>& order);
+
+}  // namespace privid::cv

@@ -57,6 +57,7 @@ PersistenceEstimate estimate_persistence(const sim::Scene& scene,
   if (fps <= 0) throw ArgumentError("sample fps must be positive");
   Detector detector(det_cfg, seed);
   Tracker tracker(trk_cfg);
+  FrameArena arena;
 
   PersistenceEstimate out;
   std::size_t visible_object_frames = 0;
@@ -66,14 +67,15 @@ PersistenceEstimate estimate_persistence(const sim::Scene& scene,
   Seconds dt = 1.0 / fps;
   for (Seconds t = window.begin; t < window.end; t += dt) {
     FrameIndex frame = scene.meta().frame_at(t);
-    auto dets = detector.detect(scene, t, frame, mask);
+    const DetectionBatch& dets =
+        detector.detect_into(scene, t, frame, mask, arena);
 
     auto visible = scene.visible_at(t, mask);
     visible_object_frames += visible.size();
     for (std::size_t i : visible) gt_ids.insert(scene.entities()[i].id);
     std::set<sim::EntityId> hit;
-    for (const auto& d : dets) {
-      if (d.truth_id >= 0) hit.insert(d.truth_id);
+    for (std::size_t d = 0; d < dets.size(); ++d) {
+      if (dets.truth_id(d) >= 0) hit.insert(dets.truth_id(d));
     }
     for (std::size_t i : visible) {
       if (hit.count(scene.entities()[i].id)) ++detected_object_frames;
@@ -83,7 +85,7 @@ PersistenceEstimate estimate_persistence(const sim::Scene& scene,
   }
 
   std::set<sim::EntityId> tracked_ids;
-  for (const auto& rec : tracker.all_tracks()) {
+  for (const auto& rec : tracker.take_tracks()) {
     out.track_durations.push_back(rec.duration());
     out.max_duration = std::max(out.max_duration, rec.duration());
     if (rec.dominant_truth >= 0) tracked_ids.insert(rec.dominant_truth);

@@ -65,12 +65,12 @@ std::vector<TuningResult> tune_sort(const sim::Scene& scene,
   std::vector<TuningResult> out;
   char label[96];
   for (int age : grid.max_age) {
-    for (int mh : grid.min_hits) {
-      for (double iou : grid.iou_dist) {
+    for (int ni : grid.n_init) {
+      for (double iou : grid.iou_gate) {
         std::snprintf(label, sizeof(label),
-                      "max_age=%d min_hits=%d iou_dist=%.1f", age, mh, iou);
+                      "max_age=%d n_init=%d iou_gate=%.1f", age, ni, iou);
         out.push_back(evaluate(scene, window, det,
-                               TrackerConfig::sort(age, mh, iou),
+                               TrackerConfig::sort(age, ni, iou),
                                gt.durations, seed, sample_fps, label));
       }
     }

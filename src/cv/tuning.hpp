@@ -28,11 +28,12 @@ struct DeepSortGrid {
   std::vector<int> n_init = {2, 3, 5};
 };
 
-// SORT-style grid (Table 5): max ages, min hits, IoU distances.
+// SORT-style grid (Table 5). Fields use the TrackerConfig vocabulary; the
+// paper's table headings map as min_hits -> n_init, iou_dist -> iou_gate.
 struct SortGrid {
   std::vector<int> max_age = {60, 240, 480};
-  std::vector<int> min_hits = {3, 5, 7, 9};
-  std::vector<double> iou_dist = {0.1, 0.3, 0.5, 0.7};
+  std::vector<int> n_init = {3, 5, 7, 9};
+  std::vector<double> iou_gate = {0.1, 0.3, 0.5, 0.7};
 };
 
 // Sweeps the grid; results are sorted by distance ascending (best first).

@@ -46,6 +46,28 @@ std::vector<cv::Detection> ChunkView::detect(const cv::DetectorConfig& model,
   return dets;
 }
 
+const cv::DetectionBatch& ChunkView::detect_into(
+    const cv::DetectorConfig& model, Seconds t) const {
+  check_inside(t);
+  if (!content_->scene) {
+    throw ArgumentError("detect() on a non-visual camera");
+  }
+  cv::Detector detector(model, content_->seed);
+  FrameIndex frame = meta_->frame_at(t);
+  const cv::DetectionBatch& b =
+      detector.detect_into(*content_->scene, t, frame, mask_, arena_);
+  if (region_) {
+    arena_.keep.resize(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      Box box = b.box(i);
+      arena_.keep[i] =
+          region_->extent.contains(box.cx(), box.cy()) ? 1 : 0;
+    }
+    arena_.batch.filter_rows(arena_.keep);
+  }
+  return arena_.batch;
+}
+
 std::size_t ChunkView::light_count() const {
   return content_->scene ? content_->scene->lights().size() : 0;
 }

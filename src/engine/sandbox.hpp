@@ -25,6 +25,7 @@
 
 #include "common/rng.hpp"
 #include "common/timeutil.hpp"
+#include "cv/batch.hpp"
 #include "cv/detection.hpp"
 #include "cv/detector.hpp"
 #include "sim/porto.hpp"
@@ -64,6 +65,13 @@ class ChunkView {
   std::vector<cv::Detection> detect(const cv::DetectorConfig& model,
                                     Seconds t) const;
 
+  // Batch path of detect(): same model/mask/region semantics, but the
+  // detections land in this view's reusable FrameArena as SoA columns —
+  // zero heap allocation per frame once the arena warms up. The returned
+  // batch is valid until the next detect_into() call on this view.
+  const cv::DetectionBatch& detect_into(const cv::DetectorConfig& model,
+                                        Seconds t) const;
+
   // Iterates every frame time in the chunk.
   template <typename Fn>
   void for_each_frame(Fn&& fn) const {
@@ -102,6 +110,9 @@ class ChunkView {
   FrameInterval frames_;
   const Mask* mask_;
   const Region* region_;
+  // Per-view frame scratch for detect_into(). A ChunkView belongs to one
+  // PROCESS task (one thread), so the mutable arena is not shared.
+  mutable cv::FrameArena arena_;
 };
 
 // What an executable produces for one chunk. The executable boundary stays

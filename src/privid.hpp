@@ -45,9 +45,11 @@
 #include "sim/trajectory.hpp"
 
 // Synthetic CV stack.
+#include "cv/batch.hpp"
 #include "cv/detection.hpp"
 #include "cv/detector.hpp"
 #include "cv/kalman.hpp"
+#include "cv/kernels.hpp"
 #include "cv/persistence.hpp"
 #include "cv/tracker.hpp"
 #include "cv/tuning.hpp"

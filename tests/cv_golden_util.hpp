@@ -1,0 +1,241 @@
+// Shared golden-dump helpers for the CV plane (detector / tracker /
+// persistence / engine releases).
+//
+// The dumps are hexfloat: every bit of every box coordinate, confidence,
+// feature element, duration, release and ledger charge is pinned. The
+// goldens under tests/golden/cv_*.txt were captured from the AoS-era
+// pipeline (one `Detection` struct per object, one `KalmanBox` per track)
+// immediately before the DetectionBatch rewrite; the batch/SoA pipeline
+// must reproduce them byte for byte. Used by tests/test_cv_batch.cpp and
+// tools/cv_golden_gen.cpp.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analyst/executables.hpp"
+#include "cv/persistence.hpp"
+#include "cv/tracker.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+
+namespace privid::testutil {
+
+inline std::string hexd(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+inline void append_track_record(std::string& out, const cv::TrackRecord& r) {
+  out += "track id=" + std::to_string(r.track_id);
+  out += " first=" + hexd(r.first_seen);
+  out += " last=" + hexd(r.last_seen);
+  out += " hits=" + std::to_string(r.hits);
+  out += " confirmed=" + std::to_string(r.confirmed ? 1 : 0);
+  out += " truth=" + std::to_string(r.dominant_truth);
+  out += " box=" + hexd(r.last_box.x) + "," + hexd(r.last_box.y) + "," +
+         hexd(r.last_box.w) + "," + hexd(r.last_box.h);
+  out += " feat=";
+  for (std::size_t i = 0; i < r.mean_feature.size(); ++i) {
+    if (i) out += ":";
+    out += hexd(r.mean_feature[i]);
+  }
+  out += "\n";
+}
+
+// A dense crossing scene: `n` entities with varied classes, speeds, rows
+// and plates, several of them overlapping in time, at 10 fps over 60 s.
+inline sim::Scene dense_scene(int n = 40) {
+  VideoMeta m;
+  m.camera_id = "dense";
+  m.fps = 10;
+  m.width = 1280;
+  m.height = 720;
+  m.extent = {0, 60};
+  sim::Scene s(m);
+  static const char* kColors[] = {"RED", "BLUE", "SILVER", "BLACK"};
+  for (int i = 0; i < n; ++i) {
+    sim::Entity e;
+    e.id = i + 1;
+    e.cls = (i % 3 == 0) ? sim::EntityClass::kCar : sim::EntityClass::kPerson;
+    if (e.cls == sim::EntityClass::kCar) {
+      char plate[16];
+      std::snprintf(plate, sizeof(plate), "P-%04d", i);
+      e.plate = plate;
+      e.color = kColors[i % 4];
+    }
+    e.appearance_feature.assign(8, 0.0);
+    e.appearance_feature[static_cast<std::size_t>(i) % 8] = 1.0;
+    e.appearance_feature[static_cast<std::size_t>(i / 8) % 8] += 0.5;
+    // Rows spread over the frame; staggered entry times; alternating
+    // directions and speeds so tracks cross.
+    double y = 40.0 + 640.0 * ((i * 7) % n) / n;
+    double t0 = 0.5 * i;
+    double t1 = t0 + 20.0 + (i % 5) * 4.0;
+    Box from{0, y, e.cls == sim::EntityClass::kCar ? 90.0 : 40.0,
+             e.cls == sim::EntityClass::kCar ? 60.0 : 80.0};
+    Box to = from;
+    to.x = 1200;
+    if (i % 2) std::swap(from.x, to.x);
+    e.appearances.push_back(sim::Trajectory::linear(t0, t1, from, to));
+    s.add_entity(e);
+  }
+  return s;
+}
+
+// Detector + tracker over the dense scene; dumps sampled per-frame
+// detections (every 100th frame) and every confirmed track. Runs the
+// batch pipeline (detect_into / step(batch) / take_tracks); the dump
+// format is byte-identical to the AoS-era capture, so the goldens under
+// tests/golden pin the rewrite.
+inline std::string dump_dense_tracks(bool deepsort) {
+  sim::Scene scene = dense_scene();
+  cv::DetectorConfig det_cfg;  // defaults: jitter, NMS, FPs all on
+  cv::Detector detector(det_cfg, 17);
+  cv::TrackerConfig trk_cfg = deepsort
+                                  ? cv::TrackerConfig::deepsort(0.4, 0.2, 24, 2)
+                                  : cv::TrackerConfig::sort(20, 3, 0.1);
+  cv::Tracker tracker(trk_cfg);
+  cv::FrameArena arena;
+  std::string out;
+  std::size_t total_dets = 0;
+  for (int f = 0; f < 600; ++f) {
+    Seconds t = scene.meta().time_of(f);
+    const cv::DetectionBatch& dets =
+        detector.detect_into(scene, t, f, nullptr, arena);
+    total_dets += dets.size();
+    if (f % 100 == 0) {
+      out += "frame " + std::to_string(f) + " n=" +
+             std::to_string(dets.size()) + "\n";
+      for (std::size_t d = 0; d < dets.size(); ++d) {
+        Box b = dets.box(d);
+        out += "  det box=" + hexd(b.x) + "," + hexd(b.y) + "," + hexd(b.w) +
+               "," + hexd(b.h);
+        out += " conf=" + hexd(dets.confidence(d));
+        out += " truth=" + std::to_string(dets.truth_id(d));
+        out += " plate=";
+        out += dets.symbol_or_empty(dets.plate_codes()[d]);
+        out += " color=";
+        out += dets.symbol_or_empty(dets.color_codes()[d]);
+        out += " feat=";
+        for (std::size_t i = 0; i < dets.feature_len(d); ++i) {
+          if (i) out += ":";
+          out += hexd(dets.feature_row(d)[i]);
+        }
+        out += "\n";
+      }
+    }
+    tracker.step(t, dets);
+  }
+  out += "total_dets " + std::to_string(total_dets) + "\n";
+  for (const auto& rec : tracker.take_tracks()) append_track_record(out, rec);
+  return out;
+}
+
+// Persistence estimation over the campus scenario (plain and masked).
+inline std::string dump_persistence() {
+  auto scenario = sim::make_campus(11, 0.5, 0.6);
+  TimeInterval win{6 * 3600.0, 6 * 3600.0 + 600};
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.7;
+  std::string out;
+  for (int masked = 0; masked < 2; ++masked) {
+    const Mask* mask = masked ? &scenario.recommended_mask : nullptr;
+    auto est = cv::estimate_persistence(scenario.scene, win, det,
+                                        cv::TrackerConfig::sort(40, 2, 0.1),
+                                        5, mask, 5.0);
+    out += std::string("leg ") + (masked ? "masked" : "plain") + "\n";
+    out += "max_duration " + hexd(est.max_duration) + "\n";
+    out += "frame_miss_rate " + hexd(est.frame_miss_rate) + "\n";
+    out += "gt_entities " + std::to_string(est.gt_entities) + "\n";
+    out += "tracked_entities " + std::to_string(est.tracked_entities) + "\n";
+    out += "durations";
+    for (double d : est.track_durations) out += " " + hexd(d);
+    out += "\n";
+  }
+  return out;
+}
+
+// Full-stack engine releases through tracker-driven executables: an
+// ungrouped entering count and a keyed car-colour count, with ledger
+// charges. Must be invariant across threads {1,4,hw} x cache {off,shared}.
+inline std::string dump_engine_releases(std::size_t threads,
+                                        engine::CacheMode cache) {
+  auto scene = std::make_shared<sim::Scene>(dense_scene(24));
+  VideoMeta meta = scene->meta();
+  meta.camera_id = "cam";
+  engine::Privid sys(7);
+  engine::CameraRegistration reg;
+  reg.meta = meta;
+  reg.content.scene = scene;
+  reg.content.seed = 11;
+  reg.policy = {12, 2};
+  reg.epsilon_budget = 100;
+  sys.register_camera(std::move(reg));
+  cv::DetectorConfig det;
+  det.base_detect_prob = 0.9;
+  sys.register_executable(
+      "counter", analyst::make_entering_counter(
+                     det, cv::TrackerConfig::sort(20, 2, 0.1),
+                     sim::EntityClass::kPerson));
+  sys.register_executable(
+      "cars", analyst::make_car_reporter(
+                  det, cv::TrackerConfig::deepsort(0.4, 0.2, 24, 2)));
+
+  engine::RunOptions opts;
+  opts.reveal_raw = true;
+  opts.num_threads = threads;
+  opts.cache = cache;
+
+  std::string out;
+  auto dump = [&](const engine::QueryResult& r) {
+    for (const auto& rel : r.releases) {
+      out += "release " + rel.label;
+      out += " key=";
+      for (std::size_t i = 0; i < rel.group_key.size(); ++i) {
+        if (i) out += ",";
+        out += rel.group_key[i].to_string();
+      }
+      out += " value=" + hexd(rel.value) + " raw=" + hexd(rel.raw) +
+             " sens=" + hexd(rel.sensitivity) + "\n";
+    }
+  };
+  dump(sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 10 STRIDE 0 INTO c;"
+      "PROCESS c USING counter TIMEOUT 1 PRODUCING 6 ROWS "
+      "WITH SCHEMA (seen:NUMBER=0) INTO t;"
+      "SELECT COUNT(*) FROM t;",
+      opts));
+  dump(sys.execute(
+      "SPLIT cam BEGIN 0 END 60 BY TIME 10 STRIDE 0 INTO c;"
+      "PROCESS c USING cars TIMEOUT 1 PRODUCING 18 ROWS "
+      "WITH SCHEMA (plate:STRING=\"\", color:STRING=\"\", speed:NUMBER=0) "
+      "INTO t;"
+      "SELECT color, COUNT(*) FROM t GROUP BY color WITH KEYS "
+      "[\"RED\", \"BLUE\", \"SILVER\", \"BLACK\"];",
+      opts));
+  for (FrameIndex f : {0, 300, 599}) {
+    out += "ledger f" + std::to_string(f) + " " +
+           hexd(sys.remaining_budget("cam", f)) + "\n";
+  }
+  return out;
+}
+
+inline void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << content;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace privid::testutil

@@ -207,7 +207,7 @@ TEST(Tracker, FastSmallObjectStaysOneTrack) {
   for (double t = 0; t < 20; t += 0.1) {
     tr.step(t, det.detect(s, t, s.meta().frame_at(t)));
   }
-  EXPECT_LE(tr.all_tracks().size(), 2u);
+  EXPECT_LE(tr.take_tracks().size(), 2u);
 }
 
 // -------------------------------------------------------------- Kalman
@@ -259,7 +259,7 @@ TEST(Tracker, SingleTrackLifecycle) {
   for (int i = 0; i < 20; ++i) {
     tr.step(i * 0.1, det_at(100 + i * 2.0, 100, 1));
   }
-  auto tracks = tr.all_tracks();
+  auto tracks = tr.take_tracks();
   ASSERT_EQ(tracks.size(), 1u);
   EXPECT_EQ(tracks[0].dominant_truth, 1);
   EXPECT_NEAR(tracks[0].duration(), 1.9, 1e-9);
@@ -271,19 +271,19 @@ TEST(Tracker, UnconfirmedShortTracksDropped) {
   tr.step(0.0, det_at(100, 100, 1));
   tr.step(0.1, det_at(102, 100, 1));
   // Only 2 hits < n_init 5: not confirmed.
-  EXPECT_TRUE(tr.all_tracks().empty());
+  EXPECT_TRUE(tr.take_tracks().empty());
 }
 
 TEST(Tracker, SurvivesMissedFrames) {
   Tracker tr(TrackerConfig::sort(10, 2, 0.1));
   for (int i = 0; i < 30; ++i) {
     if (i % 3 == 2) {
-      tr.step(i * 0.1, {});  // missed detection
+      tr.step(i * 0.1, std::vector<Detection>{});  // missed detection
     } else {
       tr.step(i * 0.1, det_at(100 + i * 2.0, 100, 1));
     }
   }
-  auto tracks = tr.all_tracks();
+  auto tracks = tr.take_tracks();
   ASSERT_EQ(tracks.size(), 1u);  // one stitched track despite misses
 }
 
@@ -291,12 +291,12 @@ TEST(Tracker, FragmentsWhenMaxAgeSmall) {
   Tracker tr(TrackerConfig::sort(1, 1, 0.1));
   for (int i = 0; i < 40; ++i) {
     if (i % 8 > 3) {
-      tr.step(i * 0.1, {});  // 4-frame gaps exceed max_age 1
+      tr.step(i * 0.1, std::vector<Detection>{});  // 4-frame gaps exceed max_age 1
     } else {
       tr.step(i * 0.1, det_at(100 + i * 2.0, 100, 1));
     }
   }
-  EXPECT_GT(tr.all_tracks().size(), 1u);
+  EXPECT_GT(tr.take_tracks().size(), 1u);
 }
 
 TEST(Tracker, SeparatesDistantObjects) {
@@ -307,7 +307,7 @@ TEST(Tracker, SeparatesDistantObjects) {
     a.push_back(b[0]);
     tr.step(i * 0.1, a);
   }
-  auto tracks = tr.all_tracks();
+  auto tracks = tr.take_tracks();
   ASSERT_EQ(tracks.size(), 2u);
   std::set<sim::EntityId> ids{tracks[0].dominant_truth,
                               tracks[1].dominant_truth};
@@ -327,17 +327,19 @@ TEST(Tracker, AppearanceGateBlocksMismatchedFeatures) {
     a.push_back(b[0]);
     tr.step(i * 0.1, a);
   }
+  auto tracks = tr.take_tracks();
   std::size_t switches = 0;
-  for (const auto& rec : tr.all_tracks()) {
+  for (const auto& rec : tracks) {
     if (rec.dominant_truth < 0) ++switches;
   }
-  EXPECT_GE(tr.all_tracks().size(), 2u);
+  EXPECT_GE(tracks.size(), 2u);
 }
 
 TEST(Tracker, RejectsOutOfOrderFrames) {
   Tracker tr(TrackerConfig{});
-  tr.step(1.0, {});
-  EXPECT_THROW(tr.step(0.5, {}), ArgumentError);
+  tr.step(1.0, std::vector<Detection>{});
+  EXPECT_THROW(tr.step(0.5, std::vector<Detection>{}), ArgumentError);
+  EXPECT_THROW(tr.step(1.0, std::vector<Detection>{}), ArgumentError);
   EXPECT_THROW(Tracker(TrackerConfig::sort(0, 1, 0.1)), ArgumentError);
 }
 
@@ -386,8 +388,8 @@ TEST(Tuning, SortGridRanksBySimilarity) {
   auto scene = crossing_scene(4);
   SortGrid grid;
   grid.max_age = {5, 40};
-  grid.min_hits = {2};
-  grid.iou_dist = {0.1, 0.3};
+  grid.n_init = {2};
+  grid.iou_gate = {0.1, 0.3};
   auto results = tune_sort(scene, {0, 120}, DetectorConfig{}, grid, 3, 5.0);
   ASSERT_EQ(results.size(), 4u);
   for (std::size_t i = 1; i < results.size(); ++i) {

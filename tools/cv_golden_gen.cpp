@@ -1,0 +1,33 @@
+// Golden generator for the CV-plane batch rewrite (PR 8).
+//
+// Dumps hexfloat captures of the AoS-era detector/tracker/persistence
+// pipeline into tests/golden/cv_*.txt. Run ONCE at the commit before the
+// DetectionBatch rewrite; the batch implementation must reproduce every
+// byte. tests/test_cv_batch.cpp re-derives the same dumps from the batch
+// path and compares against these files (and can regenerate them via
+// PRIVID_REGEN_CV_GOLDEN=1 after a deliberate behavior change).
+#include <cstdio>
+#include <string>
+
+#include "analyst/executables.hpp"
+#include "cv/persistence.hpp"
+#include "engine/privid.hpp"
+#include "sim/scenarios.hpp"
+#include "tests/cv_golden_util.hpp"
+
+using namespace privid;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "tests/golden";
+  testutil::write_file(dir + "/cv_tracks_sort_v1.txt",
+                       testutil::dump_dense_tracks(/*deepsort=*/false));
+  testutil::write_file(dir + "/cv_tracks_deepsort_v1.txt",
+                       testutil::dump_dense_tracks(/*deepsort=*/true));
+  testutil::write_file(dir + "/cv_persistence_v1.txt",
+                       testutil::dump_persistence());
+  testutil::write_file(
+      dir + "/cv_engine_v1.txt",
+      testutil::dump_engine_releases(1, engine::CacheMode::kOff));
+  std::printf("cv goldens written to %s\n", dir.c_str());
+  return 0;
+}
