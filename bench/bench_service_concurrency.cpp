@@ -159,9 +159,13 @@ int main() {
   auto& service = sys.configure_service(cfg);
 
   Wave cold = run_wave(&service, "cold", 0, kWindow, invocations);
+  bench::print_obs_summary("cold");
   Wave warm = run_wave(&service, "warm", 0, kWindow, invocations);
+  bench::print_obs_summary("warm");
   Wave extended = run_wave(&service, "ext", 0, 1.5 * kWindow, invocations);
   service.drain();
+  bench::print_obs_summary("extended");
+  bench::print_rule();
 
   auto stats = service.stats();
   std::printf("cache mode:       %s (threads=%zu)\n", mode_name,

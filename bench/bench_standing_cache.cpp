@@ -151,7 +151,9 @@ int main() {
 
   double cold_raw = 0, warm_raw = 0, cold_s = 0, warm_s = 0;
   double cold_periods = run_year(&sys, opts, &cold_raw, &cold_s);
+  bench::print_obs_summary("cold");
   double warm_periods = run_year(&sys, opts, &warm_raw, &warm_s);
+  bench::print_obs_summary("warm");
 
   engine::CacheStats stats = sys.cache_stats();
   std::printf("cache mode:       %s (threads=%zu)\n", mode_name,
@@ -211,6 +213,7 @@ int main() {
                 restart_s, warm_s, cold_s,
                 static_cast<unsigned long long>(stats.disk_hits),
                 static_cast<unsigned long long>(stats.corrupt_drops));
+    bench::print_obs_summary("restart-warm");
     std::filesystem::remove_all(cache_dir);
 
     if (restart_raw != cold_raw || restart_periods != cold_periods) {

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "engine/executor.hpp"
+#include "obs/metrics.hpp"
 
 namespace privid::bench {
 
@@ -80,6 +81,49 @@ inline void print_header(const std::string& title) {
 
 inline void print_rule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+// Prints the registry's current obs snapshot for one bench leg: task
+// latency percentiles, per-tier cache hit rates and the single-flight
+// dedup rate, plus the machine-readable OBS_SNAPSHOT_JSON line that
+// bench_all.sh greps into BENCH_results.json ("obs" field per entry).
+// Counters are process-cumulative, so per-leg deltas come from diffing
+// the snapshots bench_all records — the human block here is a running
+// total labelled with the leg that just finished.
+inline void print_obs_summary(const char* leg) {
+  obs::Snapshot s = obs::Registry::global().snapshot();
+  std::printf("obs [%s]:\n", leg);
+  for (const char* h : {"task.process", "sched.queue_wait", "dedup.wait"}) {
+    const obs::Snapshot::HistogramRow* row = s.histogram_row(h);
+    if (!row || row->count == 0) continue;
+    std::printf("  %-18s %8llu obs, p50 %9.3f ms, p99 %9.3f ms, "
+                "max %9.3f ms\n",
+                h, static_cast<unsigned long long>(row->count), row->p50_ms,
+                row->p99_ms, row->max_ms);
+  }
+  const std::uint64_t hits = s.counter_value("cache.hits");
+  const std::uint64_t misses = s.counter_value("cache.misses");
+  const std::uint64_t disk_hits = s.counter_value("cache.disk.hits");
+  if (hits + misses > 0) {
+    const double lookups = static_cast<double>(hits + misses);
+    std::printf("  cache:             mem hit %5.1f%%, disk hit %5.1f%%, "
+                "miss %5.1f%% (%llu lookups)\n",
+                100.0 * static_cast<double>(hits - disk_hits) / lookups,
+                100.0 * static_cast<double>(disk_hits) / lookups,
+                100.0 * static_cast<double>(misses) / lookups,
+                static_cast<unsigned long long>(hits + misses));
+  }
+  const std::uint64_t leaders = s.counter_value("dedup.leaders");
+  const std::uint64_t followers = s.counter_value("dedup.followers");
+  if (leaders + followers > 0) {
+    std::printf("  dedup:             %5.1f%% of arrivals joined a flight "
+                "(%llu leaders, %llu followers)\n",
+                100.0 * static_cast<double>(followers) /
+                    static_cast<double>(leaders + followers),
+                static_cast<unsigned long long>(leaders),
+                static_cast<unsigned long long>(followers));
+  }
+  std::printf("OBS_SNAPSHOT_JSON %s\n", s.json(/*compact=*/true).c_str());
 }
 
 }  // namespace privid::bench

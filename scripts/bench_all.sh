@@ -63,7 +63,14 @@ for name in "$@"; do
       [[ $status -ne 0 ]] && failures=$((failures + 1))
       cache_field=""
       [[ -n "$cache" ]] && cache_field="\"cache\": \"$cache\", "
-      entries+=("    {\"name\": \"$name\", \"threads\": $threads, ${cache_field}\"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+      # Benches that call print_obs_summary leave one compact metrics
+      # snapshot per leg; record the final (cumulative) one per run.
+      # bench_compare.py keys runs on name/threads/cache only, so extra
+      # fields ride along without affecting regression gating.
+      obs_field=""
+      obs_json="$(sed -n 's/^OBS_SNAPSHOT_JSON //p' "$log" | tail -1)"
+      [[ -n "$obs_json" ]] && obs_field="\"obs\": $obs_json, "
+      entries+=("    {\"name\": \"$name\", \"threads\": $threads, ${cache_field}${obs_field}\"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
     done
   done
 done

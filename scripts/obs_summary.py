@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Pretty-prints a privid obs metrics snapshot.
+
+Accepts either of the two JSON shapes the repo produces:
+
+  - a raw registry snapshot (the OBS_SNAPSHOT_JSON payload, or
+    Snapshot::json() written to a file): an object with "counters",
+    "gauges", "doubles" and "histograms" keys;
+  - a BENCH_results.json (an object with a "benches" list) — every entry
+    carrying an "obs" field is summarized, labelled by its
+    name/threads/cache run key.
+
+For each snapshot it derives the headline rates the benches gate on:
+per-tier cache hit rates (mem = (cache.hits - cache.disk.hits) / lookups,
+disk = cache.disk.hits / lookups), the single-flight dedup rate
+(followers / (leaders + followers)), and latency percentiles for every
+histogram with observations.
+
+Usage: scripts/obs_summary.py <snapshot.json | BENCH_results.json>
+
+Exits 1 on unreadable files, malformed JSON, or JSON in neither shape —
+CI runs it over the bench artifacts, so a bench that emits a broken
+snapshot fails the job instead of uploading garbage. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"obs_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fmt_count(n):
+    return f"{n:,}"
+
+
+def summarize_snapshot(snap, indent=""):
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    doubles = snap.get("doubles", {})
+    histograms = snap.get("histograms", {})
+    for section in (counters, gauges, doubles, histograms):
+        if not isinstance(section, dict):
+            fail("snapshot section is not an object")
+
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    disk_hits = counters.get("cache.disk.hits", 0)
+    lookups = hits + misses
+    if lookups:
+        print(f"{indent}cache: {fmt_count(lookups)} lookups — "
+              f"mem {100.0 * (hits - disk_hits) / lookups:.1f}%, "
+              f"disk {100.0 * disk_hits / lookups:.1f}%, "
+              f"miss {100.0 * misses / lookups:.1f}%")
+        extra = {k: v for k, v in counters.items()
+                 if k in ("cache.evictions", "cache.disk.demotions",
+                          "cache.disk.evictions", "cache.corrupt_drops")
+                 and v}
+        if extra:
+            print(f"{indent}       " +
+                  ", ".join(f"{k.split('.')[-1]} {fmt_count(v)}"
+                            for k, v in sorted(extra.items())))
+
+    leaders = counters.get("dedup.leaders", 0)
+    followers = counters.get("dedup.followers", 0)
+    if leaders + followers:
+        rate = 100.0 * followers / (leaders + followers)
+        line = (f"{indent}dedup: {rate:.1f}% of arrivals joined a flight "
+                f"({fmt_count(leaders)} leaders, "
+                f"{fmt_count(followers)} followers")
+        fallbacks = counters.get("dedup.fallbacks", 0)
+        if fallbacks:
+            line += f", {fmt_count(fallbacks)} fallbacks"
+        print(line + ")")
+
+    rows = []
+    for name in sorted(histograms):
+        h = histograms[name]
+        if not isinstance(h, dict):
+            fail(f"histogram {name!r} is not an object")
+        if h.get("count", 0):
+            rows.append((name, h))
+    if rows:
+        print(f"{indent}{'histogram':<20} {'count':>10} {'p50 ms':>10} "
+              f"{'p90 ms':>10} {'p99 ms':>10} {'max ms':>10}")
+        for name, h in rows:
+            print(f"{indent}{name:<20} {fmt_count(h['count']):>10} "
+                  f"{h.get('p50_ms', 0):>10.3f} {h.get('p90_ms', 0):>10.3f} "
+                  f"{h.get('p99_ms', 0):>10.3f} {h.get('max_ms', 0):>10.3f}")
+
+    interesting_counters = {
+        k: v for k, v in counters.items()
+        if not k.startswith(("cache.", "dedup.")) and v}
+    if interesting_counters:
+        print(f"{indent}counters: " +
+              ", ".join(f"{k}={fmt_count(v)}"
+                        for k, v in sorted(interesting_counters.items())))
+    live_gauges = {k: v for k, v in gauges.items() if v}
+    if live_gauges:
+        print(f"{indent}gauges:   " +
+              ", ".join(f"{k}={fmt_count(v)}"
+                        for k, v in sorted(live_gauges.items())))
+    for k, v in sorted(doubles.items()):
+        if v:
+            print(f"{indent}{k} = {v:.3f}")
+
+
+def is_snapshot(doc):
+    return isinstance(doc, dict) and any(
+        k in doc for k in ("counters", "gauges", "doubles", "histograms"))
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail("usage: obs_summary.py <snapshot.json | BENCH_results.json>")
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON in {path}: {e}")
+
+    if is_snapshot(doc):
+        print(f"obs snapshot: {path}")
+        summarize_snapshot(doc)
+        return 0
+
+    if isinstance(doc, dict) and isinstance(doc.get("benches"), list):
+        seen = 0
+        for entry in doc["benches"]:
+            if not isinstance(entry, dict) or "obs" not in entry:
+                continue
+            if not is_snapshot(entry["obs"]):
+                fail(f"bench entry {entry.get('name')!r} has a malformed "
+                     "obs field")
+            seen += 1
+            key = entry.get("name", "?")
+            if "threads" in entry:
+                key += f" threads={entry['threads']}"
+            if "cache" in entry:
+                key += f" cache={entry['cache']}"
+            print(f"\n== {key}")
+            summarize_snapshot(entry["obs"], indent="  ")
+        if not seen:
+            print("no bench entries carry an obs field")
+        return 0
+
+    fail(f"{path} is neither an obs snapshot nor a BENCH_results.json")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -44,6 +44,39 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1 - frac) + xs[hi] * frac;
 }
 
+double bucket_percentile(const std::vector<std::uint64_t>& counts,
+                         const std::vector<double>& lower,
+                         const std::vector<double>& upper, double p) {
+  if (counts.empty() || counts.size() != lower.size() ||
+      counts.size() != upper.size()) {
+    throw ArgumentError("bucket_percentile: empty or mismatched inputs");
+  }
+  if (p < 0 || p > 100) {
+    throw ArgumentError("bucket_percentile: p out of [0,100]");
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target sample, matching percentile()'s (n-1)-based ranks.
+  double rank = p / 100.0 * static_cast<double>(total - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double first = static_cast<double>(seen);
+    double last = static_cast<double>(seen + counts[i] - 1);
+    if (rank <= last) {
+      // Interpolate within the bucket; a single-sample bucket pins to its
+      // lower edge rather than smearing across the whole width.
+      double frac = counts[i] == 1
+                        ? 0.0
+                        : (rank - first) / static_cast<double>(counts[i] - 1);
+      return lower[i] + (upper[i] - lower[i]) * frac;
+    }
+    seen += counts[i];
+  }
+  return upper.back();
+}
+
 double rmse(const std::vector<double>& predicted,
             const std::vector<double>& reference) {
   if (predicted.size() != reference.size()) {

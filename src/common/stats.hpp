@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace privid {
@@ -11,6 +12,16 @@ double variance(const std::vector<double>& xs);  // population variance
 double stddev(const std::vector<double>& xs);
 double median(std::vector<double> xs);  // by value: sorts a copy
 double percentile(std::vector<double> xs, double p);  // p in [0, 100]
+
+// Percentile over pre-bucketed counts: bucket i holds `counts[i]` samples
+// somewhere in [lower[i], upper[i]). Walks the cumulative rank to the
+// bucket containing the p-th sample and interpolates linearly inside it —
+// the bucketed analogue of percentile() above, used by the obs plane's
+// latency histograms. Throws on empty/mismatched inputs or p outside
+// [0, 100]; returns 0 when all counts are zero.
+double bucket_percentile(const std::vector<std::uint64_t>& counts,
+                         const std::vector<double>& lower,
+                         const std::vector<double>& upper, double p);
 double rmse(const std::vector<double>& predicted,
             const std::vector<double>& reference);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace privid {
 
 namespace {
@@ -15,6 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  g_workers_->set(static_cast<std::int64_t>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,17 +39,39 @@ void ThreadPool::parallel_for(std::size_t n,
                               std::size_t max_threads) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || max_threads == 1 || t_inside_pool_task) {
+    // Inline execution, tagged so traces can distinguish it from a real
+    // fan-out (the nested-call case especially, where a task re-entering
+    // parallel_for silently runs sequential).
+    obs::Span span("pool.inline", "pool");
+    if (span.active()) {
+      span.tag("items", static_cast<std::uint64_t>(n));
+      span.tag("reason", workers_.empty()    ? "no-workers"
+                         : n == 1            ? "single-item"
+                         : max_threads == 1  ? "capped"
+                                             : "nested");
+    }
+    c_inline_batches_->add();
+    c_inline_items_->add(n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   std::lock_guard<std::mutex> serialize(run_mu_);
+  obs::Span span("pool.batch", "pool");
+  obs::ScopedTimer timer(h_batch_);
+  c_batches_->add();
+  c_items_->add(n);
+  g_queue_depth_->set(static_cast<std::int64_t>(n));
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->fn = &fn;
   batch->max_workers =
       max_threads == 0 ? workers_.size()
                        : std::min(workers_.size(), max_threads - 1);
+  if (span.active()) {
+    span.tag("items", static_cast<std::uint64_t>(n));
+    span.tag("max_workers", static_cast<std::uint64_t>(batch->max_workers));
+  }
   batch->remaining.store(n, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -63,6 +88,7 @@ void ThreadPool::parallel_for(std::size_t n,
   });
   batch_ = nullptr;  // workers keep the shared_ptr alive while draining
   lk.unlock();
+  g_queue_depth_->set(0);
 
   if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
@@ -89,9 +115,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::work(Batch& batch) {
   t_inside_pool_task = true;
+  g_active_workers_->add(1);
   for (;;) {
     std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n) break;
+    g_queue_depth_->sub(1);
     try {
       (*batch.fn)(i);
     } catch (...) {
@@ -106,6 +134,7 @@ void ThreadPool::work(Batch& batch) {
       done_.notify_all();
     }
   }
+  g_active_workers_->sub(1);
   t_inside_pool_task = false;
 }
 

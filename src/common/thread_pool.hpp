@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace privid {
 
 class ThreadPool {
@@ -61,6 +63,18 @@ class ThreadPool {
   // threads" (at least 1), anything else is taken literally.
   static std::size_t resolve_threads(std::size_t requested);
 
+  // Introspection (obs gauges, racy-by-design point-in-time reads):
+  // indices of the current batch not yet claimed, and workers currently
+  // executing tasks (including a participating caller).
+  std::size_t queue_depth() const {
+    const std::int64_t v = g_queue_depth_->value();
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+  std::size_t active_workers() const {
+    const std::int64_t v = g_active_workers_->value();
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
  private:
   struct Batch {
     std::size_t n = 0;
@@ -85,6 +99,20 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   std::mutex run_mu_;              // serializes parallel_for callers
+
+  // pool.* metrics; registration declared after the group so it detaches
+  // first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_batches_ = metrics_.counter("pool.batches");
+  obs::Counter* c_items_ = metrics_.counter("pool.items");
+  obs::Counter* c_inline_batches_ = metrics_.counter("pool.inline_batches");
+  obs::Counter* c_inline_items_ = metrics_.counter("pool.inline_items");
+  obs::Gauge* g_workers_ = metrics_.gauge("pool.workers");
+  obs::Gauge* g_queue_depth_ = metrics_.gauge("pool.queue_depth");
+  obs::Gauge* g_active_workers_ = metrics_.gauge("pool.active_workers");
+  obs::LatencyHistogram* h_batch_ = metrics_.histogram("pool.batch");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
 };
 
 }  // namespace privid

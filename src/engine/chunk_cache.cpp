@@ -9,6 +9,7 @@
 #include <iterator>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "table/slab_io.hpp"
 
 namespace privid::engine {
@@ -175,8 +176,9 @@ void ChunkCache::attach_disk_tier(DiskTierConfig config) {
     const Fingerprint key = *parse_slab_name(name);
     tier->lru.push_front(DiskEntry{key, size});
     tier->index[key] = tier->lru.begin();
-    tier->bytes += size;
+    g_disk_bytes_->add(static_cast<std::int64_t>(size));
   }
+  g_disk_entries_->set(static_cast<std::int64_t>(tier->index.size()));
   {
     std::lock_guard<std::mutex> lock(tier->mu);
     disk_ = std::move(tier);  // publish, then trim to the budget
@@ -208,35 +210,38 @@ void ChunkCache::preload_from_disk() {
         std::lock_guard<std::mutex> lock(disk_->mu);
         disk_drop_locked(key);
       }
-      if (bytes) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.corrupt_drops;
-      }
+      if (bytes) c_corrupt_drops_->add();
       continue;
     }
     const std::size_t slab_cost = slab_bytes(*slab);
     std::lock_guard<std::mutex> lock(mu_);
-    if (stats_.bytes + slab_cost > byte_budget_) break;  // memory is full
+    if (static_cast<std::size_t>(g_bytes_->value()) + slab_cost >
+        byte_budget_) {
+      break;  // memory is full
+    }
     if (index_.count(key)) continue;
     lru_.push_back(Entry{key, std::move(*slab), slab_cost});
     index_[key] = std::prev(lru_.end());
-    stats_.bytes += slab_cost;
-    stats_.entries = index_.size();
+    g_bytes_->add(static_cast<std::int64_t>(slab_cost));
+    g_entries_->set(static_cast<std::int64_t>(index_.size()));
   }
 }
 
 bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
+  obs::Span span("cache.probe", "cache");
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      ++stats_.hits;
+      c_hits_->add();
+      span.tag("tier", "mem");
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       *out = it->second->slab;
       return true;
     }
     if (!disk_) {
-      ++stats_.misses;
+      c_misses_->add();
+      span.tag("tier", "miss");
       return false;
     }
   }
@@ -244,9 +249,9 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
   bool corrupt = false;
   std::optional<ColumnSlab> slab = disk_probe(key, &corrupt);
   if (!slab) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
-    if (corrupt) ++stats_.corrupt_drops;
+    c_misses_->add();
+    if (corrupt) c_corrupt_drops_->add();
+    span.tag("tier", "miss");
     return false;
   }
   *out = std::move(*slab);
@@ -256,8 +261,9 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
   std::vector<Entry> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.hits;
-    ++stats_.disk_hits;
+    c_hits_->add();
+    c_disk_hits_->add();
+    span.tag("tier", "disk");
     const std::size_t bytes = slab_bytes(*out);
     if (bytes <= byte_budget_) {
       auto it = index_.find(key);
@@ -267,8 +273,8 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
       } else {
         lru_.push_front(Entry{key, *out, bytes});
         index_[key] = lru_.begin();
-        stats_.bytes += bytes;
-        stats_.entries = index_.size();
+        g_bytes_->add(static_cast<std::int64_t>(bytes));
+        g_entries_->set(static_cast<std::int64_t>(index_.size()));
       }
       victims = evict_to_budget_locked();
     }
@@ -289,15 +295,15 @@ void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
     if (it != index_.end()) {
       // Refresh: deterministic keys mean the value can only be identical,
       // but replacing keeps the cache correct even if a caller misuses it.
-      stats_.bytes -= it->second->bytes;
-      stats_.bytes += entry.bytes;
+      g_bytes_->sub(static_cast<std::int64_t>(it->second->bytes));
+      g_bytes_->add(static_cast<std::int64_t>(entry.bytes));
       *it->second = std::move(entry);
       lru_.splice(lru_.begin(), lru_, it->second);
     } else {
       lru_.push_front(std::move(entry));
       index_[key] = lru_.begin();
-      stats_.bytes += lru_.front().bytes;
-      stats_.entries = index_.size();
+      g_bytes_->add(static_cast<std::int64_t>(lru_.front().bytes));
+      g_entries_->set(static_cast<std::int64_t>(index_.size()));
     }
     victims = evict_to_budget_locked();
   }
@@ -306,15 +312,16 @@ void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
 
 std::vector<ChunkCache::Entry> ChunkCache::evict_to_budget_locked() {
   std::vector<Entry> victims;
-  while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+  while (static_cast<std::size_t>(g_bytes_->value()) > byte_budget_ &&
+         !lru_.empty()) {
     Entry& victim = lru_.back();
-    stats_.bytes -= victim.bytes;
+    g_bytes_->sub(static_cast<std::int64_t>(victim.bytes));
     index_.erase(victim.key);
-    ++stats_.evictions;
+    c_evictions_->add();
     if (disk_) victims.push_back(std::move(victim));
     lru_.pop_back();
   }
-  stats_.entries = index_.size();
+  g_entries_->set(static_cast<std::int64_t>(index_.size()));
   return victims;
 }
 
@@ -341,8 +348,9 @@ void ChunkCache::demote_entries(std::vector<Entry> victims) {
     if (!write_file_atomic(path, bytes)) continue;  // future miss, no error
     disk_->lru.push_front(DiskEntry{victim.key, bytes.size()});
     disk_->index[victim.key] = disk_->lru.begin();
-    disk_->bytes += bytes.size();
-    ++disk_->demotions;
+    g_disk_bytes_->add(static_cast<std::int64_t>(bytes.size()));
+    g_disk_entries_->set(static_cast<std::int64_t>(disk_->index.size()));
+    c_demotions_->add();
     disk_evict_to_budget_locked();
   }
 }
@@ -374,24 +382,28 @@ std::optional<ColumnSlab> ChunkCache::disk_probe(const Fingerprint& key,
 void ChunkCache::disk_drop_locked(const Fingerprint& key) {
   auto it = disk_->index.find(key);
   if (it != disk_->index.end()) {
-    disk_->bytes -= it->second->bytes;
+    g_disk_bytes_->sub(static_cast<std::int64_t>(it->second->bytes));
     disk_->lru.erase(it->second);
     disk_->index.erase(it);
+    g_disk_entries_->set(static_cast<std::int64_t>(disk_->index.size()));
   }
   std::error_code ec;
   fs::remove(slab_path(disk_->config.dir, key), ec);
 }
 
 void ChunkCache::disk_evict_to_budget_locked() {
-  while (disk_->bytes > disk_->config.byte_budget && !disk_->lru.empty()) {
+  while (static_cast<std::size_t>(g_disk_bytes_->value()) >
+             disk_->config.byte_budget &&
+         !disk_->lru.empty()) {
     const DiskEntry& victim = disk_->lru.back();
-    disk_->bytes -= victim.bytes;
+    g_disk_bytes_->sub(static_cast<std::int64_t>(victim.bytes));
     std::error_code ec;
     fs::remove(slab_path(disk_->config.dir, victim.key), ec);
     disk_->index.erase(victim.key);
     disk_->lru.pop_back();
-    ++disk_->evictions;
+    c_disk_evictions_->add();
   }
+  g_disk_entries_->set(static_cast<std::int64_t>(disk_->index.size()));
 }
 
 void ChunkCache::flush_disk() {
@@ -410,18 +422,20 @@ void ChunkCache::flush_disk() {
 }
 
 CacheStats ChunkCache::stats() const {
+  // Pure metric reads — the struct is a view over cache.* metrics, so it
+  // can never drift from what a Registry snapshot reports.
   CacheStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = stats_;
-  }
-  if (disk_) {
-    std::lock_guard<std::mutex> lock(disk_->mu);
-    s.demotions = disk_->demotions;
-    s.disk_evictions = disk_->evictions;
-    s.disk_bytes = disk_->bytes;
-    s.disk_entries = disk_->index.size();
-  }
+  s.hits = c_hits_->value();
+  s.misses = c_misses_->value();
+  s.evictions = c_evictions_->value();
+  s.bytes = static_cast<std::size_t>(g_bytes_->value());
+  s.entries = static_cast<std::size_t>(g_entries_->value());
+  s.disk_hits = c_disk_hits_->value();
+  s.demotions = c_demotions_->value();
+  s.disk_evictions = c_disk_evictions_->value();
+  s.corrupt_drops = c_corrupt_drops_->value();
+  s.disk_bytes = static_cast<std::size_t>(g_disk_bytes_->value());
+  s.disk_entries = static_cast<std::size_t>(g_disk_entries_->value());
   return s;
 }
 
@@ -445,8 +459,8 @@ void ChunkCache::clear() {
     std::lock_guard<std::mutex> lock(mu_);
     lru_.clear();
     index_.clear();
-    stats_.bytes = 0;
-    stats_.entries = 0;
+    g_bytes_->set(0);
+    g_entries_->set(0);
   }
   if (disk_) {
     std::lock_guard<std::mutex> lock(disk_->mu);
@@ -456,7 +470,8 @@ void ChunkCache::clear() {
     }
     disk_->lru.clear();
     disk_->index.clear();
-    disk_->bytes = 0;
+    g_disk_bytes_->set(0);
+    g_disk_entries_->set(0);
   }
 }
 

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "common/fingerprint.hpp"
+#include "obs/metrics.hpp"
 #include "table/column.hpp"
 
 namespace privid::engine {
@@ -99,6 +100,9 @@ struct DiskTierConfig {
   static std::optional<DiskTierConfig> from_env();
 };
 
+// Thin snapshot view over the cache's obs metrics (cache.* names; see
+// docs/OBSERVABILITY.md). stats() materializes one from the per-instance
+// metric group, so these values and a Registry snapshot can never drift.
 struct CacheStats {
   std::uint64_t hits = 0;     // lookups served, from either tier
   std::uint64_t misses = 0;   // lookups that must recompute
@@ -192,6 +196,9 @@ class ChunkCache {
     std::size_t bytes = 0;  // serialized file size
   };
 
+  // Byte/entry accounting and cumulative counters live in the metric
+  // group below (cache.disk.* names), not here — one source of truth for
+  // both budget enforcement and reporting.
   struct DiskTier {
     DiskTierConfig config;
     mutable std::mutex mu;
@@ -199,9 +206,6 @@ class ChunkCache {
     std::unordered_map<Fingerprint, std::list<DiskEntry>::iterator,
                        FingerprintHash>
         index;
-    std::size_t bytes = 0;
-    std::uint64_t demotions = 0;
-    std::uint64_t evictions = 0;
   };
 
   std::vector<Entry> evict_to_budget_locked();
@@ -222,9 +226,27 @@ class ChunkCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
       index_;
-  CacheStats stats_;
   // Set once by attach_disk_tier before concurrent use; read-only after.
   std::unique_ptr<DiskTier> disk_;
+
+  // Per-instance metrics (cache.* catalog) — the live accounting: the
+  // bytes gauges drive budget eviction, the counters are the cumulative
+  // stats. Mutated under mu_ / disk_->mu like the fields they replaced.
+  // The registration must come after the group so it detaches first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_hits_ = metrics_.counter("cache.hits");
+  obs::Counter* c_misses_ = metrics_.counter("cache.misses");
+  obs::Counter* c_evictions_ = metrics_.counter("cache.evictions");
+  obs::Counter* c_corrupt_drops_ = metrics_.counter("cache.corrupt_drops");
+  obs::Counter* c_disk_hits_ = metrics_.counter("cache.disk.hits");
+  obs::Counter* c_demotions_ = metrics_.counter("cache.disk.demotions");
+  obs::Counter* c_disk_evictions_ = metrics_.counter("cache.disk.evictions");
+  obs::Gauge* g_bytes_ = metrics_.gauge("cache.bytes");
+  obs::Gauge* g_entries_ = metrics_.gauge("cache.entries");
+  obs::Gauge* g_disk_bytes_ = metrics_.gauge("cache.disk.bytes");
+  obs::Gauge* g_disk_entries_ = metrics_.gauge("cache.disk.entries");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
 };
 
 }  // namespace privid::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <set>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
 #include "engine/relexec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "privacy/gaussian.hpp"
 #include "privacy/laplace.hpp"
 #include "query/validator.hpp"
@@ -38,6 +41,34 @@ Executor::Executor(std::map<std::string, CameraState>* cameras,
 }
 
 namespace {
+
+// File-scoped engine-plane histograms (task.process / query.assemble /
+// query.finish): per-executor groups would fragment the latency
+// distributions across the many short-lived Executors tests create, and
+// the registry merges same-named histograms anyway. Function-local static
+// keeps the registration detaching at exit.
+struct EngineMetrics {
+  obs::MetricGroup group;
+  obs::LatencyHistogram* task_process = group.histogram("task.process");
+  obs::LatencyHistogram* assemble = group.histogram("query.assemble");
+  obs::LatencyHistogram* finish = group.histogram("query.finish");
+  obs::Registration registration = obs::Registry::global().attach(&group);
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+// Span tag helper: the hex form of a cache/single-flight fingerprint,
+// matching the slab filenames the disk tier writes.
+std::string fingerprint_hex(const Fingerprint& key) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return buf;
+}
 
 // Fingerprint of everything that determines one PROCESS statement's
 // per-chunk rows except the chunk coordinates themselves: the canonical
@@ -272,10 +303,16 @@ std::size_t PreparedQuery::total_tasks() const {
 // sandbox slab is byte-identical to a recomputed one, and the trusted
 // columns are appended outside both either way.
 ColumnSlab PreparedQuery::run_task(std::size_t phase, std::size_t task) const {
+  obs::Span span("task.process", "engine");
+  obs::ScopedTimer timer(engine_metrics().task_process);
   const Phase& ph = phases_.at(phase);
   const auto& chunk = ph.chunks[task / ph.n_regions];
   const std::size_t r = task % ph.n_regions;
   const Region* region = ph.rs.scheme ? &ph.rs.scheme->region(r) : nullptr;
+  if (span.active()) {
+    span.tag("phase", static_cast<std::uint64_t>(phase))
+        .tag("task", static_cast<std::uint64_t>(task));
+  }
 
   ColumnSlab slab;
   Fingerprint key;
@@ -288,10 +325,13 @@ ColumnSlab PreparedQuery::run_task(std::size_t phase, std::size_t task) const {
     task_key.add(static_cast<std::int64_t>(chunk.frames.end));
     task_key.add(region ? region->name : std::string());
     key = task_key.digest();
+    if (span.active()) span.tag("fingerprint", fingerprint_hex(key));
     if (cache_ != nullptr) have_slab = cache_->lookup(key, &slab);
+    if (span.active()) span.tag("cache", have_slab ? "hit" : "miss");
   }
   if (!have_slab) {
     auto compute = [&]() {
+      obs::Span sandbox_span("task.sandbox", "engine");
       ChunkView view(&ph.rs.cam->content, &ph.rs.cam->meta, chunk.index,
                      chunk.time, chunk.frames, ph.rs.mask, region);
       ColumnSlab fresh = run_sandboxed(ph.exe, view, ph.sandbox);
@@ -325,6 +365,12 @@ ColumnSlab PreparedQuery::run_task(std::size_t phase, std::size_t task) const {
 
 void PreparedQuery::assemble(std::size_t phase,
                              std::vector<ColumnSlab>&& slots) {
+  obs::Span span("query.assemble", "engine");
+  obs::ScopedTimer timer(engine_metrics().assemble);
+  if (span.active()) {
+    span.tag("phase", static_cast<std::uint64_t>(phase))
+        .tag("slots", static_cast<std::uint64_t>(slots.size()));
+  }
   Phase& ph = phases_.at(phase);
   if (ph.assembled) {
     throw ArgumentError("PreparedQuery: phase assembled twice");
@@ -374,6 +420,8 @@ std::vector<CameraCharge> PreparedQuery::admission_charges() const {
 }
 
 QueryResult PreparedQuery::finish() {
+  obs::Span span("query.finish", "engine");
+  obs::ScopedTimer timer(engine_metrics().finish);
   for (const auto& ph : phases_) {
     if (!ph.assembled) {
       throw ArgumentError("PreparedQuery: finish before every phase assembled");
@@ -398,6 +446,10 @@ QueryResult PreparedQuery::finish() {
 }
 
 void PreparedQuery::run_select(const SelectStmt& s, QueryResult* out) {
+  // Covers sensitivity analysis, ledger charge, relational evaluation and
+  // the noisy release — the span observes the release path but its timing
+  // never feeds it (see src/obs/ and the privcheck obs-timing rule).
+  obs::Span span("query.select", "engine");
   const RunOptions& opts = opts_;
   // Sensitivity over the AST.
   SensitivityEngine sens([&](const std::string& name) -> TableInfo {

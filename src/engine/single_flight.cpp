@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace privid::engine {
 
 bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
@@ -26,8 +28,8 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
       {
         std::lock_guard<std::mutex> lock(mu_);
         flights_.erase(key);
-        ++stats_.leaders;
       }
+      c_leaders_->add();
       {
         std::lock_guard<std::mutex> lock(flight->mu);
         flight->slab = slab;
@@ -53,30 +55,31 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
 
   bool leader_failed = false;
   {
+    obs::Span span("dedup.wait", "dedup");
+    obs::ScopedTimer timer(h_wait_);
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     leader_failed = flight->failed;
     if (!leader_failed) *out = flight->slab;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (leader_failed) {
-      ++stats_.fallbacks;
-    } else {
-      ++stats_.followers;
-    }
+    span.tag("outcome", leader_failed ? "fallback" : "served");
   }
   if (leader_failed) {
+    c_fallbacks_->add();
     // The leader failed; compute independently so one analyst's crash
     // cannot fail another analyst's query.
     *out = compute();
+  } else {
+    c_followers_->add();
   }
   return false;
 }
 
 SingleFlightStats SingleFlight::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SingleFlightStats s;
+  s.leaders = c_leaders_->value();
+  s.followers = c_followers_->value();
+  s.fallbacks = c_fallbacks_->value();
+  return s;
 }
 
 }  // namespace privid::engine

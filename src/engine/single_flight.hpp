@@ -28,10 +28,14 @@
 #include <vector>
 
 #include "common/fingerprint.hpp"
+#include "obs/metrics.hpp"
 #include "table/column.hpp"
 
 namespace privid::engine {
 
+// Thin snapshot view over the dedup.* metrics — stats() reads the
+// instance's metric group, so these can never drift from a Registry
+// snapshot.
 struct SingleFlightStats {
   std::uint64_t leaders = 0;     // calls that computed
   std::uint64_t followers = 0;   // calls served by a concurrent leader
@@ -61,10 +65,19 @@ class SingleFlight {
     ColumnSlab slab;
   };
 
-  mutable std::mutex mu_;  // guards flights_ and stats_
+  mutable std::mutex mu_;  // guards flights_
   std::unordered_map<Fingerprint, std::shared_ptr<Flight>, FingerprintHash>
       flights_;
-  SingleFlightStats stats_;
+
+  // Per-instance dedup.* metrics; registration after the group so it
+  // detaches first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_leaders_ = metrics_.counter("dedup.leaders");
+  obs::Counter* c_followers_ = metrics_.counter("dedup.followers");
+  obs::Counter* c_fallbacks_ = metrics_.counter("dedup.fallbacks");
+  obs::LatencyHistogram* h_wait_ = metrics_.histogram("dedup.wait");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
 };
 
 }  // namespace privid::engine

@@ -1,0 +1,184 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace privid::obs {
+
+namespace {
+
+// JSON string escaping for span names/tags (control chars, quote,
+// backslash — tag values are short identifiers in practice).
+void append_escaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// ns -> "µs with 3 decimals" via integer arithmetic; avoids any float
+// formatting in the export path.
+std::string microseconds(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+bool env_truthy(const char* v) {
+  return v != nullptr && (std::strcmp(v, "1") == 0 ||
+                          std::strcmp(v, "true") == 0 ||
+                          std::strcmp(v, "on") == 0);
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+TraceRecorder::TraceRecorder() {
+  // The obs plane's only environment reads (allowlisted in privcheck):
+  // PRIVID_TRACE enables capture, PRIVID_TRACE_FILE names the exit dump.
+  if (env_truthy(std::getenv("PRIVID_TRACE"))) {
+    enabled_.store(true, std::memory_order_relaxed);
+    const char* file = std::getenv("PRIVID_TRACE_FILE");
+    output_file_ = file != nullptr ? file : "trace.json";
+  }
+}
+
+TraceRecorder::~TraceRecorder() {
+  if (!output_file_.empty() && !events_.empty()) {
+    write_file(output_file_);
+  }
+}
+
+void TraceRecorder::set_output_file(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  output_file_ = std::move(path);
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += "{\"name\":\"";
+    append_escaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(&out, e.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += microseconds(e.start_ns);
+    out += ",\"dur\":";
+    out += microseconds(e.duration_ns);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"args\":{";
+    for (std::size_t j = 0; j < e.args.size(); ++j) {
+      if (j) out += ",";
+      out += "\"";
+      append_escaped(&out, e.args[j].first);
+      out += "\":\"";
+      append_escaped(&out, e.args[j].second);
+      out += "\"";
+    }
+    out += "}}";
+    if (i + 1 < events_.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << json();
+  return f.good();
+}
+
+struct Span::Data {
+  TraceEvent ev;
+};
+
+Span::Span(const char* name, const char* category) {
+  if (!TraceRecorder::global().enabled()) return;
+  data_ = std::make_unique<Data>();
+  data_->ev.name = name;
+  data_->ev.category = category;
+  data_->ev.tid = detail::thread_index();
+  data_->ev.start_ns = detail::now_ns();
+}
+
+Span::~Span() {
+  if (!data_) return;
+  data_->ev.duration_ns = detail::now_ns() - data_->ev.start_ns;
+  TraceRecorder::global().record(std::move(data_->ev));
+}
+
+Span& Span::tag(const char* key, const std::string& value) {
+  if (data_) data_->ev.args.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::tag(const char* key, const char* value) {
+  if (data_) data_->ev.args.emplace_back(key, std::string(value));
+  return *this;
+}
+
+Span& Span::tag(const char* key, std::uint64_t value) {
+  if (data_) data_->ev.args.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+}  // namespace privid::obs

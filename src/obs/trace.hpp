@@ -1,0 +1,95 @@
+// Per-query span tracing: RAII spans along the query lifecycle, exported
+// as Chrome trace_event JSON (loadable in chrome://tracing / Perfetto).
+//
+// Off by default with a single relaxed atomic load as the fast-path
+// check: a disabled Span constructs to a null pimpl and its destructor is
+// a no-op, so the instrumented hot paths (per-task, per-lookup) pay one
+// branch when tracing is off. Enabled either programmatically
+// (TraceRecorder::set_enabled, used by tests) or via PRIVID_TRACE=1 in
+// the environment, with PRIVID_TRACE_FILE naming the output written at
+// process exit (default trace.json).
+//
+// Determinism contract: tracing only *observes*. Spans read the clock
+// (inside src/obs/ only), buffer events, and write a separate JSON file —
+// they never touch stdout, RNG state, iteration order or any
+// release/noise/ledger value, so a traced run's releases are byte-
+// identical to an untraced one (guarded by ObsDeterminism tests and the
+// cache-equivalence CI byte-diffs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace privid::obs {
+
+// One completed span: Chrome trace_event "ph":"X" with microsecond
+// timestamps derived from the ns fields at export time.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  unsigned tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Process-wide buffer of completed spans.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  // Where the exit-time dump goes; empty disables the exit dump.
+  void set_output_file(std::string path);
+
+  void record(TraceEvent ev);
+  void clear();
+  std::size_t event_count() const;
+  // A copy of the buffered events, for shape validation in tests.
+  std::vector<TraceEvent> events() const;
+
+  // {"traceEvents":[...]} with ts/dur in microseconds (3 decimals).
+  std::string json() const;
+  // Returns false (and keeps the buffer) if the file can't be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::string output_file_;
+};
+
+// RAII span. Construction stamps the start, destruction records the
+// completed event into the global recorder. When tracing is disabled the
+// constructor leaves the span inert (null pimpl) — tag() calls are then
+// no-ops — so instrumentation sites need no enabled() checks of their own.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "privid");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  Span& tag(const char* key, const std::string& value);
+  Span& tag(const char* key, const char* value);
+  Span& tag(const char* key, std::uint64_t value);
+  bool active() const { return data_ != nullptr; }
+
+ private:
+  struct Data;
+  std::unique_ptr<Data> data_;
+};
+
+}  // namespace privid::obs

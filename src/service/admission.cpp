@@ -4,8 +4,30 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace privid::service {
+
+namespace {
+
+// File-scoped admission.* metrics: the controller is a thin stateless-ish
+// layer over the camera ledgers, so one shared group (not per-instance)
+// is the right granularity. Function-local static keeps construction
+// ordered and the registration detaching at exit.
+struct AdmissionMetrics {
+  obs::MetricGroup group;
+  obs::Counter* reserved = group.counter("admission.reserved");
+  obs::Counter* rejected = group.counter("admission.rejected");
+  obs::Registration registration = obs::Registry::global().attach(&group);
+};
+
+AdmissionMetrics& admission_metrics() {
+  static AdmissionMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Reservation::Reservation(Reservation&& other) noexcept
     : charges_(std::move(other.charges_)), settled_(other.settled_),
@@ -72,6 +94,10 @@ AdmissionController::AdmissionController(
 
 Reservation AdmissionController::reserve(
     const std::vector<engine::CameraCharge>& charges) {
+  obs::Span span("admission.reserve", "service");
+  if (span.active()) {
+    span.tag("cameras", static_cast<std::uint64_t>(charges.size()));
+  }
   Reservation res;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& ch : charges) {
@@ -84,12 +110,16 @@ Reservation AdmissionController::reserve(
     BudgetLedger* ledger = it->second.ledger.get();
     if (!ledger->try_reserve(ch.frames, ch.margin, ch.epsilon)) {
       // ~Reservation refunds the charges applied so far.
+      admission_metrics().rejected->add();
+      if (span.active()) span.tag("outcome", "rejected");
       throw BudgetError("query rejected at admission: camera '" + ch.camera +
                         "' lacks budget for epsilon " +
                         std::to_string(ch.epsilon));
     }
     res.charges_.push_back(Reservation::Charge{ledger, ch.frames, ch.epsilon});
   }
+  admission_metrics().reserved->add();
+  if (span.active()) span.tag("outcome", "reserved");
   return res;
 }
 

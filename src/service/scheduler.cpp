@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace privid::service {
 
@@ -53,6 +54,7 @@ void QueryScheduler::submit(const std::shared_ptr<QueryJob>& job) {
           queue_.push(job->analyst, TaskRef{job, phase, t});
         }
       }
+      g_queued_->set(static_cast<std::int64_t>(queue_.size()));
     }
   }
   work_cv_.notify_all();
@@ -64,8 +66,12 @@ void QueryScheduler::drain() {
 }
 
 QueryScheduler::Stats QueryScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.tasks_run = c_tasks_run_->value();
+  s.tasks_dropped = c_tasks_dropped_->value();
+  s.rounds = c_rounds_->value();
+  s.queries_settled = c_settled_->value();
+  return s;
 }
 
 std::map<std::string, std::uint64_t> QueryScheduler::served() const {
@@ -102,16 +108,17 @@ void QueryScheduler::loop() {
         }
         round.push_back(std::move(t));
       }
+      g_queued_->set(static_cast<std::int64_t>(queue_.size()));
     }
 
     const std::size_t skipped = run_round(round, &finished);
 
+    c_tasks_run_->add(round.size() - skipped);
+    c_tasks_dropped_->add(dropped + skipped);
+    if (!round.empty()) c_rounds_->add();
+    c_settled_->add(finished.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.tasks_run += round.size() - skipped;
-      stats_.tasks_dropped += dropped + skipped;
-      if (!round.empty()) ++stats_.rounds;
-      stats_.queries_settled += finished.size();
       unsettled_jobs_ -= finished.size();
       if (unsettled_jobs_ == 0) idle_cv_.notify_all();
     }
@@ -122,6 +129,10 @@ std::size_t QueryScheduler::run_round(
     std::vector<TaskRef>& round,
     std::vector<std::shared_ptr<QueryJob>>* finished) {
   if (round.empty() && finished->empty()) return 0;
+  obs::Span round_span("sched.round", "sched");
+  if (round_span.active()) {
+    round_span.tag("tasks", static_cast<std::uint64_t>(round.size()));
+  }
   // Owner-side mutations (mask registration, re-tuning, budget restore)
   // take this mutex exclusively; holding it shared for the whole round
   // means a query never observes a camera change mid-flight.
@@ -129,6 +140,8 @@ std::size_t QueryScheduler::run_round(
 
   for (auto& t : round) {
     if (!t.job->started.exchange(true)) {
+      // First dispatch of this query: its scheduling wait ends here.
+      t.job->queue_wait.observe(h_queue_wait_);
       std::lock_guard<std::mutex> lock(t.job->mu);
       if (t.job->state == QueryState::kQueued) {
         t.job->state = QueryState::kRunning;
@@ -142,6 +155,13 @@ std::size_t QueryScheduler::run_round(
     if (t.job->failed.load(std::memory_order_acquire)) {
       skipped.fetch_add(1, std::memory_order_relaxed);
       return;
+    }
+    obs::Span task_span("sched.task", "sched");
+    if (task_span.active()) {
+      task_span.tag("query", t.job->id)
+          .tag("analyst", t.job->analyst)
+          .tag("phase", static_cast<std::uint64_t>(t.phase))
+          .tag("task", static_cast<std::uint64_t>(t.task));
     }
     try {
       t.job->slots[t.phase][t.task] =
@@ -168,6 +188,10 @@ std::size_t QueryScheduler::run_round(
 }
 
 void QueryScheduler::finalize(QueryJob& job) {
+  obs::Span span("query.finalize", "sched");
+  if (span.active()) {
+    span.tag("query", job.id).tag("analyst", job.analyst);
+  }
   bool ok = false;
   try {
     if (job.failed.load(std::memory_order_acquire)) {
@@ -201,6 +225,7 @@ void QueryScheduler::finalize(QueryJob& job) {
       job.state = QueryState::kFailed;
     }
   }
+  if (span.active()) span.tag("ok", ok ? "true" : "false");
   job.cv.notify_all();
   if (on_settled_) on_settled_(job, ok);
 }

@@ -43,6 +43,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/executor.hpp"
+#include "obs/metrics.hpp"
 #include "query/ast.hpp"
 #include "service/admission.hpp"
 
@@ -70,6 +71,9 @@ struct QueryJob {
   double reserved_epsilon = 0;
   std::size_t total_tasks = 0;
   std::size_t tasks_done = 0;  // dispatcher-only
+  // Started at submit; observed into sched.queue_wait when the first task
+  // dispatches (opaque: only the histogram ever sees the duration).
+  obs::Stopwatch queue_wait;
   std::atomic<bool> started{false};
   std::atomic<bool> failed{false};
   std::mutex error_mu;
@@ -148,6 +152,8 @@ class FairShareQueue {
 
 class QueryScheduler {
  public:
+  // Thin snapshot view over the sched.* metrics (stats() materializes it
+  // from the instance's metric group).
   struct Stats {
     std::uint64_t tasks_run = 0;      // tasks actually executed
     std::uint64_t tasks_dropped = 0;  // skipped (at dispatch or in-round)
@@ -206,14 +212,26 @@ class QueryScheduler {
   std::shared_mutex* owner_mu_;
   SettleCallback on_settled_;
 
-  mutable std::mutex mu_;  // guards queue_, zero-task list, stats_, stop_
+  mutable std::mutex mu_;  // guards queue_, zero-task list, stop_
   std::condition_variable work_cv_;  // dispatcher wakes
   std::condition_variable idle_cv_;  // drain() waits
   FairShareQueue<TaskRef> queue_;
   std::vector<std::shared_ptr<QueryJob>> taskless_jobs_;
   std::size_t unsettled_jobs_ = 0;
-  Stats stats_;
   bool stop_ = false;
+
+  // sched.* metrics; registration declared after the group so it detaches
+  // first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_tasks_run_ = metrics_.counter("sched.tasks_run");
+  obs::Counter* c_tasks_dropped_ = metrics_.counter("sched.tasks_dropped");
+  obs::Counter* c_rounds_ = metrics_.counter("sched.rounds");
+  obs::Counter* c_settled_ = metrics_.counter("sched.queries_settled");
+  obs::Gauge* g_queued_ = metrics_.gauge("sched.queued_tasks");
+  obs::LatencyHistogram* h_queue_wait_ =
+      metrics_.histogram("sched.queue_wait");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
   // privcheck:allow(raw-thread): the dispatcher is the scheduler's single
   // long-lived control-loop thread (dequeue + fairness bookkeeping); all
   // per-task PROCESS work it dispatches still runs on the shared ThreadPool.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "query/parser.hpp"
 
 namespace privid::service {
@@ -46,11 +47,10 @@ QueryService::QueryService(std::map<std::string, engine::CameraState>* cameras,
         } else {
           session.record_failed();
         }
-        std::lock_guard<std::mutex> lock(stats_mu_);
         if (ok) {
-          ++completed_;
+          c_completed_->add();
         } else {
-          ++failed_;
+          c_failed_->add();
         }
       });
 }
@@ -77,6 +77,9 @@ QueryTicket QueryService::submit(const std::string& analyst,
 QueryTicket QueryService::submit(const std::string& analyst,
                                  query::ParsedQuery q,
                                  engine::RunOptions opts) {
+  obs::Span span("service.submit", "service");
+  if (span.active()) span.tag("analyst", analyst);
+  obs::ScopedTimer timer(h_submit_);
   AnalystSession& session = sessions_.get_or_create(analyst);
 
   // Reads camera/registry state: exclude concurrent owner mutations.
@@ -109,10 +112,8 @@ QueryTicket QueryService::submit(const std::string& analyst,
       job->reservation = admission_.reserve(job->prepared->admission_charges());
     } catch (const BudgetError&) {
       session.record_rejected();
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++rejected_;
-      }
+      c_rejected_->add();
+      if (span.active()) span.tag("outcome", "rejected");
       throw;
     }
     job->reserved_epsilon = job->reservation.total_epsilon();
@@ -126,10 +127,11 @@ QueryTicket QueryService::submit(const std::string& analyst,
 
   session.record_accepted();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    std::lock_guard<std::mutex> lock(id_mu_);
     job->id = next_query_id_++;
-    ++submitted_;
   }
+  c_submitted_->add();
+  if (span.active()) span.tag("query", job->id).tag("outcome", "admitted");
   scheduler_->set_weight(analyst, session.weight());
   scheduler_->submit(job);
   return QueryTicket(job);
@@ -156,13 +158,10 @@ void QueryService::drain() { scheduler_->drain(); }
 
 QueryService::Stats QueryService::stats() const {
   Stats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out.submitted = submitted_;
-    out.completed = completed_;
-    out.failed = failed_;
-    out.rejected = rejected_;
-  }
+  out.submitted = c_submitted_->value();
+  out.completed = c_completed_->value();
+  out.failed = c_failed_->value();
+  out.rejected = c_rejected_->value();
   out.scheduler = scheduler_->stats();
   out.dedup = inflight_.stats();
   return out;

@@ -122,6 +122,9 @@ class QueryService {
   // Blocks until every submitted query has settled.
   void drain();
 
+  // Thin snapshot view over the service.* metrics (and the scheduler's /
+  // single-flight's own views) — stats() reads the metric groups, so the
+  // struct cannot drift from a Registry snapshot.
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
@@ -156,12 +159,19 @@ class QueryService {
   ThreadPool* pool_ = nullptr;  // null when num_threads resolves to 1
   std::unique_ptr<QueryScheduler> scheduler_;
 
-  mutable std::mutex stats_mu_;
+  mutable std::mutex id_mu_;
   std::uint64_t next_query_id_ = 1;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t rejected_ = 0;
+
+  // service.* metrics; registration declared after the group so it
+  // detaches first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_submitted_ = metrics_.counter("service.submitted");
+  obs::Counter* c_completed_ = metrics_.counter("service.completed");
+  obs::Counter* c_failed_ = metrics_.counter("service.failed");
+  obs::Counter* c_rejected_ = metrics_.counter("service.rejected");
+  obs::LatencyHistogram* h_submit_ = metrics_.histogram("service.submit");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
 };
 
 }  // namespace privid::service

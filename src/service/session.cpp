@@ -35,36 +35,28 @@ std::uint64_t AnalystSession::noise_seed(std::uint64_t sequence) const {
   return fp.digest().lo;
 }
 
-void AnalystSession::record_accepted() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++accepted_;
-}
+void AnalystSession::record_accepted() { c_accepted_->add(); }
 
-void AnalystSession::record_rejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rejected_;
-}
+void AnalystSession::record_rejected() { c_rejected_->add(); }
 
 void AnalystSession::record_completed(double epsilon_committed) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++completed_;
-  epsilon_committed_ += epsilon_committed;
+  c_completed_->add();
+  d_epsilon_->add(epsilon_committed);
 }
 
-void AnalystSession::record_failed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++failed_;
-}
+void AnalystSession::record_failed() { c_failed_->add(); }
 
 AnalystStats AnalystSession::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   AnalystStats out;
-  out.weight = weight_;
-  out.submitted = accepted_;
-  out.completed = completed_;
-  out.failed = failed_;
-  out.rejected = rejected_;
-  out.epsilon_committed = epsilon_committed_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.weight = weight_;
+  }
+  out.submitted = c_accepted_->value();
+  out.completed = c_completed_->value();
+  out.failed = c_failed_->value();
+  out.rejected = c_rejected_->value();
+  out.epsilon_committed = d_epsilon_->value();
   return out;
 }
 

@@ -23,8 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace privid::service {
 
+// Thin snapshot view over the session's analyst.* metrics — stats()
+// materializes it from the per-session metric group.
 struct AnalystStats {
   double weight = 1.0;
   std::uint64_t submitted = 0;   // queries accepted by submit()
@@ -65,11 +69,19 @@ class AnalystSession {
   mutable std::mutex mu_;
   double weight_;
   std::uint64_t next_sequence_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t rejected_ = 0;
-  double epsilon_committed_ = 0;
+
+  // analyst.* metrics (aggregated across sessions in a Registry snapshot;
+  // each session reads its own group for per-analyst stats). Registration
+  // declared after the group so it detaches first.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_accepted_ = metrics_.counter("analyst.submitted");
+  obs::Counter* c_completed_ = metrics_.counter("analyst.completed");
+  obs::Counter* c_failed_ = metrics_.counter("analyst.failed");
+  obs::Counter* c_rejected_ = metrics_.counter("analyst.rejected");
+  obs::DoubleCounter* d_epsilon_ =
+      metrics_.double_counter("analyst.epsilon_committed");
+  obs::Registration registration_ =
+      obs::Registry::global().attach(&metrics_);
 };
 
 // Thread-safe id -> session map. Sessions are created on first use (weight

@@ -282,6 +282,65 @@ TEST(Privcheck, LayeringIgnoresCommentedIncludes) {
                   .clean());
 }
 
+// ------------------------------------------------------------ rule family 6
+
+TEST(Privcheck, ObsTimingFiresOutsideObs) {
+  Report r = run_one("src/engine/evil.cpp",
+                     "#include \"obs/metrics.hpp\"\n"
+                     "void f(privid::obs::LatencyHistogram* h) {\n"
+                     "  h->observe_ns(privid::obs::detail::now_ns());\n"
+                     "  std::uint64_t d = sw.elapsed_ns();\n"
+                     "}\n");
+  auto fs = active(r, "obs-timing");
+  ASSERT_EQ(fs.size(), 3u);  // observe_ns + now_ns on line 3, elapsed_ns on 4
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[1].line, 3);
+  EXPECT_EQ(fs[2].line, 4);
+  EXPECT_NE(fs[0].message.find("obs plane"), std::string::npos);
+}
+
+TEST(Privcheck, ObsTimingAllowedInsideObs) {
+  EXPECT_TRUE(run_one("src/obs/metrics.cpp",
+                      "std::uint64_t f() { return detail::now_ns(); }\n")
+                  .clean());
+  EXPECT_TRUE(run_one("src/obs/trace.cpp",
+                      "void g(Histo* h, std::uint64_t ns) { "
+                      "h->observe_ns(ns); }\n")
+                  .clean());
+}
+
+TEST(Privcheck, DeterminismClockAndEnvAllowedInObs) {
+  // src/obs/ owns the process's single steady_clock read and trace.cpp
+  // the PRIVID_TRACE* knobs; timing there is opaque to the rest of the
+  // tree, so the determinism rules allowlist the plane.
+  EXPECT_TRUE(run_one("src/obs/metrics.cpp",
+                      "auto f() { return std::chrono::steady_clock::now(); "
+                      "}\n")
+                  .clean());
+  EXPECT_TRUE(run_one("src/obs/trace.cpp",
+                      "const char* f() { return "
+                      "std::getenv(\"PRIVID_TRACE\"); }\n")
+                  .clean());
+}
+
+TEST(Privcheck, LayeringAllowsObsFromAnywhere) {
+  EXPECT_TRUE(run_one("src/common/thread_pool.hpp",
+                      "#include \"obs/metrics.hpp\"\n")
+                  .clean());
+  EXPECT_TRUE(run_one("src/engine/chunk_cache.cpp",
+                      "#include \"obs/metrics.hpp\"\n"
+                      "#include \"obs/trace.hpp\"\n")
+                  .clean());
+}
+
+TEST(Privcheck, LayeringRejectsObsBackEdge) {
+  Report r = run_one("src/obs/evil.cpp",
+                     "#include \"engine/executor.hpp\"\n");
+  auto fs = active(r, "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("obs -> engine"), std::string::npos);
+}
+
 // ------------------------------------------------------------- suppressions
 
 TEST(Privcheck, SuppressionWithJustificationPasses) {

@@ -18,12 +18,12 @@ namespace {
 
 // ----------------------------------------------------------------- catalog
 
-const std::array<const char*, 13> kRuleIds = {
+const std::array<const char*, 14> kRuleIds = {
     "privacy-release",    "privacy-ledger",   "exec-output",
     "determinism-random", "determinism-clock", "determinism-env",
     "float-format",       "parallel-hash",    "raw-thread",
-    "manual-lock",        "layering",         "bad-suppression",
-    "unused-suppression"};
+    "manual-lock",        "layering",         "obs-timing",
+    "bad-suppression",    "unused-suppression"};
 
 bool known_rule(const std::string& id) {
   return std::find(kRuleIds.begin(), kRuleIds.end(), id) != kRuleIds.end();
@@ -50,8 +50,13 @@ const Allowlist kLedgerCallers = {"src/privacy/", "src/engine/executor.cpp",
 const Allowlist kSandboxBoundary = {"src/engine/sandbox.hpp",
                                     "src/engine/sandbox.cpp"};
 const Allowlist kRngFiles = {"src/common/rng.hpp", "src/common/rng.cpp"};
+// src/obs/ is the observability plane: metrics.cpp owns the process's
+// single steady_clock read (detail::now_ns) and trace.cpp the
+// PRIVID_TRACE* env knobs. Timing there is opaque to the rest of the
+// tree — spans/timers never expose numeric durations — so clock and env
+// reads inside obs cannot reach a release value.
 const Allowlist kTimeFiles = {"src/common/timeutil.hpp",
-                              "src/common/timeutil.cpp"};
+                              "src/common/timeutil.cpp", "src/obs/"};
 // src/engine/chunk_cache.cpp is the cache-configuration boundary: it owns
 // every PRIVID_CACHE* read (mode, disk directory, disk byte budget). Cache
 // and tier configuration never feed a release value — the equivalence
@@ -60,7 +65,13 @@ const Allowlist kTimeFiles = {"src/common/timeutil.hpp",
 const Allowlist kEnvFiles = {"src/common/rng.hpp", "src/common/rng.cpp",
                              "src/common/timeutil.hpp",
                              "src/common/timeutil.cpp",
-                             "src/engine/chunk_cache.cpp"};
+                             "src/engine/chunk_cache.cpp",
+                             "src/obs/trace.cpp"};
+// Identifiers that expose raw nanosecond readings. Outside src/obs/ the
+// tree must hold timing only through the opaque RAII types (Span,
+// ScopedTimer, Stopwatch) so a duration can never flow into a release,
+// noise draw, or ledger charge.
+const Allowlist kObsFiles = {"src/obs/"};
 const Allowlist kHashFiles = {"src/common/fingerprint.hpp",
                               "src/common/fingerprint.cpp",
                               "src/common/rng.hpp", "src/common/rng.cpp"};
@@ -93,6 +104,7 @@ const std::set<std::string> kReleaseModules = {
 // dependencies is a deliberate act: extend this table in the same PR.
 const std::map<std::string, std::set<std::string>> kAllowedEdges = {
     {"common", {}},
+    {"obs", {}},
     {"table", {}},
     {"video", {}},
     {"privacy", {}},
@@ -344,12 +356,28 @@ void check_manual_lock(const Ctx& ctx, const Line& ln, int n) {
   }
 }
 
+void check_obs_timing(const Ctx& ctx, const Line& ln, int n) {
+  if (path_allowed(ctx.path, kObsFiles)) return;
+  for (const char* sym : {"now_ns", "elapsed_ns", "observe_ns"}) {
+    if (has_identifier(ln.code, sym)) {
+      ctx.emit("obs-timing", n,
+               std::string("raw timing value '") + sym +
+                   "' outside src/obs/ — numeric durations are confined "
+                   "to the obs plane; hold timing via the opaque "
+                   "obs::Span/ScopedTimer/Stopwatch so it can never feed "
+                   "a release, noise draw, or ledger charge");
+    }
+  }
+}
+
 void check_layering(const Ctx& ctx, const Line& ln, int n) {
   std::string inc = quoted_include_path(ln);
   if (inc.empty()) return;
   if (ctx.module == "root") return;  // the umbrella may include anything
   std::string target = include_target_module(inc);
-  if (target == ctx.module || target == "common") return;
+  // "obs" is, like "common", includable from anywhere: every plane hangs
+  // metrics/spans off it, and it depends only on common itself.
+  if (target == ctx.module || target == "common" || target == "obs") return;
   auto it = kAllowedEdges.find(ctx.module);
   if (it == kAllowedEdges.end()) {
     ctx.emit("layering", n,
@@ -408,6 +436,7 @@ Report analyze_files(const std::vector<FileContent>& files,
       check_parallel_hash(ctx, ln, n);
       check_raw_thread(ctx, ln, n);
       check_manual_lock(ctx, ln, n);
+      check_obs_timing(ctx, ln, n);
       check_layering(ctx, ln, n);
     }
     if (opts.honor_suppressions) {
@@ -544,9 +573,11 @@ std::string rule_catalog() {
       "exec-output         untrusted ExecOutput only at the sandbox "
       "boundary\n"
       "determinism-random  rand/srand/random_device outside common/rng.*\n"
-      "determinism-clock   wall-clock reads outside common/timeutil.*\n"
-      "determinism-env     getenv outside common/rng.*, common/timeutil.* "
-      "and engine/chunk_cache.cpp (PRIVID_CACHE* knobs)\n"
+      "determinism-clock   wall-clock reads outside common/timeutil.* and "
+      "src/obs/\n"
+      "determinism-env     getenv outside common/rng.*, common/timeutil.*, "
+      "engine/chunk_cache.cpp (PRIVID_CACHE* knobs) and obs/trace.cpp "
+      "(PRIVID_TRACE* knobs)\n"
       "float-format        printf-family float formatting on release "
       "paths\n"
       "parallel-hash       std::hash / hash constants outside "
@@ -555,6 +586,8 @@ std::string rule_catalog() {
       "common/thread_pool.*\n"
       "manual-lock         statement-level .lock()/.unlock() (RAII only)\n"
       "layering            include edge not in the allowed-edges table\n"
+      "obs-timing          raw timing values (now_ns/elapsed_ns/observe_ns) "
+      "outside src/obs/\n"
       "bad-suppression     privcheck:allow without justification / unknown "
       "rule\n"
       "unused-suppression  privcheck:allow that no longer matches a "
