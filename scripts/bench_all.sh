@@ -63,6 +63,13 @@ for name in "$@"; do
       [[ $status -ne 0 ]] && failures=$((failures + 1))
       cache_field=""
       [[ -n "$cache" ]] && cache_field="\"cache\": \"$cache\", "
+      # Chaos bench runs (PRIVID_FAULTS set by the caller) are labelled so
+      # obs_summary.py / bench_compare.py readers can tell a storm run from
+      # a clean one; the fault.*/retry.*/breaker counters themselves ride
+      # in via the obs snapshot below.
+      faults_field=""
+      [[ -n "${PRIVID_FAULTS:-}" ]] && \
+        faults_field="\"faults\": \"$PRIVID_FAULTS\", "
       # Benches that call print_obs_summary leave one compact metrics
       # snapshot per leg; record the final (cumulative) one per run.
       # bench_compare.py keys runs on name/threads/cache only, so extra
@@ -70,7 +77,7 @@ for name in "$@"; do
       obs_field=""
       obs_json="$(sed -n 's/^OBS_SNAPSHOT_JSON //p' "$log" | tail -1)"
       [[ -n "$obs_json" ]] && obs_field="\"obs\": $obs_json, "
-      entries+=("    {\"name\": \"$name\", \"threads\": $threads, ${cache_field}${obs_field}\"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
+      entries+=("    {\"name\": \"$name\", \"threads\": $threads, ${cache_field}${faults_field}${obs_field}\"wall_seconds\": $secs, \"exit_status\": $status, \"log\": \"$log\"}")
     done
   done
 done

@@ -13,7 +13,9 @@ Accepts either of the two JSON shapes the repo produces:
 For each snapshot it derives the headline rates the benches gate on:
 per-tier cache hit rates (mem = (cache.hits - cache.disk.hits) / lookups,
 disk = cache.disk.hits / lookups), the single-flight dedup rate
-(followers / (leaders + followers)), and latency percentiles for every
+(followers / (leaders + followers)), the robustness-plane headlines
+(fault.* injections, retry.* ladder outcomes, cache.disk.breaker_*
+trips/sheds and open/closed state), and latency percentiles for every
 histogram with observations.
 
 Usage: scripts/obs_summary.py <snapshot.json | BENCH_results.json>
@@ -75,6 +77,29 @@ def summarize_snapshot(snap, indent=""):
             line += f", {fmt_count(fallbacks)} fallbacks"
         print(line + ")")
 
+    visits = counters.get("fault.visits", 0)
+    fired = counters.get("fault.fired", 0)
+    if visits or gauges.get("fault.armed", 0):
+        armed = " (plan armed)" if gauges.get("fault.armed", 0) else ""
+        print(f"{indent}fault: {fmt_count(fired)} fired across "
+              f"{fmt_count(visits)} site visits{armed}")
+
+    attempts = counters.get("retry.attempts", 0)
+    if attempts:
+        print(f"{indent}retry: {fmt_count(attempts)} extra attempts — "
+              f"{fmt_count(counters.get('retry.recovered', 0))} recovered, "
+              f"{fmt_count(counters.get('retry.exhausted', 0))} exhausted")
+
+    trips = counters.get("cache.disk.breaker_trips", 0)
+    skips = counters.get("cache.disk.breaker_skips", 0)
+    if trips or skips:
+        state = ("open" if gauges.get("cache.disk.breaker_open", 0)
+                 else "closed")
+        print(f"{indent}breaker: {fmt_count(trips)} trips, "
+              f"{fmt_count(skips)} ops shed, "
+              f"{fmt_count(counters.get('cache.disk.breaker_probes', 0))} "
+              f"probes ({state})")
+
     rows = []
     for name in sorted(histograms):
         h = histograms[name]
@@ -92,7 +117,7 @@ def summarize_snapshot(snap, indent=""):
 
     interesting_counters = {
         k: v for k, v in counters.items()
-        if not k.startswith(("cache.", "dedup.")) and v}
+        if not k.startswith(("cache.", "dedup.", "fault.", "retry.")) and v}
     if interesting_counters:
         print(f"{indent}counters: " +
               ", ".join(f"{k}={fmt_count(v)}"

@@ -64,4 +64,42 @@ class ArgumentError : public Error {
       : Error("argument error: " + what) {}
 };
 
+// Infrastructure-level failure that a bounded re-attempt may absorb (a
+// sandbox worker dying at startup, a single-flight leader crashing at
+// completion). The engine's retry ladder (RunOptions::sandbox_retries,
+// engine/executor.hpp) catches exactly this type: anything else is a real
+// query error and fails the query on the first occurrence.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what)
+      : Error("transient error: " + what) {}
+};
+
+// A deliberately injected fault (src/fault). Transient by definition —
+// the fault plane models infrastructure failures, and the hardening it
+// exercises (retry, single-flight fallback, circuit breaker) must see the
+// same type a real one would raise.
+class FaultInjectedError : public TransientError {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : TransientError("injected fault at '" + site + "'") {}
+};
+
+// Query terminated before completion by an explicit cancel request, a
+// deadline, or scheduler shutdown — terminal, refunded exactly once, and
+// never retried.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error("cancelled: " + what) {}
+};
+
+// A per-query deadline expired (RunOptions::deadline_rounds). A subtype of
+// CancelledError so callers can treat every early termination uniformly.
+class DeadlineError : public CancelledError {
+ public:
+  explicit DeadlineError(const std::string& what)
+      : CancelledError("deadline exceeded: " + what) {}
+};
+
 }  // namespace privid

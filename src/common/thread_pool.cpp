@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace privid {
@@ -52,7 +53,12 @@ void ThreadPool::parallel_for(std::size_t n,
     }
     c_inline_batches_->add();
     c_inline_items_->add(n);
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Same seam as the pooled path below: a task slot dying before its
+      // function runs, surfaced to the caller like any task exception.
+      fault::inject("pool.task");
+      fn(i);
+    }
     return;
   }
 
@@ -121,6 +127,9 @@ void ThreadPool::work(Batch& batch) {
     if (i >= batch.n) break;
     g_queue_depth_->sub(1);
     try {
+      // Models a worker dying as it picks up the task — before the task
+      // function runs, so it lands in first_error like any task failure.
+      fault::inject("pool.task");
       (*batch.fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(batch.error_mu);

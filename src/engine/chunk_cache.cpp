@@ -1,5 +1,8 @@
 #include "engine/chunk_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
@@ -9,6 +12,7 @@
 #include <iterator>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "table/slab_io.hpp"
 
@@ -87,6 +91,9 @@ std::optional<Fingerprint> parse_slab_name(const std::string& name) {
 }
 
 std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
+  // Models a torn/failing read (bad sector, disappearing mount): callers
+  // already treat nullopt as "drop the entry and miss".
+  if (fault::fail_point("disk.read")) return std::nullopt;
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
@@ -95,12 +102,29 @@ std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
   return bytes;
 }
 
-// Write-then-rename so a crash mid-write leaves a .tmp orphan, never a
-// half-written .slab that a later probe would have to reject. Returns
-// false (leaving no file behind) on any I/O failure — a slab that fails
-// to persist is a future cache miss, not an error.
+// Flushes `path` to stable storage; pass directory=true for the parent
+// directory (which is what makes a rename durable across power loss).
+bool fsync_path(const fs::path& path, bool directory) {
+  int flags = O_RDONLY;
+  if (directory) flags |= O_DIRECTORY;
+  const int fd = ::open(path.c_str(), flags);  // NOLINT
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// Write-then-fsync-then-rename-then-fsync(dir) so a committed .slab file
+// survives power loss (the data is flushed before the rename publishes
+// the name; the directory fsync flushes the name itself), and a crash at
+// any earlier point leaves only a .tmp orphan — never a half-written
+// .slab that a later probe would have to reject (attach reaps orphans).
+// Returns false (leaving no *published* file behind) on any I/O failure —
+// a slab that fails to persist is a future cache miss, not an error.
 bool write_file_atomic(const fs::path& path,
                        const std::vector<std::uint8_t>& bytes) {
+  // Models an out-of-space/EIO write failure before any bytes land.
+  if (fault::fail_point("disk.write")) return false;
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -114,10 +138,25 @@ bool write_file_atomic(const fs::path& path,
       return false;
     }
   }
+  if (!fsync_path(tmp, /*directory=*/false)) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  // Models a crash between write and rename: the fully-written .tmp stays
+  // behind as the orphan the next attach must reap.
+  if (fault::fail_point("disk.rename")) return false;
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
+    return false;
+  }
+  if (!fsync_path(path.parent_path(), /*directory=*/true)) {
+    // The rename landed but is not durable; honor the false ⇒ no-file
+    // contract so the index never references a maybe-gone-after-crash
+    // entry.
+    fs::remove(path, ec);
     return false;
   }
   return true;
@@ -164,6 +203,17 @@ void ChunkCache::attach_disk_tier(DiskTierConfig config) {
   for (const auto& entry : fs::directory_iterator(config.dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+        parse_slab_name(name.substr(0, name.size() - 4))) {
+      // A crash between write and rename left this orphan behind; it was
+      // never published, so reap it rather than letting orphans accrete
+      // unbudgeted bytes across restarts. (Only <key>.slab.tmp names —
+      // foreign .tmp files are not ours to delete.)
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+      c_orphan_drops_->add();
+      continue;
+    }
     if (!parse_slab_name(name)) continue;  // foreign files are not ours
     std::error_code size_ec;
     const auto size = entry.file_size(size_ec);
@@ -239,6 +289,16 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
       *out = it->second->slab;
       return true;
     }
+    // An evicted entry whose slab file is still being written (fsync can
+    // take a while) is served from the demotion buffer — the key must
+    // never be a miss while it sits between tiers.
+    auto dit = demoting_index_.find(key);
+    if (dit != demoting_index_.end()) {
+      c_hits_->add();
+      span.tag("tier", "mem");
+      *out = dit->second->slab;
+      return true;
+    }
     if (!disk_) {
       c_misses_->add();
       span.tag("tier", "miss");
@@ -258,7 +318,7 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
   // Promote: the key is hot again, so it belongs in memory. The file
   // stays on disk — demoting it later is then a recency touch, not a
   // rewrite (contents are deterministic, so they cannot have changed).
-  std::vector<Entry> victims;
+  std::vector<Fingerprint> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
     c_hits_->add();
@@ -279,7 +339,7 @@ bool ChunkCache::lookup(const Fingerprint& key, ColumnSlab* out) {
       victims = evict_to_budget_locked();
     }
   }
-  demote_entries(std::move(victims));
+  demote_evicted(victims);
   return true;
 }
 
@@ -287,7 +347,7 @@ void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
   // The slab deep-copy happens before the lock so concurrent cold-path
   // workers serialize only on the pointer splices, not on payload copies.
   Entry entry{key, slab, slab_bytes(slab)};
-  std::vector<Entry> victims;
+  std::vector<Fingerprint> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (entry.bytes > byte_budget_) return;  // would evict all for nothing
@@ -307,52 +367,92 @@ void ChunkCache::insert(const Fingerprint& key, const ColumnSlab& slab) {
     }
     victims = evict_to_budget_locked();
   }
-  demote_entries(std::move(victims));
+  demote_evicted(victims);
 }
 
-std::vector<ChunkCache::Entry> ChunkCache::evict_to_budget_locked() {
-  std::vector<Entry> victims;
+std::vector<Fingerprint> ChunkCache::evict_to_budget_locked() {
+  std::vector<Fingerprint> keys;
   while (static_cast<std::size_t>(g_bytes_->value()) > byte_budget_ &&
          !lru_.empty()) {
     Entry& victim = lru_.back();
     g_bytes_->sub(static_cast<std::int64_t>(victim.bytes));
     index_.erase(victim.key);
     c_evictions_->add();
-    if (disk_) victims.push_back(std::move(victim));
-    lru_.pop_back();
+    if (disk_ && demoting_index_.count(victim.key) == 0) {
+      // Park the victim in the demotion buffer instead of destroying it:
+      // lookups keep serving it until the slab file is durably written.
+      const Fingerprint key = victim.key;
+      demoting_.splice(demoting_.begin(), lru_, std::prev(lru_.end()));
+      demoting_index_[key] = demoting_.begin();
+      keys.push_back(key);
+    } else {
+      // No disk tier, or a demotion of this key is already in flight
+      // (contents are deterministic-identical, so it covers this victim).
+      lru_.pop_back();
+    }
   }
   g_entries_->set(static_cast<std::int64_t>(index_.size()));
-  return victims;
+  return keys;
+}
+
+void ChunkCache::persist_one(const Fingerprint& key, const ColumnSlab& slab) {
+  {
+    std::lock_guard<std::mutex> lock(disk_->mu);
+    auto it = disk_->index.find(key);
+    if (it != disk_->index.end()) {
+      // Already persisted (a promoted entry coming back down, or a racing
+      // demoter won): contents are deterministic-identical, so refresh
+      // recency and skip the write.
+      disk_->lru.splice(disk_->lru.begin(), disk_->lru, it->second);
+      return;
+    }
+  }
+  // Serialize outside the disk lock; only the write itself is held.
+  const std::vector<std::uint8_t> bytes = serialize_slab(slab);
+  std::lock_guard<std::mutex> lock(disk_->mu);
+  if (disk_->index.count(key)) return;  // racing demoter won
+  if (bytes.size() > disk_->config.byte_budget) return;
+  // An open breaker drops the victim instead of writing — losing a
+  // demotion costs a future recompute, not a query failure.
+  if (!breaker_admits_locked()) return;
+  const fs::path path = slab_path(disk_->config.dir, key);
+  const bool wrote = write_file_atomic(path, bytes);
+  breaker_record_locked(wrote);
+  if (!wrote) return;  // future miss, no error
+  disk_->lru.push_front(DiskEntry{key, bytes.size()});
+  disk_->index[key] = disk_->lru.begin();
+  g_disk_bytes_->add(static_cast<std::int64_t>(bytes.size()));
+  g_disk_entries_->set(static_cast<std::int64_t>(disk_->index.size()));
+  c_demotions_->add();
+  disk_evict_to_budget_locked();
+}
+
+void ChunkCache::demote_evicted(const std::vector<Fingerprint>& keys) {
+  if (!disk_ || keys.empty()) return;
+  for (const Fingerprint& key : keys) {
+    const ColumnSlab* slab = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = demoting_index_.find(key);
+      if (it == demoting_index_.end()) continue;
+      slab = &it->second->slab;
+    }
+    // Safe to read outside mu_: buffer entries are never mutated in
+    // place, and only this demoter (the evictor that parked `key`)
+    // erases it.
+    persist_one(key, *slab);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = demoting_index_.find(key);
+    if (it != demoting_index_.end()) {
+      demoting_.erase(it->second);
+      demoting_index_.erase(it);
+    }
+  }
 }
 
 void ChunkCache::demote_entries(std::vector<Entry> victims) {
   if (!disk_ || victims.empty()) return;
-  for (Entry& victim : victims) {
-    {
-      std::lock_guard<std::mutex> lock(disk_->mu);
-      auto it = disk_->index.find(victim.key);
-      if (it != disk_->index.end()) {
-        // Already persisted (a promoted entry coming back down, or a
-        // racing demoter won): contents are deterministic-identical, so
-        // refresh recency and skip the write.
-        disk_->lru.splice(disk_->lru.begin(), disk_->lru, it->second);
-        continue;
-      }
-    }
-    // Serialize outside the disk lock; only the write itself is held.
-    const std::vector<std::uint8_t> bytes = serialize_slab(victim.slab);
-    std::lock_guard<std::mutex> lock(disk_->mu);
-    if (disk_->index.count(victim.key)) continue;  // racing demoter won
-    if (bytes.size() > disk_->config.byte_budget) continue;
-    const fs::path path = slab_path(disk_->config.dir, victim.key);
-    if (!write_file_atomic(path, bytes)) continue;  // future miss, no error
-    disk_->lru.push_front(DiskEntry{victim.key, bytes.size()});
-    disk_->index[victim.key] = disk_->lru.begin();
-    g_disk_bytes_->add(static_cast<std::int64_t>(bytes.size()));
-    g_disk_entries_->set(static_cast<std::int64_t>(disk_->index.size()));
-    c_demotions_->add();
-    disk_evict_to_budget_locked();
-  }
+  for (Entry& victim : victims) persist_one(victim.key, victim.slab);
 }
 
 std::optional<ColumnSlab> ChunkCache::disk_probe(const Fingerprint& key,
@@ -361,22 +461,62 @@ std::optional<ColumnSlab> ChunkCache::disk_probe(const Fingerprint& key,
     std::lock_guard<std::mutex> lock(disk_->mu);
     auto it = disk_->index.find(key);
     if (it == disk_->index.end()) return std::nullopt;
+    // An open breaker suppresses the probe but keeps the entry: the file
+    // is (probably) fine, the disk underneath it is not, and the entry is
+    // servable again the moment a re-probe closes the breaker.
+    if (!breaker_admits_locked()) return std::nullopt;
     disk_->lru.splice(disk_->lru.begin(), disk_->lru, it->second);
   }
   const fs::path path = slab_path(disk_->config.dir, key);
   std::optional<std::vector<std::uint8_t>> bytes = read_file(path);
   if (bytes) {
     if (std::optional<ColumnSlab> slab = deserialize_slab(*bytes)) {
+      std::lock_guard<std::mutex> lock(disk_->mu);
+      breaker_record_locked(/*ok=*/true);
       return slab;
     }
     // Parsed files are misses only when absent; an unparsable one is
     // corruption — unlink it so it cannot cost another probe.
     *corrupt = true;
   }
-  // Unreadable or unparsable: drop the entry (and file) and miss.
+  // Unreadable or unparsable: drop the entry (and file), feed the breaker
+  // one failure, and miss.
   std::lock_guard<std::mutex> lock(disk_->mu);
+  breaker_record_locked(/*ok=*/false);
   disk_drop_locked(key);
   return std::nullopt;
+}
+
+bool ChunkCache::breaker_admits_locked() {
+  if (!disk_->breaker_open) return true;
+  disk_->ops_while_open += 1;
+  if (disk_->config.breaker_reprobe != 0 &&
+      disk_->ops_while_open % disk_->config.breaker_reprobe == 0) {
+    c_breaker_probes_->add();
+    return true;  // half-open: let one operation test the disk
+  }
+  c_breaker_skips_->add();
+  return false;
+}
+
+void ChunkCache::breaker_record_locked(bool ok) {
+  if (ok) {
+    disk_->consecutive_failures = 0;
+    if (disk_->breaker_open) {
+      disk_->breaker_open = false;
+      disk_->ops_while_open = 0;
+      g_breaker_open_->set(0);
+    }
+    return;
+  }
+  disk_->consecutive_failures += 1;
+  if (!disk_->breaker_open &&
+      disk_->consecutive_failures >= disk_->config.breaker_threshold) {
+    disk_->breaker_open = true;
+    disk_->ops_while_open = 0;
+    c_breaker_trips_->add();
+    g_breaker_open_->set(1);
+  }
 }
 
 void ChunkCache::disk_drop_locked(const Fingerprint& key) {
@@ -434,8 +574,13 @@ CacheStats ChunkCache::stats() const {
   s.demotions = c_demotions_->value();
   s.disk_evictions = c_disk_evictions_->value();
   s.corrupt_drops = c_corrupt_drops_->value();
+  s.orphan_drops = c_orphan_drops_->value();
   s.disk_bytes = static_cast<std::size_t>(g_disk_bytes_->value());
   s.disk_entries = static_cast<std::size_t>(g_disk_entries_->value());
+  s.breaker_trips = c_breaker_trips_->value();
+  s.breaker_skips = c_breaker_skips_->value();
+  s.breaker_probes = c_breaker_probes_->value();
+  s.breaker_open = g_breaker_open_->value() != 0;
   return s;
 }
 
@@ -445,13 +590,13 @@ std::size_t ChunkCache::byte_budget() const {
 }
 
 void ChunkCache::set_byte_budget(std::size_t bytes) {
-  std::vector<Entry> victims;
+  std::vector<Fingerprint> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
     byte_budget_ = bytes;
     victims = evict_to_budget_locked();
   }
-  demote_entries(std::move(victims));
+  demote_evicted(victims);
 }
 
 void ChunkCache::clear() {

@@ -85,6 +85,13 @@ struct DiskTierConfig {
 
   std::string dir;
   std::size_t byte_budget = kDefaultByteBudget;
+  // Circuit breaker: after this many *consecutive* disk I/O failures
+  // (unreadable reads, corrupt parses, failed demote writes) the tier
+  // trips to memory-only — a dying disk must degrade the cache, never the
+  // query plane. While open, every breaker_reprobe-th disk operation is
+  // let through as a half-open probe; one success closes the breaker.
+  std::uint64_t breaker_threshold = 4;
+  std::uint64_t breaker_reprobe = 16;
   // Eagerly parse the directory's slab files into the memory tier at
   // attach (newest-indexed first, bounded by the memory byte budget), so
   // a restarted process replays history at memory speed instead of paying
@@ -114,8 +121,15 @@ struct CacheStats {
   std::uint64_t demotions = 0;   // slab files written
   std::uint64_t disk_evictions = 0;  // files unlinked for the disk budget
   std::uint64_t corrupt_drops = 0;   // unreadable files dropped as misses
+  std::uint64_t orphan_drops = 0;    // crash-orphaned .tmp files reaped
   std::size_t disk_bytes = 0;    // current on-disk footprint (file bytes)
   std::size_t disk_entries = 0;  // current slab file count
+  // Circuit breaker (docs/ROBUSTNESS.md): trips after consecutive disk
+  // I/O failures; while open the tier serves memory-only.
+  std::uint64_t breaker_trips = 0;   // open transitions
+  std::uint64_t breaker_skips = 0;   // disk ops suppressed while open
+  std::uint64_t breaker_probes = 0;  // half-open re-probe ops let through
+  bool breaker_open = false;         // current state
 };
 
 class ChunkCache {
@@ -206,10 +220,32 @@ class ChunkCache {
     std::unordered_map<Fingerprint, std::list<DiskEntry>::iterator,
                        FingerprintHash>
         index;
+    // Circuit-breaker state, all under mu. The index survives an open
+    // breaker untouched — entries become servable again the moment a
+    // half-open probe succeeds and closes it.
+    std::uint64_t consecutive_failures = 0;
+    bool breaker_open = false;
+    std::uint64_t ops_while_open = 0;  // drives the every-Nth re-probe
   };
 
-  std::vector<Entry> evict_to_budget_locked();
+  // Evicts LRU entries until the memory tier fits the budget. With a disk
+  // tier attached, victims are not destroyed: they move into the demotion
+  // buffer (demoting_) where lookups can still serve them until the slab
+  // file is durably written — otherwise a query racing the (fsync-paced)
+  // write would see the key in neither tier and recompute. Returns the
+  // keys the caller must pass to demote_evicted() outside mu_.
+  std::vector<Fingerprint> evict_to_budget_locked();
+  // Persists evicted entries parked in the demotion buffer, then releases
+  // them. Each key is owned by exactly one demoter: the evictor that
+  // spliced it into the buffer.
+  void demote_evicted(const std::vector<Fingerprint>& keys);
+  // Flush path: persists copies of still-resident entries (no eviction,
+  // so no demotion buffer involved).
   void demote_entries(std::vector<Entry> victims);
+  // Ensures `key` is present in the disk tier, serializing and writing
+  // `slab` unless it is already indexed (contents are deterministic, so a
+  // re-demotion is a recency touch, not a rewrite).
+  void persist_one(const Fingerprint& key, const ColumnSlab& slab);
   // Parses indexed slab files into the memory tier (newest first) until
   // the memory budget is full; unparsable files are dropped and counted
   // as corrupt. Counts no hits or misses.
@@ -220,12 +256,26 @@ class ChunkCache {
   std::optional<ColumnSlab> disk_probe(const Fingerprint& key, bool* corrupt);
   void disk_drop_locked(const Fingerprint& key);
   void disk_evict_to_budget_locked();
+  // True when the breaker admits a disk operation right now: always while
+  // closed; while open, only every breaker_reprobe-th attempt (a half-open
+  // probe). Suppressed attempts count as breaker skips.
+  bool breaker_admits_locked();
+  // Feeds one disk I/O outcome into the breaker: success resets the
+  // failure streak and closes an open breaker; failure extends the streak
+  // and trips at breaker_threshold.
+  void breaker_record_locked(bool ok);
 
   mutable std::mutex mu_;
   std::size_t byte_budget_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
       index_;
+  // Evicted-but-not-yet-persisted entries (see evict_to_budget_locked).
+  // Not counted against the memory budget: the buffer is bounded by
+  // in-flight demotions, and draining it must never trigger eviction.
+  std::list<Entry> demoting_;
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
+      demoting_index_;
   // Set once by attach_disk_tier before concurrent use; read-only after.
   std::unique_ptr<DiskTier> disk_;
 
@@ -241,10 +291,16 @@ class ChunkCache {
   obs::Counter* c_disk_hits_ = metrics_.counter("cache.disk.hits");
   obs::Counter* c_demotions_ = metrics_.counter("cache.disk.demotions");
   obs::Counter* c_disk_evictions_ = metrics_.counter("cache.disk.evictions");
+  obs::Counter* c_orphan_drops_ = metrics_.counter("cache.disk.orphan_drops");
+  obs::Counter* c_breaker_trips_ = metrics_.counter("cache.disk.breaker_trips");
+  obs::Counter* c_breaker_skips_ = metrics_.counter("cache.disk.breaker_skips");
+  obs::Counter* c_breaker_probes_ =
+      metrics_.counter("cache.disk.breaker_probes");
   obs::Gauge* g_bytes_ = metrics_.gauge("cache.bytes");
   obs::Gauge* g_entries_ = metrics_.gauge("cache.entries");
   obs::Gauge* g_disk_bytes_ = metrics_.gauge("cache.disk.bytes");
   obs::Gauge* g_disk_entries_ = metrics_.gauge("cache.disk.entries");
+  obs::Gauge* g_breaker_open_ = metrics_.gauge("cache.disk.breaker_open");
   obs::Registration registration_ =
       obs::Registry::global().attach(&metrics_);
 };

@@ -52,6 +52,13 @@ struct EngineMetrics {
   obs::LatencyHistogram* task_process = group.histogram("task.process");
   obs::LatencyHistogram* assemble = group.histogram("query.assemble");
   obs::LatencyHistogram* finish = group.histogram("query.finish");
+  // Retry ladder (RunOptions::sandbox_retries): attempts counts *extra*
+  // attempts only, so a fault-free run leaves all three at zero;
+  // recovered + exhausted reconciles against the transient failures the
+  // fault plane reports having fired into the sandbox seams.
+  obs::Counter* retry_attempts = group.counter("retry.attempts");
+  obs::Counter* retry_recovered = group.counter("retry.recovered");
+  obs::Counter* retry_exhausted = group.counter("retry.exhausted");
   obs::Registration registration = obs::Registry::global().attach(&group);
 };
 
@@ -314,53 +321,78 @@ ColumnSlab PreparedQuery::run_task(std::size_t phase, std::size_t task) const {
         .tag("task", static_cast<std::uint64_t>(task));
   }
 
-  ColumnSlab slab;
-  Fingerprint key;
-  bool have_slab = false;
-  if (ph.keyed) {
-    FingerprintBuilder task_key = ph.base_key;
-    task_key.add(static_cast<std::uint64_t>(chunk.index));
-    task_key.add(chunk.time.begin).add(chunk.time.end);
-    task_key.add(static_cast<std::int64_t>(chunk.frames.begin));
-    task_key.add(static_cast<std::int64_t>(chunk.frames.end));
-    task_key.add(region ? region->name : std::string());
-    key = task_key.digest();
-    if (span.active()) span.tag("fingerprint", fingerprint_hex(key));
-    if (cache_ != nullptr) have_slab = cache_->lookup(key, &slab);
-    if (span.active()) span.tag("cache", have_slab ? "hit" : "miss");
-  }
-  if (!have_slab) {
-    auto compute = [&]() {
-      obs::Span sandbox_span("task.sandbox", "engine");
-      ChunkView view(&ph.rs.cam->content, &ph.rs.cam->meta, chunk.index,
-                     chunk.time, chunk.frames, ph.rs.mask, region);
-      ColumnSlab fresh = run_sandboxed(ph.exe, view, ph.sandbox);
-      if (cache_ != nullptr) cache_->insert(key, fresh);
-      return fresh;
-    };
-    if (inflight_ != nullptr) {
-      // Close the miss->join window: a task that missed the cache, then
-      // lost the CPU while the previous leader finished and retired its
-      // flight, would otherwise become a fresh leader and recompute a slab
-      // the cache now holds. Re-checking inside the flight keeps "each
-      // keyed task computes at most once per cache lifetime" exact.
-      auto compute_in_flight = [&]() {
-        ColumnSlab cached;
-        if (cache_ != nullptr && cache_->lookup(key, &cached)) return cached;
-        return compute();
+  auto attempt = [&]() {
+    ColumnSlab slab;
+    Fingerprint key;
+    bool have_slab = false;
+    if (ph.keyed) {
+      FingerprintBuilder task_key = ph.base_key;
+      task_key.add(static_cast<std::uint64_t>(chunk.index));
+      task_key.add(chunk.time.begin).add(chunk.time.end);
+      task_key.add(static_cast<std::int64_t>(chunk.frames.begin));
+      task_key.add(static_cast<std::int64_t>(chunk.frames.end));
+      task_key.add(region ? region->name : std::string());
+      key = task_key.digest();
+      if (span.active()) span.tag("fingerprint", fingerprint_hex(key));
+      if (cache_ != nullptr) have_slab = cache_->lookup(key, &slab);
+      if (span.active()) span.tag("cache", have_slab ? "hit" : "miss");
+    }
+    if (!have_slab) {
+      auto compute = [&]() {
+        obs::Span sandbox_span("task.sandbox", "engine");
+        ChunkView view(&ph.rs.cam->content, &ph.rs.cam->meta, chunk.index,
+                       chunk.time, chunk.frames, ph.rs.mask, region);
+        ColumnSlab fresh = run_sandboxed(ph.exe, view, ph.sandbox);
+        if (cache_ != nullptr) cache_->insert(key, fresh);
+        return fresh;
       };
-      if (!inflight_->run(key, compute_in_flight, &slab) &&
-          cache_ != nullptr) {
-        // Follower: the leader inserted into *its* cache inside compute;
-        // if ours is a different one (per-query mode), remember the slab
-        // here too. In shared mode this merely refreshes recency.
-        cache_->insert(key, slab);
+      if (inflight_ != nullptr) {
+        // Close the miss->join window: a task that missed the cache, then
+        // lost the CPU while the previous leader finished and retired its
+        // flight, would otherwise become a fresh leader and recompute a slab
+        // the cache now holds. Re-checking inside the flight keeps "each
+        // keyed task computes at most once per cache lifetime" exact.
+        auto compute_in_flight = [&]() {
+          ColumnSlab cached;
+          if (cache_ != nullptr && cache_->lookup(key, &cached)) return cached;
+          return compute();
+        };
+        if (!inflight_->run(key, compute_in_flight, &slab) &&
+            cache_ != nullptr) {
+          // Follower: the leader inserted into *its* cache inside compute;
+          // if ours is a different one (per-query mode), remember the slab
+          // here too. In shared mode this merely refreshes recency.
+          cache_->insert(key, slab);
+        }
+      } else {
+        slab = compute();
       }
-    } else {
-      slab = compute();
+    }
+    return slab;
+  };
+
+  // Bounded retry for transient infrastructure failures only — a
+  // recovered attempt recomputes the same pure function (possibly served
+  // straight from the cache a crashed leader already populated), so the
+  // slab is byte-identical to a never-failed run. Any non-transient
+  // exception propagates on first occurrence and fails the query.
+  const std::size_t max_attempts = 1 + opts_.sandbox_retries;
+  for (std::size_t attempt_no = 1;; ++attempt_no) {
+    try {
+      ColumnSlab slab = attempt();
+      if (attempt_no > 1) engine_metrics().retry_recovered->add();
+      return slab;
+    } catch (const TransientError&) {
+      if (attempt_no >= max_attempts) {
+        engine_metrics().retry_exhausted->add();
+        throw;
+      }
+      engine_metrics().retry_attempts->add();
+      if (span.active()) {
+        span.tag("retry", static_cast<std::uint64_t>(attempt_no));
+      }
     }
   }
-  return slab;
 }
 
 void PreparedQuery::assemble(std::size_t phase,

@@ -95,6 +95,22 @@ struct RunOptions {
   // env var, off when unset. Caching never changes results: releases,
   // sensitivities and budget charges are byte-identical in every mode.
   CacheMode cache = CacheMode::kDefault;
+  // Bounded retry for *transient* per-task failures (TransientError:
+  // sandbox-worker startup death, single-flight leader crash — not
+  // executable crashes, which Appendix B converts to a default row
+  // in-sandbox). Each task re-attempts immediately up to this many extra
+  // times before the error fails the query; the re-attempt recomputes the
+  // same pure function, so a recovered retry is byte-identical to a
+  // never-failed run. Backoff is deterministic by construction: the
+  // sandbox is in-process (nothing to wait out) and a wall-clock sleep
+  // would be both useless and nondeterministic.
+  std::size_t sandbox_retries = 2;
+  // Per-query deadline in scheduler rounds, 0 = none. Service-path only
+  // (engine-direct runs have no scheduler): a query still unfinished when
+  // the service scheduler has dispatched this many more rounds is
+  // cancelled with DeadlineError and refunded in full. Rounds, not
+  // wall-clock, so expiry is deterministic and testable.
+  std::size_t deadline_rounds = 0;
 };
 
 struct Release {

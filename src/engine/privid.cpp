@@ -224,6 +224,12 @@ QueryResult Privid::wait(const service::QueryTicket& ticket) const {
   return svc->wait(ticket);
 }
 
+bool Privid::cancel(const service::QueryTicket& ticket) {
+  service::QueryService* svc = service_ptr();
+  if (!svc) throw ArgumentError("no query service: nothing submitted");
+  return svc->cancel(ticket);
+}
+
 double Privid::remaining_budget(const std::string& camera,
                                 FrameIndex frame) const {
   auto it = cameras_.find(camera);

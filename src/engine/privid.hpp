@@ -117,6 +117,10 @@ class Privid {
                               RunOptions opts = {});
   service::QueryState poll(const service::QueryTicket& ticket) const;
   QueryResult wait(const service::QueryTicket& ticket) const;
+  // Requests cancellation (QueryService::cancel): true when the request
+  // won before the query settled — it refunds in full and wait() throws
+  // CancelledError.
+  bool cancel(const service::QueryTicket& ticket);
 
   // Budget persistence: a restarted deployment that forgets past charges
   // silently voids the privacy guarantee, so ledgers are serializable.

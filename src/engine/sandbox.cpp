@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 
 namespace privid::engine {
 
@@ -128,6 +129,11 @@ Rng ChunkView::fork_rng() const {
 
 ColumnSlab run_sandboxed(const Executable& exe, const ChunkView& view,
                          const SandboxPolicy& policy) {
+  // Models the sandbox worker dying *before* the executable runs (startup
+  // failure), so the throw escapes to the executor's retry ladder. Inside
+  // the try it would be absorbed into a default row — that path is the
+  // executable crashing, which Appendix B deliberately makes unobservable.
+  fault::inject("sandbox.exec");
   ExecOutput out;
   bool failed = false;
   try {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace privid::engine {
@@ -25,6 +26,11 @@ bool SingleFlight::run(const Fingerprint& key, const Compute& compute,
     // one or the other, never neither.
     try {
       ColumnSlab slab = compute();
+      // Models the leader dying *after* compute (which has already inserted
+      // into the chunk cache) but before publishing: followers fall back to
+      // compute() and hit the cache, and the thrown TransientError reaches
+      // the executor's retry ladder on the leader's own task.
+      fault::inject("flight.leader");
       {
         std::lock_guard<std::mutex> lock(mu_);
         flights_.erase(key);

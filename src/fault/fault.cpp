@@ -1,0 +1,214 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace privid::fault {
+namespace {
+
+// Strict unsigned parse: whole string, base 10, no sign, no overflow.
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Strict probability parse: plain decimal in [0, 1] ("0.25", "1", ".5").
+bool parse_prob(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (pos != s.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_trigger(const std::string& body, FaultRule* rule,
+                   std::string* error) {
+  if (body.rfind("every", 0) == 0) {
+    rule->trigger = FaultRule::Trigger::kEveryNth;
+    if (!parse_u64(body.substr(5), &rule->n) || rule->n == 0) {
+      *error = "bad everyN trigger '" + body + "'";
+      return false;
+    }
+    return true;
+  }
+  if (body.rfind("once", 0) == 0) {
+    rule->trigger = FaultRule::Trigger::kOnceAt;
+    if (!parse_u64(body.substr(4), &rule->n) || rule->n == 0) {
+      *error = "bad onceK trigger '" + body + "'";
+      return false;
+    }
+    return true;
+  }
+  if (!body.empty() && body[0] == 'p') {
+    rule->trigger = FaultRule::Trigger::kProbability;
+    if (!parse_prob(body.substr(1), &rule->probability)) {
+      *error = "bad probability trigger '" + body + "'";
+      return false;
+    }
+    return true;
+  }
+  *error = "unknown trigger '" + body + "'";
+  return false;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) {
+      *err = "empty clause";
+      return std::nullopt;
+    }
+    if (clause.rfind("seed=", 0) == 0) {
+      if (!parse_u64(clause.substr(5), &plan.seed)) {
+        *err = "bad seed clause '" + clause + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      *err = "clause '" + clause + "' is not site:trigger";
+      return std::nullopt;
+    }
+    FaultRule rule;
+    rule.site = clause.substr(0, colon);
+    if (!parse_trigger(clause.substr(colon + 1), &rule, err)) {
+      return std::nullopt;
+    }
+    for (const FaultRule& existing : plan.rules) {
+      if (existing.site == rule.site) {
+        *err = "duplicate site '" + rule.site + "'";
+        return std::nullopt;
+      }
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  if (plan.rules.empty()) {
+    *err = "no site rules in spec";
+    return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* raw = std::getenv("PRIVID_FAULTS");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  std::string error;
+  std::optional<FaultPlan> plan = parse(raw, &error);
+  if (!plan.has_value()) {
+    // Never crash over a typo, and never arm a partial plan: warn once and
+    // run fault-free so the misconfiguration is visible but harmless.
+    std::fprintf(stderr, "privid: ignoring malformed PRIVID_FAULTS (%s)\n",
+                 error.c_str());
+  }
+  return plan;
+}
+
+Injector& Injector::global() {
+  static Injector* instance = [] {
+    // Leaked intentionally: injection sites live in destructors and
+    // other static teardown (cache flush, pool drain), so the global
+    // must outlive every other static. Its metric group unregisters via
+    // the Registration member only if destroyed — leaking keeps fault.*
+    // visible for end-of-process snapshots too.
+    auto* in = new Injector();
+    if (std::optional<FaultPlan> plan = FaultPlan::from_env()) {
+      in->set_plan(*std::move(plan));
+    }
+    return in;
+  }();
+  return *instance;
+}
+
+void Injector::set_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    SiteState state;
+    state.rule = plan.rules[i];
+    // Rule index (not site name) keys the stream: two plans sharing a seed
+    // but listing sites in a different order are different plans.
+    state.rng = Rng(seed_mix(plan.seed, static_cast<std::uint64_t>(i) + 1));
+    sites_.emplace(plan.rules[i].site, std::move(state));
+  }
+  bool arm = !sites_.empty();
+  g_armed_->set(arm ? 1 : 0);
+  armed_.store(arm, std::memory_order_relaxed);
+}
+
+void Injector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  g_armed_->set(0);
+  sites_.clear();
+}
+
+bool Injector::should_fail(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteState& state = it->second;
+  state.visits += 1;
+  c_visits_->add();
+  bool fire = false;
+  switch (state.rule.trigger) {
+    case FaultRule::Trigger::kProbability:
+      fire = state.rng.bernoulli(state.rule.probability);
+      break;
+    case FaultRule::Trigger::kEveryNth:
+      fire = state.visits % state.rule.n == 0;
+      break;
+    case FaultRule::Trigger::kOnceAt:
+      fire = state.visits == state.rule.n;
+      break;
+  }
+  if (fire) {
+    state.fired += 1;
+    c_fired_->add();
+    obs::Span span("fault.fire", "fault");
+  }
+  return fire;
+}
+
+std::map<std::string, SiteStats> Injector::site_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SiteStats> out;
+  for (const auto& [site, state] : sites_) {
+    out[site] = SiteStats{state.visits, state.fired};
+  }
+  return out;
+}
+
+void inject(const char* site) {
+  if (fail_point(site)) throw FaultInjectedError(site);
+}
+
+}  // namespace privid::fault

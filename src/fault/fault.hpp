@@ -1,0 +1,164 @@
+// Deterministic, seeded fault-injection plane.
+//
+// The paper's privacy guarantees only hold if budget accounting stays
+// exactly-once on *every* path — including the ones where a sandbox dies,
+// a disk read is torn, or a query is abandoned mid-flight. This plane
+// makes those paths drivable: named injection sites are compiled into the
+// real seams (sandbox execution, disk-tier read/write/rename, single-
+// flight leader completion, thread-pool task entry, scheduler dispatch —
+// docs/ROBUSTNESS.md is the catalog), and a site-keyed plan decides,
+// deterministically, which visits fail.
+//
+// Triggers per site:
+//
+//   p<f>       probability f per visit, drawn from a plan-seeded Rng
+//              (privid::seed_mix keyed by plan seed and rule index — the
+//              one sanctioned mixer, so fire patterns are reproducible)
+//   every<N>   visits N, 2N, 3N, ... fire (1-indexed)
+//   once<K>    exactly visit K fires, once
+//
+// Configuration: programmatic (Injector::set_plan, used by the chaos
+// suites) or the PRIVID_FAULTS environment spec, e.g.
+//
+//   PRIVID_FAULTS="seed=42,sandbox.exec:every5,disk.read:p0.25"
+//
+// A malformed spec arms nothing and warns on stderr — never crash over a
+// typo, and never silently arm a *subset* of the intended storm.
+//
+// Cost discipline (same as obs::Span / TraceRecorder): when no plan is
+// armed, a fail_point() is the function-local-static guard plus one
+// relaxed atomic load — two relaxed loads, no lock, no allocation. Sites
+// therefore stay compiled into release builds, which is what lets CI
+// replay whole suites under canned plans without a rebuild.
+//
+// Determinism: trigger state advances per *visit* under one mutex, so a
+// plan fires identically run-to-run at a fixed thread count; across
+// thread counts the set of visits is the same but their interleaving may
+// assign faults to different tasks. The chaos equivalence suite asserts
+// the invariant that actually matters: under any plan, every query either
+// fails cleanly (refunding exactly once) or produces byte-identical
+// releases and ledger charges to a fault-free run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace privid::fault {
+
+// One site-keyed rule of a plan.
+struct FaultRule {
+  enum class Trigger { kProbability, kEveryNth, kOnceAt };
+
+  std::string site;
+  Trigger trigger = Trigger::kEveryNth;
+  double probability = 0.0;  // kProbability: chance per visit, in [0, 1]
+  std::uint64_t n = 0;       // kEveryNth: period; kOnceAt: visit ordinal
+};
+
+// A full injection plan: a seed (feeds every probability rule's Rng via
+// privid::seed_mix) plus one rule per site. Value type — build one in a
+// test, or parse the PRIVID_FAULTS grammar.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  // Parses the spec grammar:
+  //
+  //   spec    := clause (',' clause)*
+  //   clause  := "seed=" uint | site ':' trigger
+  //   trigger := 'p' float | "every" uint | "once" uint
+  //
+  // Returns nullopt on any malformed clause (duplicate sites included)
+  // and, when `error` is non-null, a one-line description of why.
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  // Reads PRIVID_FAULTS (fault.cpp is the privcheck determinism-env
+  // allowlist entry for it). Unset/empty means no plan; a malformed value
+  // warns on stderr and returns nullopt — the process runs fault-free.
+  static std::optional<FaultPlan> from_env();
+};
+
+// Cumulative per-site trigger counters, for tests and reconciliation.
+struct SiteStats {
+  std::uint64_t visits = 0;
+  std::uint64_t fired = 0;
+};
+
+// The site-keyed injector. One process-wide instance (global()) is what
+// the compiled-in sites consult; tests may also construct private
+// instances to unit-test trigger arithmetic.
+class Injector {
+ public:
+  // An unarmed injector; set_plan arms it.
+  Injector() = default;
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // The process-wide instance every fail_point() consults. Constructed on
+  // first use; arms itself from PRIVID_FAULTS if the spec parses.
+  static Injector& global();
+
+  // Replaces the active plan (resetting all trigger state) and arms the
+  // injector; an empty plan disarms instead.
+  void set_plan(FaultPlan plan);
+  // Disarms and drops all trigger state.
+  void clear();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Advances `site`'s trigger state by one visit and returns true when
+  // the rule fires. Sites without a rule return false (their visits are
+  // not tracked — an unarmed or unplanned site must stay O(1)).
+  bool should_fail(const char* site);
+
+  // Snapshot of per-site visit/fire counters since the plan was set.
+  std::map<std::string, SiteStats> site_stats() const;
+
+ private:
+  struct SiteState {
+    FaultRule rule;
+    Rng rng{0};  // kProbability draws; seeded seed_mix(plan seed, index)
+    std::uint64_t visits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+
+  // fault.* metrics; registration declared after the group so it
+  // detaches first. The gauge lets an obs snapshot show whether a storm
+  // was armed; the counters reconcile against cache/retry/breaker ones.
+  obs::MetricGroup metrics_;
+  obs::Counter* c_visits_ = metrics_.counter("fault.visits");
+  obs::Counter* c_fired_ = metrics_.counter("fault.fired");
+  obs::Gauge* g_armed_ = metrics_.gauge("fault.armed");
+  obs::Registration registration_ = obs::Registry::global().attach(&metrics_);
+};
+
+// True when a fault fires at `site` this visit. Inert-when-off hot path:
+// the static guard load plus one relaxed atomic load, nothing else. Sites
+// that model an I/O failure branch on this; sites that model a crash call
+// inject() instead.
+inline bool fail_point(const char* site) {
+  Injector& in = Injector::global();
+  return in.armed() && in.should_fail(site);
+}
+
+// Throws FaultInjectedError (a TransientError — common/error.hpp) when a
+// rule fires at `site`; returns normally otherwise.
+void inject(const char* site);
+
+}  // namespace privid::fault

@@ -49,7 +49,17 @@
 
 namespace privid::service {
 
-enum class QueryState { kQueued, kRunning, kDone, kFailed };
+enum class QueryState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+// Why a query was cancelled (QueryJob::cancel_reason; kNone = live). Set
+// exactly once by compare-exchange — the first canceller wins, later ones
+// observe a settled/settling query.
+enum class CancelReason : int {
+  kNone = 0,
+  kUser,      // QueryService::cancel
+  kDeadline,  // RunOptions::deadline_rounds expired
+  kShutdown,  // scheduler abandoned it during bounded shutdown
+};
 
 // One submitted query's full lifecycle state. Created by
 // QueryService::submit, driven by the scheduler, observed through
@@ -76,6 +86,16 @@ struct QueryJob {
   obs::Stopwatch queue_wait;
   std::atomic<bool> started{false};
   std::atomic<bool> failed{false};
+  // First CancelReason to win the compare-exchange (kNone = live). Queued
+  // tasks of a cancelled job are dropped at dispatch and in-round, and
+  // finalize() refunds and settles it kCancelled.
+  std::atomic<int> cancel_reason{static_cast<int>(CancelReason::kNone)};
+  // Deadline in dispatcher rounds (0 = none): the job is cancelled when
+  // the scheduler has dispatched deadline_rounds more rounds and it has
+  // not settled. deadline_round is the absolute round_seq_ bound, fixed
+  // at submit under the scheduler mutex.
+  std::size_t deadline_rounds = 0;
+  std::uint64_t deadline_round = 0;
   std::mutex error_mu;
   std::exception_ptr task_error;  // first task failure observed
 
@@ -158,8 +178,10 @@ class QueryScheduler {
     std::uint64_t tasks_run = 0;      // tasks actually executed
     std::uint64_t tasks_dropped = 0;  // skipped (at dispatch or in-round)
                                       // because their job already failed
+                                      // or was cancelled
     std::uint64_t rounds = 0;
     std::uint64_t queries_settled = 0;
+    std::uint64_t queries_cancelled = 0;  // subset settled kCancelled
   };
 
   // Called on the dispatcher thread when a job settles (kDone / kFailed),
@@ -170,11 +192,14 @@ class QueryScheduler {
   // round; `threads` caps the compute threads per round. `round_tasks`
   // bounds a round (0 = 4x threads). `owner_mu` (non-owning) is held
   // shared while tasks run so owner-side mutations (mask registration,
-  // re-tuning) serialize against in-flight queries.
+  // re-tuning) serialize against in-flight queries. `shutdown_grace_ms`
+  // bounds how long shutdown() waits for in-flight queries to drain
+  // before abandoning queued work.
   QueryScheduler(ThreadPool* pool, std::size_t threads,
                  std::size_t round_tasks, std::shared_mutex* owner_mu,
-                 SettleCallback on_settled);
-  ~QueryScheduler();  // drains, then stops the dispatcher
+                 SettleCallback on_settled,
+                 std::size_t shutdown_grace_ms = 30000);
+  ~QueryScheduler();  // bounded shutdown(), then joins the dispatcher
 
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
@@ -186,8 +211,28 @@ class QueryScheduler {
   // (prepared, slots sized, total_tasks set).
   void submit(const std::shared_ptr<QueryJob>& job);
 
+  // Requests cancellation of a live job. Returns true when this call won
+  // the job's cancel race before it settled — its queued tasks will be
+  // dropped and it settles kCancelled with `reason`'s error, refunded.
+  // Returns false when the job already settled (or another canceller
+  // won). Best-effort at the margin: a job observed live here may still
+  // complete if it was already finalizing.
+  bool cancel(const std::shared_ptr<QueryJob>& job,
+              CancelReason reason = CancelReason::kUser);
+
   // Blocks until every submitted job has settled.
   void drain();
+
+  // Bounded, idempotent shutdown (the destructor calls it): rejects new
+  // submissions, waits up to shutdown_grace_ms for in-flight queries to
+  // settle, then abandons whatever is still queued — each abandoned job
+  // settles kCancelled (CancelledError, kShutdown) and refunds exactly
+  // once — and joins the dispatcher. In-process task functions cannot be
+  // killed mid-call, so a round already executing still unwinds before
+  // the join returns; the grace bound guarantees queued-but-undispatched
+  // work is never silently executed past it. (Killing a truly wedged
+  // task needs process isolation — ROADMAP's sharded execution item.)
+  void shutdown();
 
   Stats stats() const;
   std::map<std::string, std::uint64_t> served() const;
@@ -201,24 +246,37 @@ class QueryScheduler {
 
   void loop();
   // Returns how many of the round's tasks were skipped (job had already
-  // failed when the task came up).
+  // failed or been cancelled when the task came up).
   std::size_t run_round(std::vector<TaskRef>& round,
                         std::vector<std::shared_ptr<QueryJob>>* finished);
   void finalize(QueryJob& job);
+  // Flips cancel_reason to kDeadline on every tracked job whose round
+  // bound has passed; prunes settled/dead entries. Caller holds mu_.
+  void expire_deadlines_locked();
 
   ThreadPool* pool_;
   const std::size_t threads_;
   const std::size_t round_tasks_;
   std::shared_mutex* owner_mu_;
   SettleCallback on_settled_;
+  const std::size_t shutdown_grace_ms_;
 
   mutable std::mutex mu_;  // guards queue_, zero-task list, stop_
   std::condition_variable work_cv_;  // dispatcher wakes
   std::condition_variable idle_cv_;  // drain() waits
   FairShareQueue<TaskRef> queue_;
   std::vector<std::shared_ptr<QueryJob>> taskless_jobs_;
+  // Jobs with a round deadline, scanned each dispatcher iteration.
+  std::vector<std::weak_ptr<QueryJob>> deadline_jobs_;
   std::size_t unsettled_jobs_ = 0;
+  // Rounds dispatched so far — the deadline clock (deterministic, unlike
+  // wall time).
+  std::uint64_t round_seq_ = 0;
   bool stop_ = false;
+  // Set by shutdown() after the grace expires: the dispatcher drops the
+  // entire remaining queue as kShutdown cancellations instead of running
+  // it.
+  bool abandon_ = false;
 
   // sched.* metrics; registration declared after the group so it detaches
   // first.
@@ -227,6 +285,7 @@ class QueryScheduler {
   obs::Counter* c_tasks_dropped_ = metrics_.counter("sched.tasks_dropped");
   obs::Counter* c_rounds_ = metrics_.counter("sched.rounds");
   obs::Counter* c_settled_ = metrics_.counter("sched.queries_settled");
+  obs::Counter* c_cancelled_ = metrics_.counter("sched.queries_cancelled");
   obs::Gauge* g_queued_ = metrics_.gauge("sched.queued_tasks");
   obs::LatencyHistogram* h_queue_wait_ =
       metrics_.histogram("sched.queue_wait");

@@ -44,22 +44,30 @@ QueryService::QueryService(std::map<std::string, engine::CameraState>* cameras,
           session.record_completed(job.reservation.committed()
                                        ? job.reserved_epsilon
                                        : 0.0);
-        } else {
-          session.record_failed();
-        }
-        if (ok) {
           c_completed_->add();
+          return;
+        }
+        session.record_failed();
+        bool cancelled = false;
+        {
+          std::lock_guard<std::mutex> lock(job.mu);
+          cancelled = job.state == QueryState::kCancelled;
+        }
+        if (cancelled) {
+          c_cancelled_->add();
         } else {
           c_failed_->add();
         }
-      });
+      },
+      config.shutdown_grace_ms);
 }
 
 QueryService::~QueryService() {
-  // Settle everything before members are torn down; the scheduler's own
-  // destructor also drains, but doing it here keeps accounting callbacks
-  // running against a fully-alive service.
-  scheduler_->drain();
+  // Settle everything (bounded — abandoned queries cancel and refund)
+  // before members are torn down; shutting down here rather than via
+  // scheduler_'s own destructor keeps accounting callbacks running
+  // against a fully-alive service.
+  scheduler_->shutdown();
   scheduler_.reset();
 }
 
@@ -119,6 +127,7 @@ QueryTicket QueryService::submit(const std::string& analyst,
     job->reserved_epsilon = job->reservation.total_epsilon();
   }
 
+  job->deadline_rounds = opts.deadline_rounds;
   job->total_tasks = job->prepared->total_tasks();
   job->slots.resize(job->prepared->phase_count());
   for (std::size_t phase = 0; phase < job->prepared->phase_count(); ++phase) {
@@ -148,19 +157,29 @@ engine::QueryResult QueryService::wait(const QueryTicket& ticket) const {
   QueryJob& job = *ticket.job_;
   std::unique_lock<std::mutex> lock(job.mu);
   job.cv.wait(lock, [&] {
-    return job.state == QueryState::kDone || job.state == QueryState::kFailed;
+    return job.state == QueryState::kDone ||
+           job.state == QueryState::kFailed ||
+           job.state == QueryState::kCancelled;
   });
-  if (job.state == QueryState::kFailed) std::rethrow_exception(job.error);
+  if (job.state != QueryState::kDone) std::rethrow_exception(job.error);
   return job.result;
 }
 
+bool QueryService::cancel(const QueryTicket& ticket) {
+  if (!ticket.valid()) throw ArgumentError("empty QueryTicket");
+  return scheduler_->cancel(ticket.job_, CancelReason::kUser);
+}
+
 void QueryService::drain() { scheduler_->drain(); }
+
+void QueryService::shutdown() { scheduler_->shutdown(); }
 
 QueryService::Stats QueryService::stats() const {
   Stats out;
   out.submitted = c_submitted_->value();
   out.completed = c_completed_->value();
   out.failed = c_failed_->value();
+  out.cancelled = c_cancelled_->value();
   out.rejected = c_rejected_->value();
   out.scheduler = scheduler_->stats();
   out.dedup = inflight_.stats();

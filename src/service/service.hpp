@@ -76,6 +76,10 @@ class QueryService {
     // Base seed for every per-query noise stream (the Privid facade passes
     // its own noise seed, so facade-created services are reproducible).
     std::uint64_t noise_seed = 0x5EAF00Dull;
+    // Bound on how long shutdown() (and the destructor) waits for
+    // in-flight queries before abandoning queued work — each abandoned
+    // query settles kCancelled and refunds (see QueryScheduler::shutdown).
+    std::size_t shutdown_grace_ms = 30000;
   };
 
   // Non-owning views into the owner's registrations; all must outlive the
@@ -117,10 +121,21 @@ class QueryService {
 
   QueryState poll(const QueryTicket& ticket) const;
   // Blocks until the query settles; returns its result or rethrows the
-  // error that failed it (after its reservation was refunded).
+  // error that failed/cancelled it (after its reservation was refunded —
+  // CancelledError/DeadlineError for a cancellation).
   engine::QueryResult wait(const QueryTicket& ticket) const;
+  // Requests cancellation. True when the request won before the query
+  // settled: its remaining tasks are dropped, it settles kCancelled and
+  // its reservation refunds exactly once. False when it had already
+  // settled. Best-effort at the margin — a query observed live here may
+  // still complete if it was already finalizing.
+  bool cancel(const QueryTicket& ticket);
   // Blocks until every submitted query has settled.
   void drain();
+  // Bounded shutdown (the destructor calls it): waits up to
+  // Config::shutdown_grace_ms for in-flight queries, then abandons queued
+  // ones as kCancelled with a full refund. Subsequent submits throw.
+  void shutdown();
 
   // Thin snapshot view over the service.* metrics (and the scheduler's /
   // single-flight's own views) — stats() reads the metric groups, so the
@@ -128,7 +143,9 @@ class QueryService {
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
-    std::uint64_t failed = 0;
+    std::uint64_t failed = 0;     // settled with an error (not cancelled)
+    std::uint64_t cancelled = 0;  // settled kCancelled (user/deadline/
+                                  // shutdown), refunded
     std::uint64_t rejected = 0;
     QueryScheduler::Stats scheduler;
     engine::SingleFlightStats dedup;
@@ -168,6 +185,7 @@ class QueryService {
   obs::Counter* c_submitted_ = metrics_.counter("service.submitted");
   obs::Counter* c_completed_ = metrics_.counter("service.completed");
   obs::Counter* c_failed_ = metrics_.counter("service.failed");
+  obs::Counter* c_cancelled_ = metrics_.counter("service.cancelled");
   obs::Counter* c_rejected_ = metrics_.counter("service.rejected");
   obs::LatencyHistogram* h_submit_ = metrics_.histogram("service.submit");
   obs::Registration registration_ =

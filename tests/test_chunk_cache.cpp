@@ -23,6 +23,15 @@
 namespace privid::engine {
 namespace {
 
+// This suite pins exact hit/miss/eviction counts, so CI's chaos replay
+// (PRIVID_FAULTS) must not perturb it — the equivalence suites in
+// test_fault.cpp are the ones that run armed. Static-init so it runs
+// before the fault plane's lazy env read can ever happen.
+const bool g_faults_cleared = [] {
+  unsetenv("PRIVID_FAULTS");
+  return true;
+}();
+
 // ------------------------------------------------------------ fixtures
 
 // Deterministic scene: `n` people crossing one at a time, each visible for

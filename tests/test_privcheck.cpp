@@ -149,6 +149,16 @@ TEST(Privcheck, DeterminismEnvAllowedInChunkCache) {
                   .clean());
 }
 
+TEST(Privcheck, DeterminismEnvAllowedInFaultPlane) {
+  // fault/fault.cpp owns the PRIVID_FAULTS read: an armed plan perturbs
+  // execution by design, and the chaos equivalence suite proves completed
+  // queries stay byte-identical to a fault-free run.
+  EXPECT_TRUE(run_one("src/fault/fault.cpp",
+                      "#include <cstdlib>\n"
+                      "const char* f() { return std::getenv(\"PRIVID_FAULTS\"); }\n")
+                  .clean());
+}
+
 TEST(Privcheck, DeterminismAllowedInRngAndTimeutil) {
   EXPECT_TRUE(run_one("src/common/rng.cpp",
                       "int f() { return std::random_device{}(); }\n")
@@ -339,6 +349,27 @@ TEST(Privcheck, LayeringRejectsObsBackEdge) {
   auto fs = active(r, "layering");
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_NE(fs[0].message.find("obs -> engine"), std::string::npos);
+}
+
+TEST(Privcheck, LayeringAllowsFaultFromAnywhere) {
+  // Injection sites are compiled into every plane's seams, so "fault" is
+  // universally includable, like "obs".
+  EXPECT_TRUE(run_one("src/common/thread_pool.cpp",
+                      "#include \"fault/fault.hpp\"\n")
+                  .clean());
+  EXPECT_TRUE(run_one("src/service/scheduler.cpp",
+                      "#include \"fault/fault.hpp\"\n")
+                  .clean());
+}
+
+TEST(Privcheck, LayeringRejectsFaultBackEdge) {
+  // The fault plane depends only on common/obs — it must never reach back
+  // into the planes it is compiled into.
+  Report r = run_one("src/fault/evil.cpp",
+                     "#include \"engine/executor.hpp\"\n");
+  auto fs = active(r, "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("fault -> engine"), std::string::npos);
 }
 
 // ------------------------------------------------------------- suppressions

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -31,6 +32,15 @@ using engine::Release;
 using engine::RunOptions;
 
 // ------------------------------------------------------------ fixtures
+
+// This suite pins exact invocation/dedup counts, so CI's chaos replay
+// (PRIVID_FAULTS) must not perturb it — the equivalence suites in
+// test_fault.cpp are the ones that run armed. Static-init so it runs
+// before the fault plane's lazy env read can ever happen.
+const bool g_faults_cleared = [] {
+  unsetenv("PRIVID_FAULTS");
+  return true;
+}();
 
 // Deterministic scene: `n` people crossing one at a time, each visible for
 // 10 s, one every 20 s starting at t = 5 (same shape as test_engine.cpp).

@@ -62,10 +62,15 @@ const Allowlist kTimeFiles = {"src/common/timeutil.hpp",
 // and tier configuration never feed a release value — the equivalence
 // suites prove releases byte-identical across cache modes and tiers — so
 // env-derived branching there cannot break run-to-run determinism.
+// src/fault/fault.cpp owns the PRIVID_FAULTS read: an armed fault plan
+// deliberately perturbs execution (that is its job), but the chaos
+// equivalence suite proves completed queries stay byte-identical to a
+// fault-free run, and an unset/malformed spec arms nothing.
 const Allowlist kEnvFiles = {"src/common/rng.hpp", "src/common/rng.cpp",
                              "src/common/timeutil.hpp",
                              "src/common/timeutil.cpp",
                              "src/engine/chunk_cache.cpp",
+                             "src/fault/fault.cpp",
                              "src/obs/trace.cpp"};
 // Identifiers that expose raw nanosecond readings. Outside src/obs/ the
 // tree must hold timing only through the opaque RAII types (Span,
@@ -105,6 +110,7 @@ const std::set<std::string> kReleaseModules = {
 const std::map<std::string, std::set<std::string>> kAllowedEdges = {
     {"common", {}},
     {"obs", {}},
+    {"fault", {}},
     {"table", {}},
     {"video", {}},
     {"privacy", {}},
@@ -375,9 +381,14 @@ void check_layering(const Ctx& ctx, const Line& ln, int n) {
   if (inc.empty()) return;
   if (ctx.module == "root") return;  // the umbrella may include anything
   std::string target = include_target_module(inc);
-  // "obs" is, like "common", includable from anywhere: every plane hangs
-  // metrics/spans off it, and it depends only on common itself.
-  if (target == ctx.module || target == "common" || target == "obs") return;
+  // "obs" and "fault" are, like "common", includable from anywhere: every
+  // plane hangs metrics/spans off obs and compiles fault-injection sites
+  // into its seams, and both depend only on common (+obs, for fault)
+  // themselves.
+  if (target == ctx.module || target == "common" || target == "obs" ||
+      target == "fault") {
+    return;
+  }
   auto it = kAllowedEdges.find(ctx.module);
   if (it == kAllowedEdges.end()) {
     ctx.emit("layering", n,
@@ -576,8 +587,8 @@ std::string rule_catalog() {
       "determinism-clock   wall-clock reads outside common/timeutil.* and "
       "src/obs/\n"
       "determinism-env     getenv outside common/rng.*, common/timeutil.*, "
-      "engine/chunk_cache.cpp (PRIVID_CACHE* knobs) and obs/trace.cpp "
-      "(PRIVID_TRACE* knobs)\n"
+      "engine/chunk_cache.cpp (PRIVID_CACHE* knobs), fault/fault.cpp "
+      "(PRIVID_FAULTS) and obs/trace.cpp (PRIVID_TRACE* knobs)\n"
       "float-format        printf-family float formatting on release "
       "paths\n"
       "parallel-hash       std::hash / hash constants outside "
